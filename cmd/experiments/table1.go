@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/tablefmt"
+	"repro/internal/tracegen"
+)
+
+// runTable1 reproduces the Section 7.1 ground-truth study and Table 1: a
+// mixed trace stands in for the 18-hour Twitter download, and the injected
+// ground-truth log plays the role of the concurrent Google News headlines.
+// The paper found 31 of 33 above-threshold events and ~6× additional local
+// events; here every headline's fate is exact.
+func runTable1() {
+	msgs, gt := tracegen.Generate(tracegen.GroundTruthConfig(*flagSeed, *flagN))
+	res, d, err := eval.Run(detect.Config{}, msgs, &gt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	real := len(gt.OfKind(tracegen.Real))
+	below := len(gt.OfKind(tracegen.BelowBurst))
+	fmt.Printf("trace: %d msgs; %d headline events total: %d above burst threshold, %d below\n",
+		len(msgs), real+below, real, below)
+	fmt.Printf("(the %d below-burst headlines mirror the paper's 27 headlines whose\n"+
+		" keywords never reached τ and are excluded from recall, as in §7.1)\n\n", below)
+
+	t := tablefmt.New("Table 1: ground truth vs events discovered via SCP",
+		"Headline (injected)", "Discovered cluster", "Latency (quanta)")
+	for _, o := range res.Outcomes {
+		discovered := "— MISSED —"
+		lat := "-"
+		if o.Detected {
+			// Show the matched cluster's keyword set.
+			for _, ev := range d.AllEvents() {
+				if len(o.EventIDs) > 0 && ev.ID == o.EventIDs[0] {
+					discovered = strings.Join(ev.Keywords, " ")
+				}
+			}
+			lat = fmt.Sprintf("%d", o.LatencyQuanta)
+		}
+		t.Row(o.GT.Headline, discovered, lat)
+	}
+	fmt.Println(t)
+
+	extra := 0
+	for _, ev := range d.AllEvents() {
+		if ev.Reported {
+			extra++
+		}
+	}
+	extra -= res.TruePositives
+	fmt.Printf("events found: %d/%d above-threshold headlines (paper: 31/33)\n",
+		res.RealDetected, res.RealTotal)
+	fmt.Printf("additional reported events beyond headline matches: %d (paper: ~6× headline count, incl. local events)\n", extra)
+	fmt.Printf("mean detection latency: %.1f quanta after event onset\n", res.MeanLatency)
+}
+
+// runTable2 prints the Table 2 nominal values and tunable ranges actually
+// used by this implementation.
+func runTable2() {
+	t := tablefmt.New("Table 2: nominal parameter values",
+		"Parameter", "Nominal value", "Tunable range")
+	t.Row("Quantum size Δ", "160 msgs", "80–240 msgs")
+	t.Row("High state threshold τ", "4 user ids/quantum", "(fixed, as in paper)")
+	t.Row("EC threshold β", "0.20", "0.10–0.25")
+	t.Row("Window length w", "30 quanta", "20–40 quanta")
+	t.Row("Min-Hash size p", "min(τ/2β, 1/β)", "≥2")
+	fmt.Println(t)
+}

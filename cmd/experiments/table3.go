@@ -1,0 +1,279 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/detect"
+	"repro/internal/dygraph"
+	"repro/internal/eval"
+	"repro/internal/rank"
+	"repro/internal/stream"
+	"repro/internal/tablefmt"
+	"repro/internal/tracegen"
+)
+
+// clusterLite is a scheme-agnostic cluster snapshot.
+type clusterLite struct {
+	nodes []dygraph.NodeID
+	edges []dygraph.Edge
+}
+
+// schemeStats accumulates Table 3 metrics for one clustering scheme using
+// a methodology applied identically to all schemes: per quantum, every
+// cluster passing the standard reporting filters (minimum rank for its
+// size, ≥1 noun keyword) is a reported cluster instance; instances are
+// grouped into events by ground-truth identity (or by keyword fingerprint
+// when they match nothing).
+type schemeStats struct {
+	name             string
+	clusterInstances int
+	distinct         map[string]struct{} // distinct clusters by fingerprint
+	eventKeys        map[string]struct{} // distinct reported events
+	realGT           map[int]struct{}    // matched real ground-truth ids
+	fpEvents         map[string]struct{} // reported events matching nothing real
+	rankSum, sizeSum float64
+	reported         int
+	exactOverlap     int // instances identical to some SCP cluster, same quantum
+}
+
+func newSchemeStats(name string) *schemeStats {
+	return &schemeStats{
+		name:      name,
+		distinct:  make(map[string]struct{}),
+		eventKeys: make(map[string]struct{}),
+		realGT:    make(map[int]struct{}),
+		fpEvents:  make(map[string]struct{}),
+	}
+}
+
+func fingerprint(nodes []dygraph.NodeID) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.String()
+}
+
+// runTable3 reproduces Section 7.3 / Table 3: the SCP clusters maintained
+// incrementally vs biconnected components recomputed offline on exactly
+// the same AKG after every quantum (the Bansal et al. [2] style
+// comparator), with and without bridge edges reported as size-2 clusters.
+func runTable3() {
+	msgs, gt := tracegen.Generate(tracegen.GroundTruthConfig(*flagSeed, *flagN))
+	cfg := detect.Config{}
+	d := detect.New(cfg)
+	akgCfg := d.AKG().Config()
+
+	// Ground-truth keyword ownership for event matching.
+	kwOwner := make(map[string]int)
+	gtKind := make(map[int]tracegen.Kind)
+	for _, g := range gt.Events {
+		gtKind[g.ID] = g.Kind
+		for _, kw := range g.Keywords {
+			kwOwner[kw] = g.ID
+		}
+	}
+
+	scp := newSchemeStats("SCP Clusters")
+	bc := newSchemeStats("Bi-connected Clusters")
+	bce := newSchemeStats("Bi-connected + Edges")
+	var bcTime time.Duration
+	var offlineEventHasSC, offlineEventTotal int
+
+	record := func(s *schemeStats, c clusterLite, scpSets map[string]struct{}) {
+		s.clusterInstances++
+		fp := fingerprint(c.nodes)
+		s.distinct[fp] = struct{}{}
+		if scpSets != nil {
+			if _, ok := scpSets[fp]; ok {
+				s.exactOverlap++
+			}
+		}
+		// Reporting filters, identical for every scheme.
+		score := rank.ScoreParts(c.nodes, c.edges,
+			func(n dygraph.NodeID) float64 { return float64(d.AKG().Support(n)) },
+			func(a, b dygraph.NodeID) float64 {
+				w, _ := d.AKG().Engine().Graph().Weight(a, b)
+				return w
+			})
+		if score < rank.MinScore(len(c.nodes), akgCfg.Tau, akgCfg.Beta) && len(c.nodes) >= 3 {
+			return
+		}
+		hasNoun := false
+		for _, n := range c.nodes {
+			if d.NounSeen(n) {
+				hasNoun = true
+			}
+		}
+		if !hasNoun {
+			return
+		}
+		s.reported++
+		s.rankSum += score
+		s.sizeSum += float64(len(c.nodes))
+		// Event identity: best ground-truth match or fingerprint.
+		overlap := make(map[int]int)
+		for _, n := range c.nodes {
+			if id, ok := kwOwner[d.Interner().Word(n)]; ok {
+				overlap[id]++
+			}
+		}
+		bestID, best := 0, 0
+		for id, k := range overlap {
+			if k > best || (k == best && id < bestID) {
+				bestID, best = id, k
+			}
+		}
+		if best >= eval.MinOverlap {
+			key := fmt.Sprintf("gt%d", bestID)
+			s.eventKeys[key] = struct{}{}
+			if gtKind[bestID] == tracegen.Real {
+				s.realGT[bestID] = struct{}{}
+			} else {
+				s.fpEvents[key] = struct{}{}
+			}
+		} else {
+			s.eventKeys[fp] = struct{}{}
+			s.fpEvents[fp] = struct{}{}
+		}
+	}
+
+	start := time.Now()
+	err := d.Run(stream.NewSliceSource(msgs), func(res *detect.QuantumResult) {
+		eng := d.AKG().Engine()
+		// SCP clusters: read straight off the engine.
+		scpSets := make(map[string]struct{})
+		var scpClusters []clusterLite
+		for _, c := range eng.Clusters() {
+			cl := clusterLite{nodes: c.Nodes(), edges: c.Edges()}
+			scpClusters = append(scpClusters, cl)
+			scpSets[fingerprint(cl.nodes)] = struct{}{}
+		}
+		for _, cl := range scpClusters {
+			record(scp, cl, nil)
+		}
+		// Offline recompute on the very same graph.
+		t0 := time.Now()
+		comps := baseline.BiconnectedComponents(eng.Graph())
+		bcTime += time.Since(t0)
+		for _, comp := range comps {
+			cl := clusterLite{nodes: comp.Nodes, edges: comp.Edges}
+			if len(comp.Nodes) >= 3 {
+				record(bc, cl, scpSets)
+				record(bce, cl, scpSets)
+				// Does this offline event cluster contain a short cycle?
+				offlineEventTotal++
+				if hasShortCycle(cl) {
+					offlineEventHasSC++
+				}
+			} else {
+				record(bce, cl, scpSets)
+			}
+		}
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	total := time.Since(start)
+	scpTime := total - bcTime
+
+	realTotal := len(gt.OfKind(tracegen.Real))
+	t := tablefmt.New("Table 3: performance of different clustering schemes",
+		"", scp.name, bc.name, bce.name)
+	row := func(label string, f func(*schemeStats) any) {
+		t.Row(label, f(scp), f(bc), f(bce))
+	}
+	row("Events Discovered", func(s *schemeStats) any { return len(s.eventKeys) })
+	row("Precision", func(s *schemeStats) any {
+		if len(s.eventKeys) == 0 {
+			return 0.0
+		}
+		return float64(len(s.eventKeys)-len(s.fpEvents)) / float64(len(s.eventKeys))
+	})
+	row("Recall", func(s *schemeStats) any {
+		if realTotal == 0 {
+			return 0.0
+		}
+		return float64(len(s.realGT)) / float64(realTotal)
+	})
+	row("Avg. Rank", func(s *schemeStats) any {
+		if s.reported == 0 {
+			return 0.0
+		}
+		return s.rankSum / float64(s.reported)
+	})
+	row("Avg. Cluster Size", func(s *schemeStats) any {
+		if s.reported == 0 {
+			return 0.0
+		}
+		return s.sizeSum / float64(s.reported)
+	})
+	fmt.Println(t)
+
+	// Section 7.3 companion statistics.
+	ac := pct(len(bce.distinct)-len(scp.distinct), len(scp.distinct))
+	acNoEdges := pct(len(bc.distinct)-len(scp.distinct), len(scp.distinct))
+	ae := pct(len(bce.eventKeys)-len(scp.eventKeys), len(scp.eventKeys))
+	aeNoEdges := pct(len(bc.eventKeys)-len(scp.eventKeys), len(scp.eventKeys))
+	fmt.Printf("additional distinct clusters offline (Ac): %+.1f%% with edges, %+.1f%% without (paper: +276%%, −5.1%%)\n", ac, acNoEdges)
+	fmt.Printf("additional events offline (AE): %+.1f%% with edges, %+.1f%% without (paper: −11.1%%, −17.1%%)\n", ae, aeNoEdges)
+	if bc.clusterInstances > 0 {
+		fmt.Printf("offline clusters exactly matching an SCP cluster: %.1f%% (paper: 74.5%%)\n",
+			100*float64(bc.exactOverlap)/float64(bc.clusterInstances))
+	}
+	if offlineEventTotal > 0 {
+		fmt.Printf("offline event clusters containing a short cycle: %.1f%% (paper: no event cluster without one)\n",
+			100*float64(offlineEventHasSC)/float64(offlineEventTotal))
+	}
+	fmt.Printf("time: full SCP pipeline %v; offline BC recompute added %v on top\n",
+		scpTime.Round(time.Millisecond), bcTime.Round(time.Millisecond))
+	fmt.Println("(the paper's 46% clustering-speed advantage is measured at the graph level —")
+	fmt.Println(" see BenchmarkAblationIncrementalVsCanonical, which isolates incremental SCP")
+	fmt.Println(" maintenance from a per-quantum global recompute on identical update streams)")
+}
+
+func pct(delta, base int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(delta) / float64(base)
+}
+
+// hasShortCycle reports whether any edge of the cluster lies on a cycle of
+// length ≤ 4 within the cluster.
+func hasShortCycle(c clusterLite) bool {
+	adj := make(map[dygraph.NodeID]map[dygraph.NodeID]struct{})
+	for _, e := range c.edges {
+		if adj[e.U] == nil {
+			adj[e.U] = map[dygraph.NodeID]struct{}{}
+		}
+		if adj[e.V] == nil {
+			adj[e.V] = map[dygraph.NodeID]struct{}{}
+		}
+		adj[e.U][e.V] = struct{}{}
+		adj[e.V][e.U] = struct{}{}
+	}
+	for _, e := range c.edges {
+		for x := range adj[e.U] {
+			if x == e.V {
+				continue
+			}
+			if _, ok := adj[e.V][x]; ok {
+				return true // triangle
+			}
+			for y := range adj[e.V] {
+				if y == e.U || y == x {
+					continue
+				}
+				if _, ok := adj[x][y]; ok {
+					return true // 4-cycle
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/stream"
+	"repro/internal/tablefmt"
+	"repro/internal/tracegen"
+)
+
+// runTable4 reproduces the Section 7.4 throughput table: messages
+// processed per second for quantum sizes Δ ∈ {120, 160, 200}, on both the
+// TW and ES traces. Paper shape: TW throughput far exceeds ES (event-heavy
+// streams build more clusters), and throughput falls as Δ grows (larger
+// quanta admit more low-quality keywords, producing clusters that are
+// processed and later discarded).
+func runTable4() {
+	deltas := []int{120, 160, 200}
+	headers := []string{"Trace Type"}
+	for _, d := range deltas {
+		headers = append(headers, fmt.Sprintf("Δ=%d", d))
+	}
+	t := tablefmt.New("Table 4: message processing rate (msgs/second)", headers...)
+
+	for _, profile := range []struct {
+		label string
+		gen   func() []stream.Message
+	}{
+		{"Time Window Based Trace", func() []stream.Message {
+			m, _ := tracegen.Generate(tracegen.TWConfig(*flagSeed, *flagN))
+			return m
+		}},
+		{"Event Specific Trace", func() []stream.Message {
+			m, _ := tracegen.Generate(tracegen.ESConfig(*flagSeed, *flagN))
+			return m
+		}},
+	} {
+		msgs := profile.gen()
+		row := []any{profile.label}
+		for _, delta := range deltas {
+			d := detect.New(detect.Config{Delta: delta})
+			src := stream.NewSliceSource(msgs)
+			start := time.Now()
+			if err := d.Run(src, nil); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			elapsed := time.Since(start).Seconds()
+			row = append(row, fmt.Sprintf("%.0f", float64(len(msgs))/elapsed))
+		}
+		t.Row(row...)
+	}
+	fmt.Println(t)
+	fmt.Println("(absolute rates are hardware-bound; the paper reports 4160–5185 msg/s")
+	fmt.Println(" on TW and 1160–1410 on ES — the TW ≫ ES ordering and the decline with")
+	fmt.Println(" growing Δ are the reproduction targets)")
+}

@@ -1,0 +1,80 @@
+// Command checkpoint demonstrates operational durability: the detector
+// processes half an event-specific stream, checkpoints itself to disk,
+// is "restarted" (a fresh process would call repro.LoadDetector), and
+// finishes the stream — producing exactly the same events as an
+// uninterrupted run. This is what a production deployment needs to survive
+// restarts without losing the sliding window, the cluster state, or event
+// histories.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	msgs, gt := repro.ESTrace(99, 40000)
+	cfg := repro.Config{}
+
+	// Uninterrupted reference run.
+	ref := repro.NewDetector(cfg)
+	if err := ref.Run(repro.NewSliceSource(msgs), nil); err != nil {
+		panic(err)
+	}
+
+	// Interrupted run: half the stream, checkpoint, restore, the rest.
+	d1 := repro.NewDetector(cfg)
+	cut := len(msgs) / 2
+	for _, m := range msgs[:cut] {
+		d1.Ingest(m)
+	}
+	path := filepath.Join(os.TempDir(), "detector.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := d1.Save(f); err != nil {
+		panic(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("checkpointed after %d messages: %s (%d KiB)\n",
+		cut, path, info.Size()/1024)
+
+	g, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	d2, err := repro.LoadDetector(g)
+	g.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restored detector: %d messages processed, %d live events\n",
+		d2.Processed(), len(d2.LiveEvents()))
+	for _, m := range msgs[cut:] {
+		d2.Ingest(m)
+	}
+	d2.Flush()
+
+	// Compare complete event histories.
+	digest := func(d *repro.Detector) string {
+		var b bytes.Buffer
+		for _, ev := range d.AllEvents() {
+			fmt.Fprintf(&b, "%d %v %v %.3f\n", ev.ID, ev.State, ev.Keywords, ev.PeakRank)
+		}
+		return b.String()
+	}
+	same := digest(ref) == digest(d2)
+	fmt.Printf("event histories identical to uninterrupted run: %v\n", same)
+	fmt.Printf("events tracked: %d (%d injected ground-truth entries)\n",
+		len(d2.AllEvents()), len(gt.Events))
+	if !same {
+		os.Exit(1)
+	}
+	os.Remove(path)
+}

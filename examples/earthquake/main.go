@@ -1,0 +1,89 @@
+// Command earthquake demonstrates event evolution in a moving window —
+// the second half of the paper's Figure 1 example. The initial cluster
+// {earthquake, struck, eastern, turkey} forms first; when the window
+// slides and users start reporting the magnitude, the keyword "5.9" joins
+// the existing cluster via a short cycle instead of forming a new event.
+// Later the event winds down and the cluster dissolves.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	const delta = 10
+	d := repro.NewDetector(repro.Config{
+		Delta: delta,
+		AKG:   repro.GraphConfig{Tau: 2, Beta: 0.2, Window: 3},
+	})
+
+	// Phase 1 (quantum 1): the event breaks.
+	phase1 := []string{
+		"earthquake struck eastern Turkey",
+		"Massive earthquake struck eastern Turkey minutes ago",
+		"earthquake in eastern Turkey right now",
+		"Turkey earthquake struck the eastern region",
+		"eastern Turkey earthquake, buildings shaking",
+		"moderate earthquake struck Turkey",
+	}
+	// Phase 2 (quantum 2): magnitude reports arrive — "5.9" correlates
+	// with the existing keywords.
+	phase2 := []string{
+		"magnitude 5.9 earthquake Turkey",
+		"Turkey quake measured 5.9 earthquake agency says",
+		"5.9 earthquake eastern Turkey confirmed",
+		"USGS: 5.9 earthquake struck Turkey",
+		"earthquake 5.9 Turkey updates",
+		"aftershocks after the 5.9 earthquake in Turkey",
+	}
+	// Phase 3+ (later quanta): the story fades; only chatter remains.
+	chatter := []string{
+		"coffee time", "great weather today", "match tonight",
+		"commute is slow", "weekend plans anyone", "lunch break",
+	}
+
+	var msgs []repro.Message
+	user := uint64(0)
+	add := func(texts []string, repeat int) {
+		for r := 0; r < repeat; r++ {
+			for _, t := range texts {
+				user++
+				msgs = append(msgs, repro.Message{
+					ID: user, User: user, Time: int64(len(msgs)), Text: t,
+				})
+			}
+		}
+	}
+	add(phase1, 1)
+	add(chatter[:4], 1) // pad quantum 1 to delta
+	add(phase2, 1)
+	add(chatter[:4], 1) // pad quantum 2
+	add(chatter, 5)     // three quanta of pure chatter: event expires
+
+	err := d.Run(repro.NewSliceSource(msgs), func(res *repro.QuantumResult) {
+		fmt.Printf("--- quantum %d ---\n", res.Quantum)
+		if len(res.Reports) == 0 {
+			fmt.Println("no reportable events")
+		}
+		for _, r := range res.Reports {
+			tag := ""
+			if r.Evolved {
+				tag = " [evolved]"
+			}
+			fmt.Printf("event %d rank %.1f%s: %s\n",
+				r.EventID, r.Rank, tag, strings.Join(r.Keywords, " "))
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("--- final event history ---")
+	for _, ev := range d.AllEvents() {
+		fmt.Printf("event %d [%v] born q%d last q%d evolved=%v: %v\n",
+			ev.ID, ev.State, ev.BornQuantum, ev.LastQuantum, ev.Evolved, ev.Keywords)
+	}
+}

@@ -1,0 +1,467 @@
+// Package akg maintains the Active Correlated Keyword Graph of Section 3:
+// the hysteresis-based subgraph of the CKG containing only keywords that
+// showed burstiness, with edges between keyword pairs whose user-id sets
+// have Jaccard correlation above the EC threshold.
+//
+// Per quantum the layer:
+//
+//  1. slides the window, expiring id-set observations older than w quanta
+//     and removing stale keywords (not seen in the whole window);
+//  2. moves keywords that were used by ≥ τ distinct users this quantum
+//     into the high state (set 1 of Section 3.2.1) and adds them to the
+//     AKG;
+//  3. lazily refreshes the correlation of AKG keywords that appeared in
+//     this quantum's messages (set 2) with their current neighbors,
+//     dropping edges whose EC fell below β;
+//  4. screens set-1 pairs with bottom-p Min-Hash sketches (Section 3.2.2)
+//     and inserts edges whose exact Jaccard is ≥ β;
+//  5. removes AKG keywords that end up isolated and non-bursty — a
+//     keyword stays while it is part of any cluster (the engine tracks
+//     membership), which realises the paper's "remains in AKG as long as
+//     it is part of an event cluster" rule.
+//
+// All graph mutations flow through the core.Engine, so clusters are
+// maintained incrementally as a side effect of AKG maintenance.
+package akg
+
+import (
+	"sort"
+
+	"repro/internal/ckg"
+	"repro/internal/core"
+	"repro/internal/dygraph"
+	"repro/internal/minhash"
+)
+
+// Config holds the tunable parameters of Table 2 plus implementation
+// switches used by the ablation benchmarks.
+type Config struct {
+	// Tau (τ) is the high-state threshold: distinct users per quantum
+	// needed for a keyword to turn bursty. Paper nominal: 4.
+	Tau int
+	// Beta (β) is the edge-correlation threshold on the Jaccard
+	// coefficient of user-id sets. Paper nominal: 0.20.
+	Beta float64
+	// Window (w) is the sliding window length in quanta. Paper nominal: 30.
+	Window int
+	// P is the Min-Hash sketch size; 0 selects the paper's
+	// min(τ/2β, 1/β) rule.
+	P int
+	// Seed selects the hash family member for Min-Hash.
+	Seed uint64
+
+	// MinHashOnly makes the sketch test the edge decision itself (the
+	// paper's literal mechanism) instead of a screen before an exact
+	// Jaccard computation. Edge weights are then sketch estimates.
+	MinHashOnly bool
+	// NoMinHashScreen disables sketch screening entirely and computes the
+	// exact Jaccard for every candidate pair (ablation arm).
+	NoMinHashScreen bool
+}
+
+// withDefaults fills zero fields with Table 2 nominal values.
+func (c Config) withDefaults() Config {
+	if c.Tau <= 0 {
+		c.Tau = 4
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.20
+	}
+	if c.Window <= 0 {
+		c.Window = 30
+	}
+	if c.P <= 0 {
+		c.P = minhash.RecommendedP(c.Tau, c.Beta)
+	}
+	return c
+}
+
+// QuantumStats summarises the work done by one ProcessQuantum call.
+type QuantumStats struct {
+	Quantum       int // 1-based quantum index
+	Keywords      int // distinct keywords observed this quantum
+	HighState     int // size of set 1 (bursty this quantum)
+	Refreshed     int // size of set 2 (AKG keywords seen this quantum)
+	PairsScreened int // candidate pairs examined
+	PairsPassed   int // pairs that passed the Min-Hash screen
+	EdgesAdded    int
+	EdgesRemoved  int
+	EdgesUpdated  int // weight refreshes on surviving edges
+	NodesAdded    int
+	NodesRemoved  int // stale + isolated removals
+}
+
+type idSet struct {
+	counts map[uint64]int // user -> observations inside the window
+}
+
+func (s *idSet) size() int { return len(s.counts) }
+
+// AKG is the active keyword graph plus the cluster engine it drives.
+type AKG struct {
+	cfg     Config
+	eng     *core.Engine
+	quantum int
+
+	ring    []map[dygraph.NodeID][]uint64 // per live quantum: keyword -> users
+	idsets  map[dygraph.NodeID]*idSet
+	present map[dygraph.NodeID]bool // keyword currently in AKG
+
+	// scratch reused across quanta
+	sketches map[dygraph.NodeID]*minhash.Sketch
+}
+
+// New returns an AKG layer driving a fresh cluster engine whose lifecycle
+// callbacks go to hooks.
+func New(cfg Config, hooks core.Hooks) *AKG {
+	cfg = cfg.withDefaults()
+	return &AKG{
+		cfg:      cfg,
+		eng:      core.NewEngine(hooks),
+		idsets:   make(map[dygraph.NodeID]*idSet),
+		present:  make(map[dygraph.NodeID]bool),
+		sketches: make(map[dygraph.NodeID]*minhash.Sketch),
+	}
+}
+
+// Config returns the effective configuration (defaults resolved).
+func (a *AKG) Config() Config { return a.cfg }
+
+// Engine exposes the cluster engine (read-only use).
+func (a *AKG) Engine() *core.Engine { return a.eng }
+
+// Quantum returns the number of quanta processed so far.
+func (a *AKG) Quantum() int { return a.quantum }
+
+// Support returns the number of distinct users associated with keyword k
+// inside the current window — the node weight w_i of the ranking function
+// (Section 6).
+func (a *AKG) Support(k dygraph.NodeID) int {
+	if s, ok := a.idsets[k]; ok {
+		return s.size()
+	}
+	return 0
+}
+
+// UnionSupport returns the number of distinct users associated with any of
+// the given keywords inside the window — the cluster support measure of
+// the ranking function (Section 6).
+func (a *AKG) UnionSupport(ks []dygraph.NodeID) int {
+	users := make(map[uint64]struct{})
+	for _, k := range ks {
+		if set, ok := a.idsets[k]; ok {
+			for u := range set.counts {
+				users[u] = struct{}{}
+			}
+		}
+	}
+	return len(users)
+}
+
+// UserJaccard returns the Jaccard coefficient between the windowed user
+// communities of two keyword sets. The detector's post-processing uses it
+// to correlate clusters that describe the same real-world event with
+// different vocabularies (Section 1.1, case 2: "users indeed used
+// different keywords, providing different perspectives about the same
+// event" — such clusters show strong user overlap).
+func (a *AKG) UserJaccard(ks1, ks2 []dygraph.NodeID) float64 {
+	u1 := a.unionUsers(ks1)
+	u2 := a.unionUsers(ks2)
+	if len(u1) == 0 || len(u2) == 0 {
+		return 0
+	}
+	if len(u1) > len(u2) {
+		u1, u2 = u2, u1
+	}
+	inter := 0
+	for u := range u1 {
+		if _, ok := u2[u]; ok {
+			inter++
+		}
+	}
+	union := len(u1) + len(u2) - inter
+	return float64(inter) / float64(union)
+}
+
+func (a *AKG) unionUsers(ks []dygraph.NodeID) map[uint64]struct{} {
+	users := make(map[uint64]struct{})
+	for _, k := range ks {
+		if set, ok := a.idsets[k]; ok {
+			for u := range set.counts {
+				users[u] = struct{}{}
+			}
+		}
+	}
+	return users
+}
+
+// InAKG reports whether keyword k is currently an AKG node.
+func (a *AKG) InAKG(k dygraph.NodeID) bool { return a.present[k] }
+
+// NodeCount returns the number of AKG nodes.
+func (a *AKG) NodeCount() int { return len(a.present) }
+
+// EdgeCount returns the number of AKG edges.
+func (a *AKG) EdgeCount() int { return a.eng.Graph().EdgeCount() }
+
+// Jaccard returns the exact edge correlation of two keywords' windowed
+// user-id sets.
+func (a *AKG) Jaccard(k1, k2 dygraph.NodeID) float64 {
+	s1, ok1 := a.idsets[k1]
+	s2, ok2 := a.idsets[k2]
+	if !ok1 || !ok2 || s1.size() == 0 || s2.size() == 0 {
+		return 0
+	}
+	small, large := s1.counts, s2.counts
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for u := range small {
+		if _, ok := large[u]; ok {
+			inter++
+		}
+	}
+	union := len(s1.counts) + len(s2.counts) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// ProcessQuantum ingests one quantum of per-user keyword sets (keywords
+// must be distinct within each user's set) and performs the five
+// maintenance steps described in the package comment.
+func (a *AKG) ProcessQuantum(batch []ckg.UserKeywords) QuantumStats {
+	a.quantum++
+	st := QuantumStats{Quantum: a.quantum}
+
+	a.slideWindow(&st)
+
+	// Observe this quantum: per-keyword distinct user lists + id sets.
+	obs := make(map[dygraph.NodeID][]uint64)
+	for _, uk := range batch {
+		for _, k := range uk.Keywords {
+			obs[k] = append(obs[k], uk.User)
+			set, ok := a.idsets[k]
+			if !ok {
+				set = &idSet{counts: make(map[uint64]int, 4)}
+				a.idsets[k] = set
+			}
+			set.counts[uk.User]++
+		}
+	}
+	a.ring = append(a.ring, obs)
+	st.Keywords = len(obs)
+
+	// Classify: set1 = bursty this quantum; set2 = in AKG and observed.
+	var set1, set2 []dygraph.NodeID
+	for k, users := range obs {
+		if len(users) >= a.cfg.Tau {
+			set1 = append(set1, k)
+		} else if a.present[k] {
+			set2 = append(set2, k)
+		}
+	}
+	// Bursty AKG members count for both roles; set2 handling below walks
+	// set1 members' existing neighbors too, so keep the lists disjoint.
+	sortNodes(set1)
+	sortNodes(set2)
+	st.HighState = len(set1)
+	st.Refreshed = len(set2)
+
+	// Admit bursty keywords.
+	for _, k := range set1 {
+		if !a.present[k] {
+			a.present[k] = true
+			a.eng.AddNode(k)
+			st.NodesAdded++
+		}
+	}
+
+	// Lazy correlation refresh for observed AKG keywords and bursty
+	// keywords that already have neighbors.
+	a.refreshEdges(append(append([]dygraph.NodeID{}, set2...), set1...), &st)
+
+	// New edges among set-1 pairs.
+	a.connectBursty(set1, &st)
+
+	// Isolated, non-bursty keywords leave the AKG (they are in no
+	// cluster by construction).
+	high := make(map[dygraph.NodeID]bool, len(set1))
+	for _, k := range set1 {
+		high[k] = true
+	}
+	for _, k := range append(append([]dygraph.NodeID{}, set1...), set2...) {
+		if a.present[k] && !high[k] && a.eng.Graph().Degree(k) == 0 {
+			a.eng.RemoveNode(k)
+			delete(a.present, k)
+			st.NodesRemoved++
+		}
+	}
+	return st
+}
+
+// slideWindow expires the oldest quantum once the ring is full and removes
+// keywords whose id sets emptied (stale: unseen for a whole window).
+func (a *AKG) slideWindow(st *QuantumStats) {
+	if len(a.ring) < a.cfg.Window {
+		return
+	}
+	oldest := a.ring[0]
+	copy(a.ring, a.ring[1:])
+	a.ring = a.ring[:len(a.ring)-1]
+	// Sorted expiry: node removals reach the engine, where split
+	// identities must be reproducible across runs.
+	keys := make([]dygraph.NodeID, 0, len(oldest))
+	for k := range oldest {
+		keys = append(keys, k)
+	}
+	sortNodes(keys)
+	for _, k := range keys {
+		users := oldest[k]
+		set, ok := a.idsets[k]
+		if !ok {
+			continue
+		}
+		for _, u := range users {
+			set.counts[u]--
+			if set.counts[u] <= 0 {
+				delete(set.counts, u)
+			}
+		}
+		if set.size() == 0 {
+			delete(a.idsets, k)
+			if a.present[k] {
+				a.eng.RemoveNode(k)
+				delete(a.present, k)
+				st.NodesRemoved++
+			}
+		}
+	}
+}
+
+// refreshEdges re-evaluates the EC of every edge incident to the given
+// keywords (each edge once), removing edges under threshold and updating
+// surviving weights — Section 3.1's lazy update principle.
+func (a *AKG) refreshEdges(keys []dygraph.NodeID, st *QuantumStats) {
+	type edgeRef struct{ a, b dygraph.NodeID }
+	visited := make(map[dygraph.Edge]struct{})
+	var drop, keep []edgeRef
+	var weights []float64
+	for _, k := range keys {
+		if !a.present[k] {
+			continue
+		}
+		// Sorted neighbor iteration: removal order reaches the engine,
+		// where split identities must be reproducible across runs.
+		for _, m := range a.eng.Graph().NeighborSlice(k) {
+			e := dygraph.NewEdge(k, m)
+			if _, ok := visited[e]; ok {
+				continue
+			}
+			visited[e] = struct{}{}
+			j := a.correlation(k, m)
+			if j < a.cfg.Beta {
+				drop = append(drop, edgeRef{k, m})
+			} else {
+				keep = append(keep, edgeRef{k, m})
+				weights = append(weights, j)
+			}
+		}
+	}
+	for _, e := range drop {
+		a.eng.RemoveEdge(e.a, e.b)
+		st.EdgesRemoved++
+	}
+	for i, e := range keep {
+		a.eng.SetWeight(e.a, e.b, weights[i])
+		st.EdgesUpdated++
+	}
+}
+
+// connectBursty screens set-1 pairs with Min-Hash and inserts edges whose
+// correlation clears β.
+func (a *AKG) connectBursty(set1 []dygraph.NodeID, st *QuantumStats) {
+	if len(set1) < 2 {
+		return
+	}
+	if !a.cfg.NoMinHashScreen {
+		a.buildSketches(set1)
+	}
+	for i := 0; i < len(set1); i++ {
+		for j := i + 1; j < len(set1); j++ {
+			k1, k2 := set1[i], set1[j]
+			if a.eng.Graph().HasEdge(k1, k2) {
+				continue // already refreshed this quantum
+			}
+			st.PairsScreened++
+			var w float64
+			switch {
+			case a.cfg.MinHashOnly:
+				if !minhash.SharesValue(a.sketches[k1], a.sketches[k2]) {
+					continue
+				}
+				st.PairsPassed++
+				w = minhash.EstimateJaccard(a.sketches[k1], a.sketches[k2])
+				if w <= 0 {
+					continue
+				}
+			case a.cfg.NoMinHashScreen:
+				st.PairsPassed++
+				w = a.Jaccard(k1, k2)
+				if w < a.cfg.Beta {
+					continue
+				}
+			default:
+				if !minhash.SharesValue(a.sketches[k1], a.sketches[k2]) {
+					continue
+				}
+				st.PairsPassed++
+				w = a.Jaccard(k1, k2)
+				if w < a.cfg.Beta {
+					continue
+				}
+			}
+			a.eng.AddEdge(k1, k2, w)
+			st.EdgesAdded++
+		}
+	}
+}
+
+// correlation returns the EC used for edge decisions, honouring the
+// MinHashOnly switch.
+func (a *AKG) correlation(k1, k2 dygraph.NodeID) float64 {
+	if a.cfg.MinHashOnly {
+		a.buildSketches([]dygraph.NodeID{k1, k2})
+		if !minhash.SharesValue(a.sketches[k1], a.sketches[k2]) {
+			return 0
+		}
+		return minhash.EstimateJaccard(a.sketches[k1], a.sketches[k2])
+	}
+	return a.Jaccard(k1, k2)
+}
+
+// buildSketches (re)computes window sketches for the given keywords from
+// their id sets. Sketches cannot subtract expired users, so they are
+// rebuilt per quantum for exactly the keywords that need screening — this
+// mirrors the paper's per-quantum p-Min-Hash computation.
+func (a *AKG) buildSketches(keys []dygraph.NodeID) {
+	for _, k := range keys {
+		sk, ok := a.sketches[k]
+		if !ok {
+			sk = minhash.New(a.cfg.P, a.cfg.Seed)
+			a.sketches[k] = sk
+		}
+		sk.Reset()
+		if set, ok := a.idsets[k]; ok {
+			for u := range set.counts {
+				sk.Add(u)
+			}
+		}
+	}
+}
+
+func sortNodes(ns []dygraph.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}

@@ -1,0 +1,366 @@
+package akg
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ckg"
+	"repro/internal/core"
+	"repro/internal/dygraph"
+)
+
+// quantumOf builds a batch where each listed keyword is used by users
+// [base, base+count) — enough control to steer burstiness and overlap.
+func quantumOf(users map[uint64][]dygraph.NodeID) []ckg.UserKeywords {
+	out := make([]ckg.UserKeywords, 0, len(users))
+	for u := uint64(0); u < 1000; u++ {
+		if kws, ok := users[u]; ok {
+			out = append(out, ckg.UserKeywords{User: u, Keywords: kws})
+		}
+	}
+	return out
+}
+
+// burstBatch makes keywords ks co-used by n distinct users.
+func burstBatch(n int, ks ...dygraph.NodeID) []ckg.UserKeywords {
+	users := make(map[uint64][]dygraph.NodeID, n)
+	for u := 0; u < n; u++ {
+		users[uint64(u)] = ks
+	}
+	return quantumOf(users)
+}
+
+func newTest(tau int, beta float64, w int) *AKG {
+	return New(Config{Tau: tau, Beta: beta, Window: w}, core.Hooks{})
+}
+
+func TestDefaults(t *testing.T) {
+	a := New(Config{}, core.Hooks{})
+	cfg := a.Config()
+	if cfg.Tau != 4 || cfg.Beta != 0.20 || cfg.Window != 30 || cfg.P < 2 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestBurstyKeywordEntersAKG(t *testing.T) {
+	a := newTest(3, 0.2, 5)
+	st := a.ProcessQuantum(burstBatch(4, 1, 2))
+	if st.HighState != 2 || st.NodesAdded != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !a.InAKG(1) || !a.InAKG(2) {
+		t.Fatalf("bursty keywords not admitted")
+	}
+	if a.Support(1) != 4 {
+		t.Fatalf("support = %d, want 4", a.Support(1))
+	}
+}
+
+func TestNonBurstyKeywordStaysOut(t *testing.T) {
+	a := newTest(4, 0.2, 5)
+	a.ProcessQuantum(burstBatch(3, 1))
+	if a.InAKG(1) {
+		t.Fatalf("keyword below τ admitted")
+	}
+	if a.Support(1) != 3 {
+		t.Fatalf("id set should still track support: %d", a.Support(1))
+	}
+}
+
+func TestEdgeFormsBetweenCorrelatedBurstyPair(t *testing.T) {
+	a := newTest(3, 0.2, 5)
+	a.ProcessQuantum(burstBatch(5, 1, 2))
+	if !a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("perfectly correlated bursty pair got no edge")
+	}
+	if w, _ := a.Engine().Graph().Weight(1, 2); w != 1.0 {
+		t.Fatalf("identical id sets should give EC=1, got %v", w)
+	}
+}
+
+func TestNoEdgeBelowBeta(t *testing.T) {
+	a := newTest(3, 0.5, 5)
+	// keyword 1 users 0-5; keyword 2 users 4-9: overlap 2/10 = 0.2 < 0.5.
+	users := map[uint64][]dygraph.NodeID{}
+	for u := 0; u < 6; u++ {
+		users[uint64(u)] = append(users[uint64(u)], 1)
+	}
+	for u := 4; u < 10; u++ {
+		users[uint64(u)] = append(users[uint64(u)], 2)
+	}
+	a.ProcessQuantum(quantumOf(users))
+	if a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("edge formed below correlation threshold")
+	}
+}
+
+func TestJaccardExact(t *testing.T) {
+	a := newTest(3, 0.1, 5)
+	users := map[uint64][]dygraph.NodeID{}
+	// kw1: users 0..5 (6 users), kw2: users 3..8 (6 users), overlap 3 → J = 3/9.
+	for u := 0; u < 6; u++ {
+		users[uint64(u)] = append(users[uint64(u)], 1)
+	}
+	for u := 3; u < 9; u++ {
+		users[uint64(u)] = append(users[uint64(u)], 2)
+	}
+	a.ProcessQuantum(quantumOf(users))
+	if got := a.Jaccard(1, 2); got < 0.33 || got > 0.34 {
+		t.Fatalf("Jaccard = %v, want 1/3", got)
+	}
+	if a.Jaccard(1, 99) != 0 {
+		t.Fatalf("Jaccard with unknown keyword should be 0")
+	}
+}
+
+func TestClusterFormsFromCorrelatedTriple(t *testing.T) {
+	a := newTest(3, 0.2, 5)
+	a.ProcessQuantum(burstBatch(5, 1, 2, 3))
+	eng := a.Engine()
+	if eng.ClusterCount() != 1 {
+		t.Fatalf("want 1 cluster, got %d", eng.ClusterCount())
+	}
+	c := eng.Clusters()[0]
+	if c.NodeCount() != 3 {
+		t.Fatalf("cluster nodes = %d", c.NodeCount())
+	}
+}
+
+func TestStaleKeywordRemoved(t *testing.T) {
+	a := newTest(3, 0.2, 3)
+	a.ProcessQuantum(burstBatch(5, 1, 2))
+	for q := 0; q < 3; q++ {
+		a.ProcessQuantum(burstBatch(5, 7, 8)) // unrelated traffic
+	}
+	if a.InAKG(1) || a.InAKG(2) {
+		t.Fatalf("stale keywords not removed after window slid past them")
+	}
+	if a.Support(1) != 0 {
+		t.Fatalf("stale id set not cleared")
+	}
+}
+
+func TestEdgeDropsWhenCorrelationDecays(t *testing.T) {
+	a := newTest(3, 0.3, 3)
+	a.ProcessQuantum(burstBatch(6, 1, 2))
+	if !a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("setup: no edge")
+	}
+	// Keep both keywords alive but used by disjoint user groups; the
+	// window dilutes the overlap until EC < β.
+	for q := 0; q < 3; q++ {
+		users := map[uint64][]dygraph.NodeID{}
+		for u := 100 + 20*q; u < 100+20*q+8; u++ {
+			users[uint64(u)] = []dygraph.NodeID{1}
+		}
+		for u := 500 + 20*q; u < 500+20*q+8; u++ {
+			users[uint64(u)] = []dygraph.NodeID{2}
+		}
+		a.ProcessQuantum(quantumOf(users))
+	}
+	if a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("edge survived correlation decay")
+	}
+}
+
+func TestIsolatedNonBurstyNodeLeavesAKG(t *testing.T) {
+	a := newTest(4, 0.9, 5)
+	// Bursty once, but correlation threshold so high no edges ever form.
+	a.ProcessQuantum(burstBatch(5, 1))
+	if !a.InAKG(1) {
+		t.Fatalf("setup: keyword should be admitted")
+	}
+	// Next quantum it appears but below τ: observed member of set 2,
+	// isolated, non-bursty → removed.
+	a.ProcessQuantum(burstBatch(2, 1))
+	if a.InAKG(1) {
+		t.Fatalf("isolated non-bursty keyword stayed in AKG")
+	}
+}
+
+func TestKeywordStaysWhileInCluster(t *testing.T) {
+	a := newTest(3, 0.15, 10)
+	a.ProcessQuantum(burstBatch(6, 1, 2, 3))
+	if a.Engine().ClusterCount() != 1 {
+		t.Fatalf("setup: cluster expected")
+	}
+	// Keywords keep appearing with only 2 users (below τ=3) but the same
+	// user community, so correlation stays high: they must remain in the
+	// AKG because their cluster persists.
+	for q := 0; q < 4; q++ {
+		a.ProcessQuantum(burstBatch(2, 1, 2, 3))
+	}
+	if !a.InAKG(1) || !a.InAKG(2) || !a.InAKG(3) {
+		t.Fatalf("cluster members evicted while cluster alive")
+	}
+	if a.Engine().ClusterCount() != 1 {
+		t.Fatalf("cluster dissolved unexpectedly")
+	}
+}
+
+func TestUnionSupport(t *testing.T) {
+	a := newTest(2, 0.2, 5)
+	users := map[uint64][]dygraph.NodeID{
+		1: {10, 11},
+		2: {10},
+		3: {11},
+	}
+	a.ProcessQuantum(quantumOf(users))
+	if got := a.UnionSupport([]dygraph.NodeID{10, 11}); got != 3 {
+		t.Fatalf("UnionSupport = %d, want 3", got)
+	}
+}
+
+func TestMinHashOnlyMode(t *testing.T) {
+	a := New(Config{Tau: 3, Beta: 0.2, Window: 5, MinHashOnly: true}, core.Hooks{})
+	a.ProcessQuantum(burstBatch(6, 1, 2))
+	// Identical id sets: sketches identical, must share values.
+	if !a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("MinHashOnly missed an identical-set pair")
+	}
+}
+
+func TestNoMinHashScreenMode(t *testing.T) {
+	a := New(Config{Tau: 3, Beta: 0.2, Window: 5, NoMinHashScreen: true}, core.Hooks{})
+	st := a.ProcessQuantum(burstBatch(6, 1, 2))
+	if st.PairsScreened != st.PairsPassed {
+		t.Fatalf("screen should be disabled: %+v", st)
+	}
+	if !a.Engine().Graph().HasEdge(1, 2) {
+		t.Fatalf("exact mode missed a correlated pair")
+	}
+}
+
+func TestQuantumStatsAccounting(t *testing.T) {
+	a := newTest(3, 0.2, 5)
+	st := a.ProcessQuantum(burstBatch(5, 1, 2, 3))
+	if st.Quantum != 1 || st.Keywords != 3 || st.HighState != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.EdgesAdded != 3 {
+		t.Fatalf("expected 3 edges among a perfectly correlated triple, got %d", st.EdgesAdded)
+	}
+	if a.Quantum() != 1 {
+		t.Fatalf("Quantum() = %d", a.Quantum())
+	}
+}
+
+// TestManyQuantaStability drives a longer mixed workload and checks basic
+// consistency invariants every quantum: AKG node count equals the engine
+// graph, supports are non-negative, edge weights within [0,1].
+func TestManyQuantaStability(t *testing.T) {
+	a := newTest(3, 0.2, 4)
+	for q := 0; q < 60; q++ {
+		users := map[uint64][]dygraph.NodeID{}
+		// A rotating cast of keyword communities.
+		base := dygraph.NodeID(q % 7)
+		for u := 0; u < 5; u++ {
+			users[uint64(10*q+u)] = []dygraph.NodeID{base, base + 1, base + 2}
+		}
+		for u := 0; u < 3; u++ {
+			users[uint64(500+u)] = []dygraph.NodeID{50}
+		}
+		a.ProcessQuantum(quantumOf(users))
+
+		if a.NodeCount() != a.Engine().Graph().NodeCount() {
+			t.Fatalf("q%d: present map (%d) and engine graph (%d) disagree",
+				q, a.NodeCount(), a.Engine().Graph().NodeCount())
+		}
+		bad := false
+		a.Engine().Graph().ForEachEdge(func(e dygraph.Edge, w float64) {
+			if w < 0 || w > 1 {
+				bad = true
+			}
+		})
+		if bad {
+			t.Fatalf("q%d: edge weight outside [0,1]", q)
+		}
+	}
+}
+
+func TestProcessQuantumDeterminism(t *testing.T) {
+	run := func() string {
+		a := newTest(3, 0.2, 4)
+		for q := 0; q < 20; q++ {
+			a.ProcessQuantum(burstBatch(4+q%3, dygraph.NodeID(q%5), dygraph.NodeID(q%5+1)))
+		}
+		out := ""
+		for _, c := range a.Engine().Clusters() {
+			out += fmt.Sprint(c.Nodes())
+		}
+		return fmt.Sprintf("%d/%d/%s", a.NodeCount(), a.EdgeCount(), out)
+	}
+	if run() != run() {
+		t.Fatalf("identical inputs produced different AKGs")
+	}
+}
+
+func TestUserJaccard(t *testing.T) {
+	a := newTest(2, 0.2, 5)
+	users := map[uint64][]dygraph.NodeID{
+		1: {10}, 2: {10}, 3: {10},
+		4: {20}, 5: {20},
+		6: {10, 20},
+	}
+	a.ProcessQuantum(quantumOf(users))
+	// users(10) = {1,2,3,6}, users(20) = {4,5,6}: inter 1, union 6.
+	got := a.UserJaccard([]dygraph.NodeID{10}, []dygraph.NodeID{20})
+	if got < 1.0/6-1e-9 || got > 1.0/6+1e-9 {
+		t.Fatalf("UserJaccard = %v, want 1/6", got)
+	}
+	if a.UserJaccard([]dygraph.NodeID{10}, []dygraph.NodeID{99}) != 0 {
+		t.Fatalf("unknown keyword should give 0")
+	}
+	if a.UserJaccard([]dygraph.NodeID{10}, []dygraph.NodeID{10}) != 1 {
+		t.Fatalf("self overlap should be 1")
+	}
+}
+
+func TestAKGStateRoundTrip(t *testing.T) {
+	a := newTest(3, 0.2, 4)
+	for q := 0; q < 10; q++ {
+		a.ProcessQuantum(burstBatch(4+q%2, dygraph.NodeID(q%4), dygraph.NodeID(q%4+1), dygraph.NodeID(q%4+2)))
+	}
+	st := a.State()
+	b, err := FromState(st, core.Hooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Quantum() != a.Quantum() || b.NodeCount() != a.NodeCount() || b.EdgeCount() != a.EdgeCount() {
+		t.Fatalf("counts differ after restore")
+	}
+	if !core.SameClustering(a.Engine().Snapshot(), b.Engine().Snapshot()) {
+		t.Fatalf("clustering differs after restore")
+	}
+	// Both must evolve identically afterwards.
+	for q := 0; q < 6; q++ {
+		sa := a.ProcessQuantum(burstBatch(5, dygraph.NodeID(q%3), dygraph.NodeID(q%3+1)))
+		sb := b.ProcessQuantum(burstBatch(5, dygraph.NodeID(q%3), dygraph.NodeID(q%3+1)))
+		if sa != sb {
+			t.Fatalf("post-restore stats diverge: %+v vs %+v", sa, sb)
+		}
+		if !core.SameClustering(a.Engine().Snapshot(), b.Engine().Snapshot()) {
+			t.Fatalf("post-restore clustering diverges at %d", q)
+		}
+	}
+}
+
+func TestAKGStateValidation(t *testing.T) {
+	a := newTest(3, 0.2, 4)
+	a.ProcessQuantum(burstBatch(5, 1, 2, 3))
+	good := a.State()
+
+	bad := good
+	bad.Ring = append(bad.Ring, bad.Ring...)
+	bad.Ring = append(bad.Ring, bad.Ring...)
+	bad.Ring = append(bad.Ring, bad.Ring...)
+	if _, err := FromState(bad, core.Hooks{}); err == nil {
+		t.Fatalf("oversized ring accepted")
+	}
+
+	bad = good
+	bad.Present = append([]dygraph.NodeID{}, 999)
+	if _, err := FromState(bad, core.Hooks{}); err == nil {
+		t.Fatalf("phantom present keyword accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package akg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dygraph"
+)
+
+// QuantumObs is the serialisable observation record of one quantum:
+// keyword -> distinct users who used it. Slices are sorted for stable
+// snapshots.
+type QuantumObs struct {
+	Keywords []dygraph.NodeID
+	Users    [][]uint64 // parallel to Keywords
+}
+
+// State is a serialisable snapshot of the AKG layer. The per-keyword id
+// sets are not stored: they are exactly the column sums of the window
+// ring and are rebuilt on restore.
+type State struct {
+	Cfg     Config
+	Quantum int
+	Ring    []QuantumObs
+	Engine  core.EngineState
+	Present []dygraph.NodeID
+}
+
+// State captures the layer.
+func (a *AKG) State() State {
+	s := State{
+		Cfg:     a.cfg,
+		Quantum: a.quantum,
+		Engine:  a.eng.State(),
+	}
+	for _, obs := range a.ring {
+		q := QuantumObs{}
+		for k := range obs {
+			q.Keywords = append(q.Keywords, k)
+		}
+		sort.Slice(q.Keywords, func(i, j int) bool { return q.Keywords[i] < q.Keywords[j] })
+		for _, k := range q.Keywords {
+			users := append([]uint64(nil), obs[k]...)
+			sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+			q.Users = append(q.Users, users)
+		}
+		s.Ring = append(s.Ring, q)
+	}
+	for k := range a.present {
+		s.Present = append(s.Present, k)
+	}
+	sort.Slice(s.Present, func(i, j int) bool { return s.Present[i] < s.Present[j] })
+	return s
+}
+
+// FromState reconstructs the layer (id sets rebuilt from the ring) and
+// re-attaches lifecycle hooks to the restored engine.
+func FromState(s State, hooks core.Hooks) (*AKG, error) {
+	if len(s.Ring) > s.Cfg.withDefaults().Window {
+		return nil, fmt.Errorf("akg: ring holds %d quanta, window is %d", len(s.Ring), s.Cfg.withDefaults().Window)
+	}
+	eng, err := core.EngineFromState(s.Engine, hooks)
+	if err != nil {
+		return nil, err
+	}
+	a := New(s.Cfg, hooks)
+	a.eng = eng
+	a.quantum = s.Quantum
+	for _, q := range s.Ring {
+		if len(q.Keywords) != len(q.Users) {
+			return nil, fmt.Errorf("akg: ring entry has %d keywords, %d user lists", len(q.Keywords), len(q.Users))
+		}
+		obs := make(map[dygraph.NodeID][]uint64, len(q.Keywords))
+		for i, k := range q.Keywords {
+			users := append([]uint64(nil), q.Users[i]...)
+			obs[k] = users
+			set, ok := a.idsets[k]
+			if !ok {
+				set = &idSet{counts: make(map[uint64]int, len(users))}
+				a.idsets[k] = set
+			}
+			for _, u := range users {
+				set.counts[u]++
+			}
+		}
+		a.ring = append(a.ring, obs)
+	}
+	for _, k := range s.Present {
+		if !a.eng.Graph().HasNode(k) {
+			return nil, fmt.Errorf("akg: present keyword %d missing from engine graph", k)
+		}
+		a.present[k] = true
+	}
+	if a.eng.Graph().NodeCount() != len(a.present) {
+		return nil, fmt.Errorf("akg: engine graph has %d nodes but %d present keywords",
+			a.eng.Graph().NodeCount(), len(a.present))
+	}
+	return a, nil
+}

@@ -1,0 +1,150 @@
+// Package baseline implements the offline comparator of Section 7.3: the
+// biconnected-component clustering in the style of Bansal et al. [2],
+// recomputed from scratch on the whole AKG after every quantum. Two
+// variants are reported in the paper's Table 3:
+//
+//   - BC: biconnected components of size ≥ 3 as clusters;
+//   - BC+edges: additionally every bridge edge (an edge in no biconnected
+//     component of size ≥ 3) reported as a cluster of size 2.
+//
+// Both are global computations — the graph must be stable while Tarjan's
+// algorithm runs — which is exactly the restriction the SCP technique
+// removes.
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/dygraph"
+)
+
+// Component is one biconnected component: its nodes and its edges.
+type Component struct {
+	Nodes []dygraph.NodeID
+	Edges []dygraph.Edge
+}
+
+// BiconnectedComponents decomposes g into biconnected components using an
+// iterative Tarjan–Hopcroft DFS (edge-stack formulation). Every edge of g
+// appears in exactly one component; bridge edges form components of 2
+// nodes and 1 edge.
+func BiconnectedComponents(g *dygraph.Graph) []Component {
+	type frame struct {
+		node   dygraph.NodeID
+		parent dygraph.NodeID
+		nbrs   []dygraph.NodeID
+		idx    int
+	}
+	disc := make(map[dygraph.NodeID]int)
+	low := make(map[dygraph.NodeID]int)
+	var edgeStack []dygraph.Edge
+	var comps []Component
+	timer := 0
+
+	popComponent := func(until dygraph.Edge) {
+		var edges []dygraph.Edge
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			edges = append(edges, e)
+			if e == until {
+				break
+			}
+		}
+		comps = append(comps, makeComponent(edges))
+	}
+
+	for _, root := range g.Nodes() {
+		if _, seen := disc[root]; seen {
+			continue
+		}
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack := []frame{{node: root, parent: root, nbrs: g.NeighborSlice(root)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(f.nbrs) {
+				m := f.nbrs[f.idx]
+				f.idx++
+				if m == f.parent {
+					continue
+				}
+				if dm, seen := disc[m]; seen {
+					// Back edge: only treat it from the deeper endpoint
+					// so each edge lands on the stack exactly once.
+					if dm < disc[f.node] {
+						edgeStack = append(edgeStack, dygraph.NewEdge(f.node, m))
+						if dm < low[f.node] {
+							low[f.node] = dm
+						}
+					}
+					continue
+				}
+				timer++
+				disc[m] = timer
+				low[m] = timer
+				edgeStack = append(edgeStack, dygraph.NewEdge(f.node, m))
+				stack = append(stack, frame{node: m, parent: f.node, nbrs: g.NeighborSlice(m)})
+				continue
+			}
+			// Finished m = f.node; fold into parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				break
+			}
+			p := &stack[len(stack)-1]
+			if low[f.node] < low[p.node] {
+				low[p.node] = low[f.node]
+			}
+			if low[f.node] >= disc[p.node] {
+				// p is an articulation point (or root): pop one component.
+				popComponent(dygraph.NewEdge(p.node, f.node))
+			}
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i].Nodes) != len(comps[j].Nodes) {
+			return len(comps[i].Nodes) > len(comps[j].Nodes)
+		}
+		return comps[i].Nodes[0] < comps[j].Nodes[0]
+	})
+	return comps
+}
+
+func makeComponent(edges []dygraph.Edge) Component {
+	seen := make(map[dygraph.NodeID]struct{}, len(edges)*2)
+	for _, e := range edges {
+		seen[e.U] = struct{}{}
+		seen[e.V] = struct{}{}
+	}
+	nodes := make([]dygraph.NodeID, 0, len(seen))
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	return Component{Nodes: nodes, Edges: edges}
+}
+
+// Clusters returns the offline clustering per the requested variant:
+// components with ≥ 3 nodes, plus — when includeEdges is set — each
+// remaining bridge edge as a 2-node cluster (the paper's "bi-connected
+// clusters + edges" scheme).
+func Clusters(g *dygraph.Graph, includeEdges bool) []Component {
+	comps := BiconnectedComponents(g)
+	out := make([]Component, 0, len(comps))
+	for _, c := range comps {
+		if len(c.Nodes) >= 3 {
+			out = append(out, c)
+		} else if includeEdges {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dygraph"
+	"repro/internal/quasi"
+)
+
+func build(pairs ...[2]dygraph.NodeID) *dygraph.Graph {
+	g := dygraph.New()
+	for _, p := range pairs {
+		g.AddEdge(p[0], p[1], 1)
+	}
+	return g
+}
+
+func TestSingleTriangle(t *testing.T) {
+	g := build([2]dygraph.NodeID{1, 2}, [2]dygraph.NodeID{2, 3}, [2]dygraph.NodeID{1, 3})
+	comps := BiconnectedComponents(g)
+	if len(comps) != 1 || len(comps[0].Nodes) != 3 || len(comps[0].Edges) != 3 {
+		t.Fatalf("comps = %+v", comps)
+	}
+}
+
+func TestBridgeSeparatesComponents(t *testing.T) {
+	// Two triangles joined by a bridge 3-4.
+	g := build(
+		[2]dygraph.NodeID{1, 2}, [2]dygraph.NodeID{2, 3}, [2]dygraph.NodeID{1, 3},
+		[2]dygraph.NodeID{3, 4},
+		[2]dygraph.NodeID{4, 5}, [2]dygraph.NodeID{5, 6}, [2]dygraph.NodeID{4, 6})
+	comps := BiconnectedComponents(g)
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components (2 triangles + bridge), got %d: %+v", len(comps), comps)
+	}
+	triangles, bridges := 0, 0
+	for _, c := range comps {
+		switch len(c.Nodes) {
+		case 3:
+			triangles++
+		case 2:
+			bridges++
+		}
+	}
+	if triangles != 2 || bridges != 1 {
+		t.Fatalf("triangles=%d bridges=%d", triangles, bridges)
+	}
+}
+
+func TestArticulationSharedNode(t *testing.T) {
+	// Bowtie: two triangles sharing node 3.
+	g := build(
+		[2]dygraph.NodeID{1, 2}, [2]dygraph.NodeID{2, 3}, [2]dygraph.NodeID{1, 3},
+		[2]dygraph.NodeID{3, 4}, [2]dygraph.NodeID{4, 5}, [2]dygraph.NodeID{3, 5})
+	comps := BiconnectedComponents(g)
+	if len(comps) != 2 {
+		t.Fatalf("want 2 components, got %d", len(comps))
+	}
+	for _, c := range comps {
+		has3 := false
+		for _, n := range c.Nodes {
+			if n == 3 {
+				has3 = true
+			}
+		}
+		if !has3 {
+			t.Fatalf("articulation node 3 must appear in both components")
+		}
+	}
+}
+
+func TestEveryEdgeInExactlyOneComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		g := dygraph.New()
+		n := 5 + rng.Intn(20)
+		for i := 0; i < 3*n; i++ {
+			a := dygraph.NodeID(rng.Intn(n))
+			b := dygraph.NodeID(rng.Intn(n))
+			if a != b {
+				g.AddEdge(a, b, 1)
+			}
+		}
+		comps := BiconnectedComponents(g)
+		seen := make(map[dygraph.Edge]int)
+		for _, c := range comps {
+			for _, e := range c.Edges {
+				seen[e]++
+			}
+		}
+		if len(seen) != g.EdgeCount() {
+			t.Fatalf("trial %d: %d edges covered, graph has %d", trial, len(seen), g.EdgeCount())
+		}
+		for e, k := range seen {
+			if k != 1 {
+				t.Fatalf("trial %d: edge %v in %d components", trial, e, k)
+			}
+		}
+		// Components of ≥3 nodes must pass the independent biconnectivity
+		// check from internal/quasi.
+		for _, c := range comps {
+			if len(c.Nodes) >= 3 {
+				if !quasi.FromEdges(c.Edges).IsBiconnected() {
+					t.Fatalf("trial %d: component not biconnected: %+v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestClustersVariants(t *testing.T) {
+	// Triangle + dangling edge.
+	g := build(
+		[2]dygraph.NodeID{1, 2}, [2]dygraph.NodeID{2, 3}, [2]dygraph.NodeID{1, 3},
+		[2]dygraph.NodeID{3, 9})
+	bc := Clusters(g, false)
+	if len(bc) != 1 {
+		t.Fatalf("BC variant: want 1 cluster, got %d", len(bc))
+	}
+	bce := Clusters(g, true)
+	if len(bce) != 2 {
+		t.Fatalf("BC+edges variant: want 2 clusters, got %d", len(bce))
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := BiconnectedComponents(dygraph.New()); len(got) != 0 {
+		t.Fatalf("empty graph gave %v", got)
+	}
+	g := dygraph.New()
+	g.AddNode(1)
+	if got := BiconnectedComponents(g); len(got) != 0 {
+		t.Fatalf("isolated node gave %v", got)
+	}
+}
+
+func TestDisconnectedGraph(t *testing.T) {
+	g := build(
+		[2]dygraph.NodeID{1, 2}, [2]dygraph.NodeID{2, 3}, [2]dygraph.NodeID{1, 3},
+		[2]dygraph.NodeID{10, 11}, [2]dygraph.NodeID{11, 12}, [2]dygraph.NodeID{10, 12})
+	if got := BiconnectedComponents(g); len(got) != 2 {
+		t.Fatalf("want 2 components across disconnected graph, got %d", len(got))
+	}
+}

@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"sort"
+
+	"repro/internal/dygraph"
+)
+
+// StableTracker follows clusters across consecutive graph snapshots the
+// way the paper's offline comparator [2] (Bansal et al., "Seeking Stable
+// Clusters in the Blogosphere") does: a cluster in snapshot t continues a
+// cluster from snapshot t−1 when their node sets overlap strongly, and a
+// cluster is "stable" once it has persisted for a minimum number of
+// snapshots. This gives the offline arm of the Section 7.3 comparison an
+// event notion comparable to the SCP engine's event lifecycle.
+type StableTracker struct {
+	// MinOverlap is the node-set Jaccard required to continue a cluster
+	// across snapshots (default 0.5 — majority continuation).
+	MinOverlap float64
+	// MinAge is the number of consecutive snapshots a cluster must
+	// persist to count as stable (default 2).
+	MinAge int
+
+	nextID  uint64
+	prev    []trackedCluster
+	stable  map[uint64]*TrackedCluster
+	current map[uint64]*TrackedCluster
+}
+
+type trackedCluster struct {
+	id    uint64
+	nodes map[dygraph.NodeID]struct{}
+}
+
+// TrackedCluster is the lifecycle record of one offline cluster.
+type TrackedCluster struct {
+	ID        uint64
+	FirstSeen int // snapshot index of first appearance
+	LastSeen  int
+	Age       int // consecutive snapshots observed
+	Nodes     []dygraph.NodeID
+}
+
+// Stable reports whether the cluster has met the tracker's age threshold.
+func (tc *TrackedCluster) Stable(minAge int) bool { return tc.Age >= minAge }
+
+// NewStableTracker returns a tracker with the given thresholds (zero
+// values select the defaults).
+func NewStableTracker(minOverlap float64, minAge int) *StableTracker {
+	if minOverlap <= 0 {
+		minOverlap = 0.5
+	}
+	if minAge <= 0 {
+		minAge = 2
+	}
+	return &StableTracker{
+		MinOverlap: minOverlap,
+		MinAge:     minAge,
+		stable:     make(map[uint64]*TrackedCluster),
+		current:    make(map[uint64]*TrackedCluster),
+	}
+}
+
+// Observe ingests the clusters of snapshot t (any clustering scheme's
+// output expressed as components) and returns the clusters live in this
+// snapshot, each annotated with identity and age. Clusters that fail to
+// continue are dropped from the live set but remain in History.
+func (st *StableTracker) Observe(snapshot int, comps []Component) []*TrackedCluster {
+	var out []*TrackedCluster
+	next := make([]trackedCluster, 0, len(comps))
+	nextLive := make(map[uint64]*TrackedCluster, len(comps))
+	claimed := make(map[int]struct{}, len(st.prev))
+	for _, comp := range comps {
+		nodes := make(map[dygraph.NodeID]struct{}, len(comp.Nodes))
+		for _, n := range comp.Nodes {
+			nodes[n] = struct{}{}
+		}
+		// Find the best unclaimed predecessor by node Jaccard.
+		bestIdx, bestJ := -1, 0.0
+		for i, p := range st.prev {
+			if _, taken := claimed[i]; taken {
+				continue
+			}
+			j := nodeJaccard(nodes, p.nodes)
+			if j > bestJ || (j == bestJ && bestIdx >= 0 && p.id < st.prev[bestIdx].id) {
+				bestIdx, bestJ = i, j
+			}
+		}
+		var rec *TrackedCluster
+		if bestIdx >= 0 && bestJ >= st.MinOverlap {
+			claimed[bestIdx] = struct{}{}
+			id := st.prev[bestIdx].id
+			rec = st.stable[id]
+			rec.Age++
+			rec.LastSeen = snapshot
+			rec.Nodes = append(rec.Nodes[:0], comp.Nodes...)
+			next = append(next, trackedCluster{id: id, nodes: nodes})
+		} else {
+			st.nextID++
+			rec = &TrackedCluster{
+				ID:        st.nextID,
+				FirstSeen: snapshot,
+				LastSeen:  snapshot,
+				Age:       1,
+				Nodes:     append([]dygraph.NodeID(nil), comp.Nodes...),
+			}
+			st.stable[rec.ID] = rec
+			next = append(next, trackedCluster{id: rec.ID, nodes: nodes})
+		}
+		nextLive[rec.ID] = rec
+		out = append(out, rec)
+	}
+	st.prev = next
+	st.current = nextLive
+	return out
+}
+
+// StableClusters returns the currently live clusters that have met the
+// age threshold, sorted by ID.
+func (st *StableTracker) StableClusters() []*TrackedCluster {
+	var out []*TrackedCluster
+	for _, tc := range st.current {
+		if tc.Stable(st.MinAge) {
+			out = append(out, tc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// History returns every cluster ever tracked, sorted by ID.
+func (st *StableTracker) History() []*TrackedCluster {
+	out := make([]*TrackedCluster, 0, len(st.stable))
+	for _, tc := range st.stable {
+		out = append(out, tc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func nodeJaccard(a, b map[dygraph.NodeID]struct{}) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for n := range small {
+		if _, ok := large[n]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}

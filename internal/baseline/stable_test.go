@@ -1,0 +1,99 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/dygraph"
+)
+
+func comp(nodes ...dygraph.NodeID) Component {
+	return Component{Nodes: nodes}
+}
+
+func TestStableTrackerContinuation(t *testing.T) {
+	st := NewStableTracker(0.5, 2)
+	// Snapshot 1: one cluster.
+	live := st.Observe(1, []Component{comp(1, 2, 3)})
+	if len(live) != 1 || live[0].Age != 1 || live[0].Stable(st.MinAge) {
+		t.Fatalf("snapshot 1 wrong: %+v", live[0])
+	}
+	// Snapshot 2: same cluster with one node swapped (J = 2/4 = 0.5).
+	live = st.Observe(2, []Component{comp(1, 2, 4)})
+	if len(live) != 1 || live[0].Age != 2 {
+		t.Fatalf("continuation failed: %+v", live[0])
+	}
+	if !live[0].Stable(st.MinAge) {
+		t.Fatalf("cluster should be stable after 2 snapshots")
+	}
+	if got := st.StableClusters(); len(got) != 1 || got[0].ID != live[0].ID {
+		t.Fatalf("StableClusters = %+v", got)
+	}
+}
+
+func TestStableTrackerBreaksOnWeakOverlap(t *testing.T) {
+	st := NewStableTracker(0.5, 2)
+	st.Observe(1, []Component{comp(1, 2, 3)})
+	// Disjoint cluster: new identity.
+	live := st.Observe(2, []Component{comp(7, 8, 9)})
+	if live[0].Age != 1 {
+		t.Fatalf("disjoint cluster continued: %+v", live[0])
+	}
+	if len(st.History()) != 2 {
+		t.Fatalf("history = %d entries", len(st.History()))
+	}
+	if len(st.StableClusters()) != 0 {
+		t.Fatalf("nothing should be stable")
+	}
+}
+
+func TestStableTrackerClaimsPredecessorOnce(t *testing.T) {
+	st := NewStableTracker(0.3, 2)
+	st.Observe(1, []Component{comp(1, 2, 3, 4)})
+	// The old cluster split in two; only one part may claim continuity.
+	live := st.Observe(2, []Component{comp(1, 2), comp(3, 4)})
+	continued := 0
+	for _, tc := range live {
+		if tc.Age == 2 {
+			continued++
+		}
+	}
+	if continued != 1 {
+		t.Fatalf("predecessor claimed %d times", continued)
+	}
+}
+
+func TestStableTrackerOverBCCs(t *testing.T) {
+	// Integration with the BCC decomposition: a triangle persisting over
+	// three snapshots while noise appears and vanishes.
+	st := NewStableTracker(0.5, 3)
+	for snap := 1; snap <= 3; snap++ {
+		g := dygraph.New()
+		g.AddEdge(1, 2, 1)
+		g.AddEdge(2, 3, 1)
+		g.AddEdge(1, 3, 1)
+		// Transient noise triangle with snapshot-specific nodes.
+		base := dygraph.NodeID(10 * snap)
+		g.AddEdge(base, base+1, 1)
+		g.AddEdge(base+1, base+2, 1)
+		g.AddEdge(base, base+2, 1)
+		st.Observe(snap, Clusters(g, false))
+	}
+	stable := st.StableClusters()
+	if len(stable) != 1 {
+		t.Fatalf("want exactly the persistent triangle, got %d", len(stable))
+	}
+	if stable[0].Age != 3 || stable[0].FirstSeen != 1 || stable[0].LastSeen != 3 {
+		t.Fatalf("lifecycle wrong: %+v", stable[0])
+	}
+}
+
+func TestNodeJaccard(t *testing.T) {
+	a := map[dygraph.NodeID]struct{}{1: {}, 2: {}}
+	b := map[dygraph.NodeID]struct{}{2: {}, 3: {}}
+	if got := nodeJaccard(a, b); got != 1.0/3 {
+		t.Fatalf("nodeJaccard = %v", got)
+	}
+	if nodeJaccard(a, nil) != 0 {
+		t.Fatalf("empty set should give 0")
+	}
+}

@@ -1,0 +1,28 @@
+package ckg
+
+// State is a serialisable snapshot of the windowed CKG: the window length
+// and the raw per-quantum observations (counts are rebuilt on restore).
+type State struct {
+	Window int
+	Ring   [][]UserKeywords
+}
+
+// State captures the graph.
+func (g *Graph) State() State {
+	s := State{Window: g.window}
+	for _, batch := range g.ring {
+		cp := make([]UserKeywords, len(batch))
+		copy(cp, batch)
+		s.Ring = append(s.Ring, cp)
+	}
+	return s
+}
+
+// FromState reconstructs the graph by replaying the ring.
+func FromState(s State) *Graph {
+	g := New(s.Window)
+	for _, batch := range s.Ring {
+		g.AddQuantum(batch)
+	}
+	return g
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dygraph"
+	"repro/internal/quasi"
+)
+
+// TestNoMQCMissed verifies the paper's completeness claim (Section 4.2):
+// "The aMQCs based on SCP ensure that no MQC based clique is missed."
+// For random small graphs we exhaustively enumerate maximal majority
+// quasi cliques and require every one to be fully contained in a single
+// engine cluster.
+func TestNoMQCMissed(t *testing.T) {
+	rng := rand.New(rand.NewSource(271828))
+	graphs := 0
+	mqcsChecked := 0
+	for trial := 0; trial < 400 && mqcsChecked < 400; trial++ {
+		n := 5 + rng.Intn(8) // 5..12 nodes
+		p := 0.25 + rng.Float64()*0.45
+		en := NewEngine(Hooks{})
+		sub := quasi.NewSubgraph()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					en.AddEdge(dygraph.NodeID(i), dygraph.NodeID(j), 1)
+					sub.AddEdge(dygraph.NodeID(i), dygraph.NodeID(j))
+				}
+			}
+		}
+		graphs++
+		for _, mqc := range quasi.MaximalMQCs(sub) {
+			mqcsChecked++
+			if !containedInOneCluster(en, mqc) {
+				t.Fatalf("trial %d: MQC %v not contained in any single cluster\nedges: %v",
+					trial, mqc, sub.Edges())
+			}
+		}
+	}
+	if mqcsChecked < 50 {
+		t.Fatalf("only %d MQCs encountered across %d graphs — raise density", mqcsChecked, graphs)
+	}
+	t.Logf("verified %d maximal MQCs across %d random graphs", mqcsChecked, graphs)
+}
+
+// containedInOneCluster reports whether some engine cluster contains every
+// node of the set AND every induced edge among them.
+func containedInOneCluster(en *Engine, nodes []dygraph.NodeID) bool {
+	for _, c := range en.Clusters() {
+		all := true
+		for _, n := range nodes {
+			if !c.HasNode(n) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		// Every graph edge among the MQC's nodes must be a cluster edge:
+		// SCP puts the whole quasi-clique inside one cluster, not just
+		// its vertices.
+		ok := true
+		for i := 0; i < len(nodes) && ok; i++ {
+			for j := i + 1; j < len(nodes) && ok; j++ {
+				if en.Graph().HasEdge(nodes[i], nodes[j]) && !c.HasEdge(dygraph.NewEdge(nodes[i], nodes[j])) {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMQCSurvivesDeletionsAroundIt: deleting edges outside an embedded
+// MQC never removes it from the clustering.
+func TestMQCSurvivesDeletionsAroundIt(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	en := NewEngine(Hooks{})
+	// Embed K5 over nodes 0..4.
+	buildClique(en, 5)
+	// Surround with random noise edges among nodes 5..14.
+	var noise [][2]dygraph.NodeID
+	for i := 0; i < 40; i++ {
+		a := dygraph.NodeID(5 + rng.Intn(10))
+		b := dygraph.NodeID(rng.Intn(15))
+		if a != b {
+			en.AddEdge(a, b, 1)
+			noise = append(noise, [2]dygraph.NodeID{a, b})
+		}
+	}
+	mqc := []dygraph.NodeID{0, 1, 2, 3, 4}
+	for _, e := range noise {
+		en.RemoveEdge(e[0], e[1])
+		if !containedInOneCluster(en, mqc) {
+			t.Fatalf("embedded K5 lost after deleting noise edge %v", e)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+// Hooks receives cluster lifecycle notifications from an Engine. Any field
+// may be nil. Callbacks run synchronously inside the engine update; they
+// must not mutate the engine, and cluster pointers they receive are only
+// valid until the callback returns (take a snapshot if needed).
+//
+// The detector pipeline (internal/detect) uses these to maintain event
+// lifecycles: birth, evolution, merge, split and death of events map 1:1 to
+// these callbacks.
+type Hooks struct {
+	// OnFormed fires when a brand-new cluster appears.
+	OnFormed func(c *Cluster)
+	// OnUpdated fires when an existing cluster gains or loses nodes/edges
+	// but survives (including the surviving side of a merge or split).
+	OnUpdated func(c *Cluster)
+	// OnMerged fires once per absorbed cluster; into is the survivor and
+	// already contains the absorbed content.
+	OnMerged func(into *Cluster, absorbed ClusterID)
+	// OnSplit fires when a deletion partitions a cluster. from is the old
+	// ID (which lives on in parts[0], the largest piece); parts holds all
+	// resulting clusters, largest first.
+	OnSplit func(from ClusterID, parts []*Cluster)
+	// OnDissolved fires when a cluster disappears entirely (no remaining
+	// short cycle among its edges).
+	OnDissolved func(id ClusterID)
+}
+
+func (h *Hooks) formed(c *Cluster) {
+	if h != nil && h.OnFormed != nil {
+		h.OnFormed(c)
+	}
+}
+
+func (h *Hooks) updated(c *Cluster) {
+	if h != nil && h.OnUpdated != nil {
+		h.OnUpdated(c)
+	}
+}
+
+func (h *Hooks) merged(into *Cluster, absorbed ClusterID) {
+	if h != nil && h.OnMerged != nil {
+		h.OnMerged(into, absorbed)
+	}
+}
+
+func (h *Hooks) split(from ClusterID, parts []*Cluster) {
+	if h != nil && h.OnSplit != nil {
+		h.OnSplit(from, parts)
+	}
+}
+
+func (h *Hooks) dissolved(id ClusterID) {
+	if h != nil && h.OnDissolved != nil {
+		h.OnDissolved(id)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dygraph"
+)
+
+// repair restores the canonical clustering inside a cluster after one or
+// more of its edges were deleted. It implements the paper's NodeDeletion /
+// EdgeDeletion post-processing (Section 5.3–5.4):
+//
+//   - cycle check: edges that no longer lie on any cycle of length ≤ 4
+//     within the cluster are expelled;
+//   - articulation check: surviving edges are regrouped into the connected
+//     components of the "share a short cycle" relation, so pieces that met
+//     only at the deleted node/edge (an articulation point, as in the
+//     paper's Figure 6) split into separate clusters.
+//
+// Because every short cycle of the graph lies entirely inside one cluster
+// (engine invariant), the computation never needs to look beyond the
+// cluster's own edges — this is the locality the paper's Lemma 7 argues
+// for; we realise it by recomputing the canonical construction on the
+// cluster subgraph, which is small (about 7 nodes on average, Section 7.4).
+func (en *Engine) repair(c *Cluster) {
+	if len(c.edges) < 3 {
+		en.dissolve(c)
+		return
+	}
+
+	// Local adjacency over the cluster's surviving edges.
+	adj := make(map[dygraph.NodeID]map[dygraph.NodeID]struct{}, len(c.nodes))
+	link := func(a, b dygraph.NodeID) {
+		m, ok := adj[a]
+		if !ok {
+			m = make(map[dygraph.NodeID]struct{}, 4)
+			adj[a] = m
+		}
+		m[b] = struct{}{}
+	}
+	edges := make([]dygraph.Edge, 0, len(c.edges))
+	index := make(map[dygraph.Edge]int, len(c.edges))
+	for e := range c.edges {
+		index[e] = len(edges)
+		edges = append(edges, e)
+		link(e.U, e.V)
+		link(e.V, e.U)
+	}
+
+	uf := newUnionFind(len(edges))
+	onCycle := make([]bool, len(edges))
+	mark := func(a, b dygraph.Edge) {
+		i, j := index[a], index[b]
+		onCycle[i], onCycle[j] = true, true
+		uf.union(i, j)
+	}
+	for _, e := range edges {
+		u, v := e.U, e.V
+		// Triangles u–v–x within the cluster.
+		nu, nv := adj[u], adj[v]
+		if len(nu) > len(nv) {
+			nu, nv = nv, nu
+			u, v = v, u
+		}
+		for x := range nu {
+			en.statCycleChecks++
+			if _, ok := nv[x]; ok {
+				mark(e, dygraph.NewEdge(u, x))
+				mark(e, dygraph.NewEdge(v, x))
+			}
+		}
+		// 4-cycles u–n3–n4–v within the cluster.
+		for n3 := range adj[u] {
+			if n3 == v {
+				continue
+			}
+			for n4 := range adj[v] {
+				if n4 == u || n4 == n3 {
+					continue
+				}
+				en.statCycleChecks++
+				if _, ok := adj[n3][n4]; ok {
+					mark(e, dygraph.NewEdge(u, n3))
+					mark(e, dygraph.NewEdge(n3, n4))
+					mark(e, dygraph.NewEdge(n4, v))
+				}
+			}
+		}
+	}
+
+	// Group surviving edges by union-find root.
+	groups := make(map[int][]dygraph.Edge)
+	survivors := 0
+	for i, e := range edges {
+		if !onCycle[i] {
+			continue
+		}
+		root := uf.find(i)
+		groups[root] = append(groups[root], e)
+		survivors++
+	}
+
+	if len(groups) == 0 {
+		en.dissolve(c)
+		return
+	}
+	if len(groups) == 1 && survivors == len(edges) {
+		// Every edge still sits on a short cycle and the cluster held
+		// together: nothing to restructure.
+		en.hooks.updated(c)
+		return
+	}
+
+	// Restructure: the largest component keeps the original identity so
+	// that event history survives partial decay; the rest become new
+	// clusters; expelled edges become cluster-less.
+	comps := make([][]dygraph.Edge, 0, len(groups))
+	for _, g := range groups {
+		sortEdges(g) // must precede the tie-break below
+		comps = append(comps, g)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		// Deterministic tie-break for reproducible splits: compare the
+		// smallest edge of each (already sorted) component.
+		a, b := comps[i][0], comps[j][0]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+
+	oldID := c.id
+	for n := range c.nodes {
+		en.dropMembership(n, oldID)
+	}
+	for e := range c.edges {
+		delete(en.edgeCluster, e)
+	}
+	c.nodes = make(map[dygraph.NodeID]int)
+	c.edges = make(map[dygraph.Edge]struct{})
+
+	parts := make([]*Cluster, 0, len(comps))
+	for i, comp := range comps {
+		target := c
+		if i > 0 {
+			target = en.newCluster()
+		}
+		for _, e := range comp {
+			target.addEdge(e)
+			en.edgeCluster[e] = target.id
+			en.addMembership(e.U, target.id)
+			en.addMembership(e.V, target.id)
+		}
+		parts = append(parts, target)
+	}
+
+	if len(parts) == 1 {
+		en.hooks.updated(c)
+		return
+	}
+	en.statSplits++
+	en.hooks.split(oldID, parts)
+}
+
+// dissolve removes a cluster entirely: its edges stay in the graph but are
+// no longer part of any cluster.
+func (en *Engine) dissolve(c *Cluster) {
+	for e := range c.edges {
+		delete(en.edgeCluster, e)
+	}
+	for n := range c.nodes {
+		en.dropMembership(n, c.id)
+	}
+	delete(en.clusters, c.id)
+	en.hooks.dissolved(c.id)
+}
+
+// unionFind is a minimal weighted quick-union with path halving, used to
+// group cluster edges by connected short-cycle component.
+type unionFind struct {
+	parent []int
+	size   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+}

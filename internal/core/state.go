@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dygraph"
+)
+
+// ClusterState is the serialisable form of one cluster.
+type ClusterState struct {
+	ID    ClusterID
+	Birth uint64
+	Edges []dygraph.Edge
+}
+
+// EngineState is a serialisable snapshot of an Engine, sufficient to
+// resume incremental maintenance exactly where it stopped.
+type EngineState struct {
+	Graph    dygraph.State
+	Clusters []ClusterState
+	NextID   ClusterID
+	Ops      uint64
+}
+
+// State captures the engine. Clusters appear in ID order.
+func (en *Engine) State() EngineState {
+	s := EngineState{
+		Graph:  en.g.State(),
+		NextID: en.nextID,
+		Ops:    en.ops,
+	}
+	for _, c := range en.Clusters() {
+		s.Clusters = append(s.Clusters, ClusterState{
+			ID:    c.id,
+			Birth: c.birth,
+			Edges: c.Edges(),
+		})
+	}
+	return s
+}
+
+// EngineFromState reconstructs an engine. The snapshot is validated:
+// cluster edges must exist in the graph, be disjoint across clusters, and
+// cluster IDs must not exceed NextID.
+func EngineFromState(s EngineState, hooks Hooks) (*Engine, error) {
+	g, err := dygraph.FromState(s.Graph)
+	if err != nil {
+		return nil, err
+	}
+	en := &Engine{
+		g:            g,
+		clusters:     make(map[ClusterID]*Cluster, len(s.Clusters)),
+		edgeCluster:  make(map[dygraph.Edge]ClusterID),
+		nodeClusters: make(map[dygraph.NodeID]map[ClusterID]struct{}),
+		nextID:       s.NextID,
+		ops:          s.Ops,
+		hooks:        hooks,
+	}
+	for _, cs := range s.Clusters {
+		if cs.ID == 0 || cs.ID > s.NextID {
+			return nil, fmt.Errorf("core: cluster ID %d out of range (next %d)", cs.ID, s.NextID)
+		}
+		if _, dup := en.clusters[cs.ID]; dup {
+			return nil, fmt.Errorf("core: duplicate cluster ID %d", cs.ID)
+		}
+		c := &Cluster{
+			id:    cs.ID,
+			birth: cs.Birth,
+			nodes: make(map[dygraph.NodeID]int),
+			edges: make(map[dygraph.Edge]struct{}, len(cs.Edges)),
+		}
+		for _, e := range cs.Edges {
+			if !g.HasEdge(e.U, e.V) {
+				return nil, fmt.Errorf("core: cluster %d references missing edge %v", cs.ID, e)
+			}
+			if owner, taken := en.edgeCluster[e]; taken {
+				return nil, fmt.Errorf("core: edge %v claimed by clusters %d and %d", e, owner, cs.ID)
+			}
+			c.addEdge(e)
+			en.edgeCluster[e] = cs.ID
+			en.addMembership(e.U, cs.ID)
+			en.addMembership(e.V, cs.ID)
+		}
+		if len(c.edges) < 3 {
+			return nil, fmt.Errorf("core: cluster %d has %d edges; minimum cluster is a triangle", cs.ID, len(c.edges))
+		}
+		en.clusters[cs.ID] = c
+	}
+	return en, nil
+}

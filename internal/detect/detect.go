@@ -1,0 +1,586 @@
+// Package detect is the end-to-end pipeline: a message stream is cut into
+// quanta, tokenized, fed to the AKG layer (which drives the SCP cluster
+// engine), and the resulting clusters are tracked as ranked events over
+// their whole lifecycle — birth, evolution, merge, split, death — with the
+// paper's spurious-event filters applied at reporting time.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/akg"
+	"repro/internal/ckg"
+	"repro/internal/core"
+	"repro/internal/dygraph"
+	"repro/internal/quasi"
+	"repro/internal/rank"
+	"repro/internal/stream"
+	"repro/internal/textproc"
+)
+
+// Config configures a Detector. Zero fields take the paper's Table 2
+// nominal values.
+type Config struct {
+	// Delta is the quantum size in messages (Table 2 nominal: 160).
+	// Ignored when QuantumTime is set.
+	Delta int
+	// QuantumTime, when positive, cuts quanta by Message.Time duration
+	// instead of message count — the paper's original "unit time"
+	// quantum definition (Section 1.1). Stream gaps then produce empty
+	// quanta, so the sliding window keeps expiring stale keywords
+	// through silence.
+	QuantumTime int64
+	// AKG holds the graph-layer thresholds (τ, β, w, p).
+	AKG akg.Config
+	// SpuriousFactor scales the minimum-rank cutoff for reporting: an
+	// event is reported only if its rank ≥ SpuriousFactor ×
+	// rank.MinScore(n, τ, β) (Section 7.2.2 filter 1). Default 1.0.
+	SpuriousFactor float64
+	// RequireNoun filters out clusters with no likely-noun keyword
+	// (Section 7.2.2 filter 2). Default true; set DisableNounFilter to
+	// turn off.
+	DisableNounFilter bool
+	// TrackCKG additionally maintains the full CKG so the AKG size
+	// reduction can be measured (Section 7.4). Costs memory and time.
+	TrackCKG bool
+	// Synonyms maps keyword variants to a canonical form before graph
+	// construction — the dictionary/thesaurus pre-processing Section 1.1
+	// suggests for merging clusters split by synonymous or multilingual
+	// vocabulary ("quake" → "earthquake"). Values are used as-is; keys
+	// and values must be lower case.
+	Synonyms map[string]string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delta <= 0 {
+		c.Delta = 160
+	}
+	if c.SpuriousFactor <= 0 {
+		c.SpuriousFactor = 1.0
+	}
+	return c
+}
+
+// EventState describes where an event is in its lifecycle.
+type EventState int
+
+// Event lifecycle states.
+const (
+	EventLive EventState = iota
+	EventMerged
+	EventEnded
+)
+
+func (s EventState) String() string {
+	switch s {
+	case EventLive:
+		return "live"
+	case EventMerged:
+		return "merged"
+	case EventEnded:
+		return "ended"
+	}
+	return fmt.Sprintf("EventState(%d)", int(s))
+}
+
+// Event is the tracked lifecycle of one cluster.
+type Event struct {
+	ID        uint64
+	ClusterID core.ClusterID
+	// BornQuantum is the quantum at which the cluster first appeared.
+	BornQuantum int
+	// LastQuantum is the most recent quantum the event was alive.
+	LastQuantum int
+	// Keywords is the current (or final) keyword set, sorted.
+	Keywords []string
+	// Rank is the most recent rank score.
+	Rank float64
+	// RankHistory records the rank at each quantum since birth.
+	RankHistory []float64
+	// PeakRank is the maximum rank ever attained.
+	PeakRank float64
+	// Evolved reports whether the keyword set ever changed after birth —
+	// real events evolve; spurious bursts do not (Section 7.2.2).
+	Evolved bool
+	// MergedInto is the event ID that absorbed this one (state Merged).
+	MergedInto uint64
+	// SplitFrom is the event ID this one split off from, if any.
+	SplitFrom uint64
+	// State is the lifecycle state.
+	State EventState
+	// Support is the most recent union user support of the keywords.
+	Support int
+	// Size is the most recent cluster node count.
+	Size int
+	// Reported records whether the event ever passed the reporting
+	// filters, and FirstReported the quantum at which it first did —
+	// the basis for the detection-latency measurements of Section 7.1.
+	Reported      bool
+	FirstReported int
+	// AllKeywords accumulates every keyword that was ever part of the
+	// event, so evaluation can match evolved events against ground truth.
+	AllKeywords map[string]struct{}
+	// ExactMQC reports whether the cluster currently satisfies the strict
+	// majority-quasi-clique degree condition, the O(N²) refinement check
+	// of Section 4.2. SCP clusters are aMQCs; this flag identifies the
+	// subset that are exact MQCs (informational — the paper argues MQC
+	// membership is deliberately not enforced in a dynamic graph).
+	ExactMQC bool
+}
+
+// Spurious applies the post-hoc rule from Section 7.2.2: never-evolving
+// events with monotonically decreasing rank are spurious.
+func (e *Event) Spurious() bool {
+	return rank.Spurious(e.RankHistory, e.Evolved)
+}
+
+// Report is the per-quantum snapshot of a reportable event.
+type Report struct {
+	EventID  uint64
+	Quantum  int
+	Keywords []string
+	Rank     float64
+	Size     int
+	Support  int
+	Born     int
+	Evolved  bool
+}
+
+// QuantumResult summarises one processed quantum.
+type QuantumResult struct {
+	Quantum  int
+	Stats    akg.QuantumStats
+	Reports  []Report // reportable events, rank-descending
+	CKGNodes int      // only when TrackCKG
+	CKGEdges int
+	AKGNodes int
+	AKGEdges int
+	// Elapsed is the wall time spent processing this quantum (graph
+	// maintenance + event reconciliation; excludes the caller's IO).
+	Elapsed time.Duration
+}
+
+// Detector is the streaming event discovery pipeline. Not safe for
+// concurrent use.
+type Detector struct {
+	cfg       Config
+	interner  *textproc.Interner
+	akg       *akg.AKG
+	quant     *stream.Quantizer
+	tquant    *stream.TimeQuantizer // non-nil when cfg.QuantumTime > 0
+	ckg       *ckg.Graph
+	nounSeen  map[dygraph.NodeID]bool
+	events    map[core.ClusterID]*Event
+	finished  []*Event
+	nextEvent uint64
+	processed uint64 // total messages ingested
+
+	// lifecycle notes collected from engine hooks during a quantum
+	mergedInto map[core.ClusterID]core.ClusterID
+	splitFrom  map[core.ClusterID]core.ClusterID
+}
+
+// New returns a Detector with the given configuration.
+func New(cfg Config) *Detector {
+	cfg = cfg.withDefaults()
+	d := &Detector{
+		cfg:        cfg,
+		interner:   textproc.NewInterner(),
+		nounSeen:   make(map[dygraph.NodeID]bool),
+		events:     make(map[core.ClusterID]*Event),
+		mergedInto: make(map[core.ClusterID]core.ClusterID),
+		splitFrom:  make(map[core.ClusterID]core.ClusterID),
+	}
+	if cfg.QuantumTime > 0 {
+		d.tquant = stream.NewTimeQuantizer(cfg.QuantumTime)
+	} else {
+		d.quant = stream.NewQuantizer(cfg.Delta)
+	}
+	hooks := core.Hooks{
+		OnMerged: func(into *core.Cluster, absorbed core.ClusterID) {
+			d.mergedInto[absorbed] = into.ID()
+		},
+		OnSplit: func(from core.ClusterID, parts []*core.Cluster) {
+			for _, p := range parts[1:] {
+				d.splitFrom[p.ID()] = from
+			}
+		},
+	}
+	d.akg = akg.New(cfg.AKG, hooks)
+	if cfg.TrackCKG {
+		d.ckg = ckg.New(d.akg.Config().Window)
+	}
+	return d
+}
+
+// Interner exposes the keyword interner (read-only use by harnesses).
+func (d *Detector) Interner() *textproc.Interner { return d.interner }
+
+// AKG exposes the graph layer (read-only use by harnesses).
+func (d *Detector) AKG() *akg.AKG { return d.akg }
+
+// Processed returns the number of messages ingested so far.
+func (d *Detector) Processed() uint64 { return d.processed }
+
+// NounSeen reports whether the interned keyword was ever observed in a
+// noun-like shape. Exposed so alternative clustering schemes (the offline
+// baselines of Section 7.3) can apply the same reporting filters.
+func (d *Detector) NounSeen(n dygraph.NodeID) bool { return d.nounSeen[n] }
+
+// Ingest feeds one message. When the message completes a quantum the
+// quantum is processed and its result returned; otherwise result is nil.
+// Under time-based quanta one message can close several quanta (gaps in
+// the stream); Ingest then returns the last result — use IngestAll or Run
+// to observe every quantum.
+func (d *Detector) Ingest(m stream.Message) *QuantumResult {
+	results := d.IngestAll(m)
+	if len(results) == 0 {
+		return nil
+	}
+	return results[len(results)-1]
+}
+
+// IngestAll feeds one message and returns every quantum it completed
+// (empty under message-count quantization except at boundaries).
+func (d *Detector) IngestAll(m stream.Message) []*QuantumResult {
+	d.processed++
+	if d.tquant != nil {
+		var out []*QuantumResult
+		for _, batch := range d.tquant.Add(m) {
+			res := d.processQuantum(batch)
+			out = append(out, &res)
+		}
+		return out
+	}
+	batch := d.quant.Add(m)
+	if batch == nil {
+		return nil
+	}
+	res := d.processQuantum(batch)
+	return []*QuantumResult{&res}
+}
+
+// Flush processes any buffered partial quantum (end of stream). Returns
+// nil if the buffer was empty.
+func (d *Detector) Flush() *QuantumResult {
+	var batch []stream.Message
+	if d.tquant != nil {
+		batch = d.tquant.Flush()
+	} else {
+		batch = d.quant.Flush()
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	res := d.processQuantum(batch)
+	return &res
+}
+
+// Run drains a source, invoking onQuantum (if non-nil) for every processed
+// quantum including the final partial one.
+func (d *Detector) Run(src stream.Source, onQuantum func(*QuantumResult)) error {
+	for {
+		m, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, res := range d.IngestAll(m) {
+			if onQuantum != nil {
+				onQuantum(res)
+			}
+		}
+	}
+	if res := d.Flush(); res != nil && onQuantum != nil {
+		onQuantum(res)
+	}
+	return nil
+}
+
+// preparedUser is one user's tokenized, synonym-folded, deduplicated
+// quantum vocabulary, before interning. Computing it needs no detector
+// state beyond the (read-only) synonym table, so preparation can run on
+// worker goroutines (RunParallel).
+type preparedUser struct {
+	user    uint64
+	words   []string // sorted distinct canonical keywords
+	nounish []bool   // parallel to words: ever seen in noun shape
+}
+
+// prepareQuantum tokenizes a quantum and groups keywords per user. Pure
+// with respect to detector state (Synonyms is read-only), deterministic.
+func (d *Detector) prepareQuantum(batch []stream.Message) []preparedUser {
+	type wordInfo struct{ nounish bool }
+	perUser := make(map[uint64]map[string]*wordInfo)
+	for _, m := range batch {
+		toks := textproc.Tokenize(m.Text)
+		if len(toks) == 0 {
+			continue
+		}
+		set, ok := perUser[m.User]
+		if !ok {
+			set = make(map[string]*wordInfo, len(toks))
+			perUser[m.User] = set
+		}
+		for _, t := range toks {
+			if canon, ok := d.cfg.Synonyms[t.Text]; ok {
+				t.Text = canon
+			}
+			info, ok := set[t.Text]
+			if !ok {
+				info = &wordInfo{}
+				set[t.Text] = info
+			}
+			if !info.nounish && textproc.LikelyNoun(t) {
+				info.nounish = true
+			}
+		}
+	}
+	users := make([]uint64, 0, len(perUser))
+	for u := range perUser {
+		users = append(users, u)
+	}
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+	out := make([]preparedUser, 0, len(users))
+	for _, u := range users {
+		set := perUser[u]
+		pu := preparedUser{user: u, words: make([]string, 0, len(set))}
+		for w := range set {
+			pu.words = append(pu.words, w)
+		}
+		sort.Strings(pu.words)
+		pu.nounish = make([]bool, len(pu.words))
+		for i, w := range pu.words {
+			pu.nounish[i] = set[w].nounish
+		}
+		out = append(out, pu)
+	}
+	return out
+}
+
+// processQuantum runs both pipeline stages serially.
+func (d *Detector) processQuantum(batch []stream.Message) QuantumResult {
+	return d.applyQuantum(d.prepareQuantum(batch))
+}
+
+// applyQuantum interns the prepared vocabulary, updates the graph layers
+// and reconciles the event registry. Single-threaded (detector state).
+func (d *Detector) applyQuantum(prep []preparedUser) QuantumResult {
+	started := time.Now()
+	uks := make([]ckg.UserKeywords, 0, len(prep))
+	for _, pu := range prep {
+		kws := make([]dygraph.NodeID, 0, len(pu.words))
+		seen := make(map[dygraph.NodeID]struct{}, len(pu.words))
+		for i, w := range pu.words {
+			id := d.interner.Intern(w)
+			if !d.nounSeen[id] && pu.nounish[i] {
+				d.nounSeen[id] = true
+			}
+			if _, dup := seen[id]; !dup {
+				seen[id] = struct{}{}
+				kws = append(kws, id)
+			}
+		}
+		sort.Slice(kws, func(i, j int) bool { return kws[i] < kws[j] })
+		uks = append(uks, ckg.UserKeywords{User: pu.user, Keywords: kws})
+	}
+
+	if d.ckg != nil {
+		d.ckg.AddQuantum(uks)
+	}
+	stats := d.akg.ProcessQuantum(uks)
+	reports := d.reconcileEvents(stats.Quantum)
+
+	res := QuantumResult{
+		Quantum:  stats.Quantum,
+		Stats:    stats,
+		Reports:  reports,
+		AKGNodes: d.akg.NodeCount(),
+		AKGEdges: d.akg.EdgeCount(),
+	}
+	if d.ckg != nil {
+		res.CKGNodes = d.ckg.NodeCount()
+		res.CKGEdges = d.ckg.EdgeCount()
+	}
+	res.Elapsed = time.Since(started)
+	return res
+}
+
+// reconcileEvents aligns the event registry with the engine's live
+// clusters after a quantum and produces the reportable snapshot.
+func (d *Detector) reconcileEvents(quantum int) []Report {
+	eng := d.akg.Engine()
+	live := make(map[core.ClusterID]*core.Cluster)
+	eng.ForEachCluster(func(c *core.Cluster) { live[c.ID()] = c })
+
+	// Retire events whose cluster no longer exists.
+	for cid, ev := range d.events {
+		if _, ok := live[cid]; ok {
+			continue
+		}
+		if into, merged := d.mergedInto[cid]; merged {
+			ev.State = EventMerged
+			// The surviving cluster's event absorbs this one.
+			final := into
+			for {
+				next, ok := d.mergedInto[final]
+				if !ok {
+					break
+				}
+				final = next
+			}
+			if surv, ok := d.events[final]; ok {
+				ev.MergedInto = surv.ID
+			}
+		} else {
+			ev.State = EventEnded
+		}
+		d.finished = append(d.finished, ev)
+		delete(d.events, cid)
+	}
+
+	// Create or update events for live clusters, in cluster-ID order so
+	// fresh event IDs are assigned deterministically (cluster IDs are
+	// themselves deterministic; see the engine's absorb/repair rules).
+	liveIDs := make([]core.ClusterID, 0, len(live))
+	for cid := range live {
+		liveIDs = append(liveIDs, cid)
+	}
+	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
+	reports := make([]Report, 0, len(live))
+	for _, cid := range liveIDs {
+		c := live[cid]
+		ev, ok := d.events[cid]
+		keywords := d.interner.Words(c.Nodes())
+		sort.Strings(keywords)
+		if !ok {
+			d.nextEvent++
+			ev = &Event{
+				ID:          d.nextEvent,
+				ClusterID:   cid,
+				BornQuantum: quantum,
+				Keywords:    keywords,
+				AllKeywords: make(map[string]struct{}, len(keywords)),
+			}
+			if from, ok := d.splitFrom[cid]; ok {
+				if parent, ok := d.events[from]; ok {
+					ev.SplitFrom = parent.ID
+				}
+			}
+			d.events[cid] = ev
+		} else if !sameStrings(ev.Keywords, keywords) {
+			ev.Evolved = true
+			ev.Keywords = keywords
+		}
+		for _, kw := range keywords {
+			ev.AllKeywords[kw] = struct{}{}
+		}
+		score := rank.Score(c,
+			func(n dygraph.NodeID) float64 { return float64(d.akg.Support(n)) },
+			func(a, b dygraph.NodeID) float64 {
+				w, _ := eng.Graph().Weight(a, b)
+				return w
+			})
+		ev.Rank = score
+		ev.RankHistory = append(ev.RankHistory, score)
+		if score > ev.PeakRank {
+			ev.PeakRank = score
+		}
+		ev.LastQuantum = quantum
+		ev.Size = c.NodeCount()
+		ev.Support = d.akg.UnionSupport(c.Nodes())
+		ev.ExactMQC = quasi.FromEdges(c.Edges()).IsMQC()
+
+		if d.reportable(ev, c) {
+			if !ev.Reported {
+				ev.Reported = true
+				ev.FirstReported = quantum
+			}
+			reports = append(reports, Report{
+				EventID:  ev.ID,
+				Quantum:  quantum,
+				Keywords: ev.Keywords,
+				Rank:     ev.Rank,
+				Size:     ev.Size,
+				Support:  ev.Support,
+				Born:     ev.BornQuantum,
+				Evolved:  ev.Evolved,
+			})
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Rank != reports[j].Rank {
+			return reports[i].Rank > reports[j].Rank
+		}
+		return reports[i].EventID < reports[j].EventID
+	})
+
+	// Lifecycle notes were consumed; reset for the next quantum.
+	d.mergedInto = make(map[core.ClusterID]core.ClusterID)
+	d.splitFrom = make(map[core.ClusterID]core.ClusterID)
+	return reports
+}
+
+// reportable applies the Section 7.2.2 reporting filters.
+func (d *Detector) reportable(ev *Event, c *core.Cluster) bool {
+	cfg := d.akg.Config()
+	minScore := rank.MinScore(c.NodeCount(), cfg.Tau, cfg.Beta)
+	if ev.Rank < d.cfg.SpuriousFactor*minScore {
+		return false
+	}
+	if !d.cfg.DisableNounFilter {
+		hasNoun := false
+		c.ForEachNode(func(n dygraph.NodeID) {
+			if d.nounSeen[n] {
+				hasNoun = true
+			}
+		})
+		if !hasNoun {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveEvents returns the currently live events sorted by rank descending.
+func (d *Detector) LiveEvents() []*Event {
+	out := make([]*Event, 0, len(d.events))
+	for _, ev := range d.events {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank > out[j].Rank
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// AllEvents returns every event ever tracked (live and finished), sorted
+// by ID (birth order).
+func (d *Detector) AllEvents() []*Event {
+	out := make([]*Event, 0, len(d.events)+len(d.finished))
+	out = append(out, d.finished...)
+	for _, ev := range d.events {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,125 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// RunParallel drains a source like Run but performs the tokenization /
+// grouping stage of each quantum on a pool of worker goroutines, applying
+// the prepared quanta to the graph layers strictly in order. This realises
+// the parallelism the paper points out in Section 7.3 ("multiple
+// simultaneous computations are allowed"): text processing — the dominant
+// per-message cost — scales across cores, while graph maintenance, which
+// must observe quanta in order, stays sequential.
+//
+// The result is bit-identical to Run on the same stream (tested), so
+// callers may switch freely based on core count. workers ≤ 0 selects
+// GOMAXPROCS.
+func (d *Detector) RunParallel(src stream.Source, workers int, onQuantum func(*QuantumResult)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return d.Run(src, onQuantum)
+	}
+
+	type job struct {
+		seq   int
+		batch []stream.Message
+	}
+	type done struct {
+		seq  int
+		prep []preparedUser
+	}
+
+	jobs := make(chan job, workers)
+	results := make(chan done, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- done{seq: j.seq, prep: d.prepareQuantum(j.batch)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Consumer: applies prepared quanta in sequence order, buffering
+	// out-of-order completions.
+	applyErr := make(chan error, 1)
+	var applied sync.WaitGroup
+	applied.Add(1)
+	go func() {
+		defer applied.Done()
+		pending := make(map[int][]preparedUser)
+		next := 0
+		for r := range results {
+			pending[r.seq] = r.prep
+			for {
+				prep, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				res := d.applyQuantum(prep)
+				if onQuantum != nil {
+					onQuantum(&res)
+				}
+				next++
+			}
+		}
+		applyErr <- nil
+	}()
+
+	// Producer: cut the stream into quanta. Batches must be copied — the
+	// quantizers reuse their buffers.
+	seq := 0
+	emit := func(batch []stream.Message) {
+		cp := make([]stream.Message, len(batch))
+		copy(cp, batch)
+		jobs <- job{seq: seq, batch: cp}
+		seq++
+	}
+	var srcErr error
+	for {
+		m, ok, err := src.Next()
+		if err != nil {
+			srcErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		d.processed++
+		if d.tquant != nil {
+			for _, batch := range d.tquant.Add(m) {
+				emit(batch)
+			}
+		} else if batch := d.quant.Add(m); batch != nil {
+			emit(batch)
+		}
+	}
+	if srcErr == nil {
+		var tail []stream.Message
+		if d.tquant != nil {
+			tail = d.tquant.Flush()
+		} else {
+			tail = d.quant.Flush()
+		}
+		if len(tail) > 0 {
+			emit(tail)
+		}
+	}
+	close(jobs)
+	applied.Wait()
+	<-applyErr
+	return srcErr
+}

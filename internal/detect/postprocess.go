@@ -1,0 +1,96 @@
+package detect
+
+import (
+	"sort"
+
+	"repro/internal/dygraph"
+)
+
+// This file implements the pre- and post-processing hooks Section 1.1 of
+// the paper describes as complements to the core technique: synonym
+// normalisation before graph construction, and correlation of
+// contemporaneous clusters that describe the same real-world event with
+// different vocabularies.
+
+// RelatedPair reports two live events whose user communities overlap —
+// strong evidence they describe the same real-world happening even though
+// their keyword clusters did not merge (different vocabulary, different
+// language, different perspective).
+type RelatedPair struct {
+	A, B        uint64 // event IDs, A < B
+	UserJaccard float64
+}
+
+// RelatedEvents returns all pairs of live reported events whose windowed
+// user communities have Jaccard overlap of at least minOverlap, sorted by
+// descending overlap. This is the paper's suggested post-processing for
+// merging same-event clusters; it is O(live²) on the handful of live
+// events, never on the graph.
+func (d *Detector) RelatedEvents(minOverlap float64) []RelatedPair {
+	type liveEv struct {
+		id    uint64
+		nodes []dygraph.NodeID
+	}
+	var live []liveEv
+	eng := d.akg.Engine()
+	for cid, ev := range d.events {
+		if !ev.Reported {
+			continue
+		}
+		c := eng.Cluster(cid)
+		if c == nil {
+			continue
+		}
+		live = append(live, liveEv{id: ev.ID, nodes: c.Nodes()})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	var out []RelatedPair
+	for i := 0; i < len(live); i++ {
+		for j := i + 1; j < len(live); j++ {
+			jac := d.akg.UserJaccard(live[i].nodes, live[j].nodes)
+			if jac >= minOverlap {
+				out = append(out, RelatedPair{
+					A: live[i].id, B: live[j].id, UserJaccard: jac,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UserJaccard != out[j].UserJaccard {
+			return out[i].UserJaccard > out[j].UserJaccard
+		}
+		return out[i].A < out[j].A
+	})
+	return out
+}
+
+// TopK returns the k highest-ranked live reported events — the "trending
+// topics" view. k ≤ 0 returns all live reported events.
+func (d *Detector) TopK(k int) []*Event {
+	live := d.LiveEvents() // already rank-descending
+	out := make([]*Event, 0, len(live))
+	for _, ev := range live {
+		if !ev.Reported {
+			continue
+		}
+		out = append(out, ev)
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// SpuriousEvents returns all tracked events (live or finished) whose rank
+// history matches the post-hoc spurious profile of Section 7.2.2 — the
+// analysis the paper performs after the fact because future behaviour
+// cannot be known at reporting time.
+func (d *Detector) SpuriousEvents() []*Event {
+	var out []*Event
+	for _, ev := range d.AllEvents() {
+		if ev.Reported && ev.Spurious() {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/akg"
+	"repro/internal/stream"
+)
+
+func TestSynonymPreprocessing(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.Synonyms = map[string]string{"quake": "earthquake", "tremor": "earthquake"}
+	d := New(cfg)
+	// Half the users say "quake", half "earthquake": without synonym
+	// folding the burstiness splits across two nodes.
+	var msgs []stream.Message
+	for i := 0; i < 4; i++ {
+		msgs = append(msgs, stream.Message{
+			ID: uint64(i + 1), User: uint64(i + 1), Time: int64(i),
+			Text: "quake struck turkey",
+		})
+	}
+	for i := 4; i < 8; i++ {
+		msgs = append(msgs, stream.Message{
+			ID: uint64(i + 1), User: uint64(i + 1), Time: int64(i),
+			Text: "earthquake struck turkey",
+		})
+	}
+	res := runAll(t, d, msgs)
+	last := res[len(res)-1]
+	if len(last.Reports) != 1 {
+		t.Fatalf("want one merged event, got %d", len(last.Reports))
+	}
+	for _, kw := range last.Reports[0].Keywords {
+		if kw == "quake" {
+			t.Fatalf("synonym not folded: %v", last.Reports[0].Keywords)
+		}
+	}
+	if _, ok := d.Interner().Lookup("earthquake"); !ok {
+		t.Fatalf("canonical keyword missing")
+	}
+}
+
+func TestRelatedEvents(t *testing.T) {
+	cfg := Config{Delta: 10, AKG: akg.Config{Tau: 3, Beta: 0.2, Window: 4}}
+	d := New(cfg)
+	// The same five users discuss the same happening with two disjoint
+	// vocabularies in consecutive quanta (as if switching languages): the
+	// keyword sets never co-occur within a quantum, so two separate
+	// clusters form — but they share their user community entirely.
+	var msgs []stream.Message
+	id := uint64(0)
+	for i := 0; i < 10; i++ { // quantum 1: German vocabulary
+		id++
+		msgs = append(msgs, stream.Message{
+			ID: id, User: uint64(i%5 + 1), Time: int64(id),
+			Text: "erdbeben osttuerkei beben",
+		})
+	}
+	for i := 0; i < 10; i++ { // quantum 2: English vocabulary
+		id++
+		msgs = append(msgs, stream.Message{
+			ID: id, User: uint64(i%5 + 1), Time: int64(id),
+			Text: "earthquake turkey tremor",
+		})
+	}
+	runAll(t, d, msgs)
+	if len(d.LiveEvents()) < 2 {
+		t.Fatalf("setup: want two clusters, got %d", len(d.LiveEvents()))
+	}
+	pairs := d.RelatedEvents(0.8)
+	if len(pairs) != 1 {
+		t.Fatalf("want one related pair, got %d", len(pairs))
+	}
+	if pairs[0].UserJaccard != 1.0 {
+		t.Fatalf("identical communities should have Jaccard 1, got %v", pairs[0].UserJaccard)
+	}
+	if pairs[0].A >= pairs[0].B {
+		t.Fatalf("pair ordering wrong: %+v", pairs[0])
+	}
+	// Disjoint communities must not correlate.
+	if got := d.RelatedEvents(1.01); len(got) != 0 {
+		t.Fatalf("threshold above 1 should match nothing")
+	}
+}
+
+func TestSpuriousEventsAccessor(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.AKG.Window = 2
+	d := New(cfg)
+	var msgs []stream.Message
+	// A one-quantum burst, then quiet chatter so rank decays to death.
+	msgs = append(msgs, burstMessages(0, 6, "promo deal sale")...)
+	for q := 0; q < 4; q++ {
+		msgs = append(msgs, burstMessages(100+10*q, 6, "weather sunny")...)
+	}
+	runAll(t, d, msgs)
+	sp := d.SpuriousEvents()
+	found := false
+	for _, ev := range sp {
+		for _, kw := range ev.Keywords {
+			if kw == "promo" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("burst event not in SpuriousEvents; got %d entries", len(sp))
+	}
+}
+
+func TestTopK(t *testing.T) {
+	cfg := testConfig(5)
+	d := New(cfg)
+	var msgs []stream.Message
+	msgs = append(msgs, burstMessages(0, 5, "fire downtown harbor")...)
+	msgs = append(msgs, burstMessages(100, 5, "storm coast warning")...)
+	runAll(t, d, msgs)
+	all := d.TopK(0)
+	if len(all) != 2 {
+		t.Fatalf("TopK(0) = %d events", len(all))
+	}
+	top1 := d.TopK(1)
+	if len(top1) != 1 {
+		t.Fatalf("TopK(1) = %d events", len(top1))
+	}
+	if top1[0].Rank < all[1].Rank {
+		t.Fatalf("TopK not rank-ordered")
+	}
+}

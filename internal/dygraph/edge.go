@@ -1,0 +1,37 @@
+package dygraph
+
+// NodeID identifies a node in a Graph. IDs are assigned by higher layers
+// (e.g. the keyword interner in internal/akg); the graph itself attaches no
+// meaning to them.
+type NodeID uint32
+
+// Edge is an undirected edge, stored in canonical orientation (U < V) so it
+// can be used as a map key. Use NewEdge to construct one.
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical (U < V) edge between a and b.
+// a == b is invalid: the graph never stores self-loops, and callers are
+// expected to filter them out before reaching this point.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint, which always indicates a programming error in the caller.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic("dygraph: Other called with non-endpoint node")
+}
+
+// Has reports whether n is an endpoint of e.
+func (e Edge) Has(n NodeID) bool { return e.U == n || e.V == n }

@@ -1,0 +1,223 @@
+// Package dygraph provides the dynamic undirected weighted graph substrate
+// used by the rest of the system: the Correlated Keyword Graph (CKG), the
+// Active CKG (AKG) and the SCP cluster engine are all built on it.
+//
+// The graph is optimised for the access patterns of incremental cluster
+// maintenance (Section 4 and 5 of the paper): constant-time edge existence
+// checks, fast neighbor iteration, and cheap addition/removal of nodes and
+// edges. It is not safe for concurrent mutation; the detector pipeline
+// serialises updates per quantum.
+package dygraph
+
+import "sort"
+
+// Graph is a dynamic undirected graph with float64 edge weights.
+// The zero value is not usable; call New.
+type Graph struct {
+	adj       map[NodeID]map[NodeID]float64
+	edgeCount int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{adj: make(map[NodeID]map[NodeID]float64)}
+}
+
+// NodeCount returns the number of nodes currently in the graph.
+func (g *Graph) NodeCount() int { return len(g.adj) }
+
+// EdgeCount returns the number of edges currently in the graph.
+func (g *Graph) EdgeCount() int { return g.edgeCount }
+
+// HasNode reports whether n is present.
+func (g *Graph) HasNode(n NodeID) bool {
+	_, ok := g.adj[n]
+	return ok
+}
+
+// AddNode inserts n if absent. It reports whether the node was added.
+func (g *Graph) AddNode(n NodeID) bool {
+	if _, ok := g.adj[n]; ok {
+		return false
+	}
+	g.adj[n] = make(map[NodeID]float64)
+	return true
+}
+
+// RemoveNode deletes n and all incident edges, returning the removed edges.
+// Removing an absent node returns nil.
+func (g *Graph) RemoveNode(n NodeID) []Edge {
+	nbrs, ok := g.adj[n]
+	if !ok {
+		return nil
+	}
+	if len(nbrs) == 0 {
+		delete(g.adj, n)
+		return nil
+	}
+	removed := make([]Edge, 0, len(nbrs))
+	for m := range nbrs {
+		delete(g.adj[m], n)
+		g.edgeCount--
+		removed = append(removed, NewEdge(n, m))
+	}
+	delete(g.adj, n)
+	return removed
+}
+
+// HasEdge reports whether the edge (a,b) exists.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Weight returns the weight of edge (a,b) and whether it exists.
+func (g *Graph) Weight(a, b NodeID) (float64, bool) {
+	w, ok := g.adj[a][b]
+	return w, ok
+}
+
+// AddEdge inserts the edge (a,b) with weight w, creating the endpoints if
+// needed. If the edge already exists only the weight is updated. It reports
+// whether a new edge was created. Self-loops are ignored and report false.
+func (g *Graph) AddEdge(a, b NodeID, w float64) bool {
+	if a == b {
+		return false
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	_, existed := g.adj[a][b]
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+	if !existed {
+		g.edgeCount++
+	}
+	return !existed
+}
+
+// SetWeight updates the weight of an existing edge. It reports whether the
+// edge was present.
+func (g *Graph) SetWeight(a, b NodeID, w float64) bool {
+	if _, ok := g.adj[a][b]; !ok {
+		return false
+	}
+	g.adj[a][b] = w
+	g.adj[b][a] = w
+	return true
+}
+
+// RemoveEdge deletes the edge (a,b). It reports whether the edge existed.
+// Endpoints are left in place even if they become isolated.
+func (g *Graph) RemoveEdge(a, b NodeID) bool {
+	if _, ok := g.adj[a][b]; !ok {
+		return false
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.edgeCount--
+	return true
+}
+
+// Degree returns the number of neighbors of n (0 if absent).
+func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// Neighbors calls fn for every neighbor of n with the edge weight.
+// Iteration order is unspecified. fn must not mutate the graph.
+func (g *Graph) Neighbors(n NodeID, fn func(m NodeID, w float64)) {
+	for m, w := range g.adj[n] {
+		fn(m, w)
+	}
+}
+
+// NeighborSlice returns the neighbors of n sorted ascending. It allocates;
+// prefer Neighbors on hot paths.
+func (g *Graph) NeighborSlice(n NodeID) []NodeID {
+	nbrs := g.adj[n]
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := make([]NodeID, 0, len(nbrs))
+	for m := range nbrs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CommonNeighbors calls fn for every node adjacent to both a and b.
+// It iterates the smaller adjacency set.
+func (g *Graph) CommonNeighbors(a, b NodeID, fn func(c NodeID)) {
+	na, nb := g.adj[a], g.adj[b]
+	if len(na) > len(nb) {
+		na, nb = nb, na
+	}
+	for c := range na {
+		if _, ok := nb[c]; ok {
+			fn(c)
+		}
+	}
+}
+
+// Nodes returns all node IDs sorted ascending.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.adj))
+	for n := range g.adj {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachNode calls fn for every node in unspecified order.
+func (g *Graph) ForEachNode(fn func(n NodeID)) {
+	for n := range g.adj {
+		fn(n)
+	}
+}
+
+// Edges returns all edges in canonical orientation, sorted by (U,V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edgeCount)
+	for a, nbrs := range g.adj {
+		for b := range nbrs {
+			if a < b {
+				out = append(out, Edge{U: a, V: b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// ForEachEdge calls fn for every edge exactly once (canonical orientation),
+// in unspecified order. fn must not mutate the graph.
+func (g *Graph) ForEachEdge(fn func(e Edge, w float64)) {
+	for a, nbrs := range g.adj {
+		for b, w := range nbrs {
+			if a < b {
+				fn(Edge{U: a, V: b}, w)
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:       make(map[NodeID]map[NodeID]float64, len(g.adj)),
+		edgeCount: g.edgeCount,
+	}
+	for n, nbrs := range g.adj {
+		m := make(map[NodeID]float64, len(nbrs))
+		for b, w := range nbrs {
+			m[b] = w
+		}
+		c.adj[n] = m
+	}
+	return c
+}

@@ -1,0 +1,295 @@
+package dygraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v, want {2 5}", e)
+	}
+	if NewEdge(2, 5) != e {
+		t.Fatalf("NewEdge is not symmetric")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(1, 2)
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Fatalf("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Other with non-endpoint did not panic")
+		}
+	}()
+	e.Other(3)
+}
+
+func TestEdgeHas(t *testing.T) {
+	e := NewEdge(1, 2)
+	if !e.Has(1) || !e.Has(2) || e.Has(3) {
+		t.Fatalf("Has gave wrong answers")
+	}
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	g := New()
+	if !g.AddNode(1) {
+		t.Fatalf("AddNode new node reported false")
+	}
+	if g.AddNode(1) {
+		t.Fatalf("AddNode duplicate reported true")
+	}
+	if !g.HasNode(1) || g.HasNode(2) {
+		t.Fatalf("HasNode wrong")
+	}
+	if g.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d, want 1", g.NodeCount())
+	}
+	if removed := g.RemoveNode(1); removed != nil {
+		t.Fatalf("RemoveNode isolated node returned edges %v", removed)
+	}
+	if g.HasNode(1) {
+		t.Fatalf("node survived removal")
+	}
+	if g.RemoveNode(99) != nil {
+		t.Fatalf("removing absent node returned edges")
+	}
+}
+
+func TestAddEdgeCreatesNodes(t *testing.T) {
+	g := New()
+	if !g.AddEdge(1, 2, 0.5) {
+		t.Fatalf("AddEdge new edge reported false")
+	}
+	if !g.HasNode(1) || !g.HasNode(2) {
+		t.Fatalf("endpoints not created")
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatalf("edge not symmetric")
+	}
+	if w, ok := g.Weight(2, 1); !ok || w != 0.5 {
+		t.Fatalf("Weight = %v,%v want 0.5,true", w, ok)
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d", g.EdgeCount())
+	}
+}
+
+func TestAddEdgeDuplicateUpdatesWeight(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 0.5)
+	if g.AddEdge(2, 1, 0.9) {
+		t.Fatalf("duplicate AddEdge reported new")
+	}
+	if w, _ := g.Weight(1, 2); w != 0.9 {
+		t.Fatalf("weight not updated, got %v", w)
+	}
+	if g.EdgeCount() != 1 {
+		t.Fatalf("EdgeCount = %d after duplicate add", g.EdgeCount())
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New()
+	if g.AddEdge(3, 3, 1) {
+		t.Fatalf("self loop added")
+	}
+	if g.EdgeCount() != 0 {
+		t.Fatalf("self loop counted")
+	}
+}
+
+func TestSetWeight(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 0.1)
+	if !g.SetWeight(1, 2, 0.7) {
+		t.Fatalf("SetWeight on existing edge failed")
+	}
+	if w, _ := g.Weight(2, 1); w != 0.7 {
+		t.Fatalf("weight = %v", w)
+	}
+	if g.SetWeight(1, 3, 0.5) {
+		t.Fatalf("SetWeight on absent edge succeeded")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 1)
+	if !g.RemoveEdge(2, 1) {
+		t.Fatalf("RemoveEdge failed")
+	}
+	if g.HasEdge(1, 2) || g.EdgeCount() != 0 {
+		t.Fatalf("edge survived removal")
+	}
+	if g.RemoveEdge(1, 2) {
+		t.Fatalf("double removal reported true")
+	}
+	if !g.HasNode(1) || !g.HasNode(2) {
+		t.Fatalf("endpoints should remain after edge removal")
+	}
+}
+
+func TestRemoveNodeReturnsEdges(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	removed := g.RemoveNode(1)
+	if len(removed) != 2 {
+		t.Fatalf("removed %d edges, want 2: %v", len(removed), removed)
+	}
+	for _, e := range removed {
+		if !e.Has(1) {
+			t.Fatalf("returned edge %v not incident to removed node", e)
+		}
+	}
+	if g.EdgeCount() != 1 || !g.HasEdge(2, 3) {
+		t.Fatalf("surviving edges wrong")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(1, 3, 1)
+	if g.Degree(1) != 2 || g.Degree(2) != 1 || g.Degree(42) != 0 {
+		t.Fatalf("degrees wrong")
+	}
+	got := g.NeighborSlice(1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("NeighborSlice = %v", got)
+	}
+	if g.NeighborSlice(42) != nil {
+		t.Fatalf("NeighborSlice of absent node should be nil")
+	}
+	sum := 0
+	g.Neighbors(1, func(m NodeID, w float64) { sum += int(m) })
+	if sum != 5 {
+		t.Fatalf("Neighbors visited wrong set, sum=%d", sum)
+	}
+}
+
+func TestCommonNeighbors(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(2, 4, 1)
+	g.AddEdge(1, 5, 1)
+	var common []NodeID
+	g.CommonNeighbors(1, 2, func(c NodeID) { common = append(common, c) })
+	if len(common) != 2 {
+		t.Fatalf("common neighbors = %v, want {3,4}", common)
+	}
+}
+
+func TestNodesAndEdgesSorted(t *testing.T) {
+	g := New()
+	g.AddEdge(5, 2, 1)
+	g.AddEdge(3, 1, 1)
+	nodes := g.Nodes()
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1] >= nodes[i] {
+			t.Fatalf("Nodes not sorted: %v", nodes)
+		}
+	}
+	edges := g.Edges()
+	if len(edges) != 2 || edges[0] != NewEdge(1, 3) || edges[1] != NewEdge(2, 5) {
+		t.Fatalf("Edges = %v", edges)
+	}
+}
+
+func TestForEachEdgeVisitsOnce(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 3, 1)
+	count := 0
+	g.ForEachEdge(func(e Edge, w float64) {
+		count++
+		if e.U >= e.V {
+			t.Fatalf("non-canonical edge %v", e)
+		}
+	})
+	if count != 3 {
+		t.Fatalf("visited %d edges, want 3", count)
+	}
+}
+
+func TestForEachNode(t *testing.T) {
+	g := New()
+	g.AddNode(7)
+	g.AddNode(9)
+	seen := map[NodeID]bool{}
+	g.ForEachNode(func(n NodeID) { seen[n] = true })
+	if !seen[7] || !seen[9] || len(seen) != 2 {
+		t.Fatalf("ForEachNode visited %v", seen)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, 0.3)
+	g.AddEdge(2, 3, 0.4)
+	c := g.Clone()
+	g.RemoveEdge(1, 2)
+	g.SetWeight(2, 3, 0.9)
+	if !c.HasEdge(1, 2) {
+		t.Fatalf("clone affected by original mutation")
+	}
+	if w, _ := c.Weight(2, 3); w != 0.4 {
+		t.Fatalf("clone weight mutated: %v", w)
+	}
+	if c.EdgeCount() != 2 || g.EdgeCount() != 1 {
+		t.Fatalf("edge counts wrong: clone=%d orig=%d", c.EdgeCount(), g.EdgeCount())
+	}
+}
+
+// TestEdgeCountInvariant drives random mutations and checks EdgeCount
+// always equals a brute-force recount.
+func TestEdgeCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New()
+	recount := func() int {
+		n := 0
+		g.ForEachEdge(func(Edge, float64) { n++ })
+		return n
+	}
+	for i := 0; i < 2000; i++ {
+		a := NodeID(rng.Intn(20))
+		b := NodeID(rng.Intn(20))
+		switch rng.Intn(4) {
+		case 0, 1:
+			g.AddEdge(a, b, rng.Float64())
+		case 2:
+			g.RemoveEdge(a, b)
+		case 3:
+			g.RemoveNode(a)
+		}
+		if g.EdgeCount() != recount() {
+			t.Fatalf("step %d: EdgeCount=%d recount=%d", i, g.EdgeCount(), recount())
+		}
+	}
+}
+
+// TestEdgeCanonicalQuick property-tests that NewEdge always yields U ≤ V
+// and is order-insensitive.
+func TestEdgeCanonicalQuick(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		e1 := NewEdge(NodeID(a), NodeID(b))
+		e2 := NewEdge(NodeID(b), NodeID(a))
+		return e1 == e2 && e1.U < e1.V
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package dygraph
+
+import "fmt"
+
+// State is a serialisable snapshot of a Graph (for detector checkpoints).
+type State struct {
+	Nodes   []NodeID // includes isolated nodes
+	Edges   []Edge
+	Weights []float64 // parallel to Edges
+}
+
+// State captures the graph. Nodes and edges are emitted in sorted order so
+// snapshots of equal graphs are byte-identical.
+func (g *Graph) State() State {
+	s := State{Nodes: g.Nodes()}
+	s.Edges = g.Edges()
+	s.Weights = make([]float64, len(s.Edges))
+	for i, e := range s.Edges {
+		w, _ := g.Weight(e.U, e.V)
+		s.Weights[i] = w
+	}
+	return s
+}
+
+// FromState reconstructs a graph from a snapshot.
+func FromState(s State) (*Graph, error) {
+	if len(s.Edges) != len(s.Weights) {
+		return nil, fmt.Errorf("dygraph: state has %d edges but %d weights", len(s.Edges), len(s.Weights))
+	}
+	g := New()
+	for _, n := range s.Nodes {
+		g.AddNode(n)
+	}
+	for i, e := range s.Edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("dygraph: state contains self-loop on node %d", e.U)
+		}
+		g.AddEdge(e.U, e.V, s.Weights[i])
+	}
+	return g, nil
+}

@@ -1,0 +1,182 @@
+// Package eval measures a detector run against the exact ground truth of a
+// synthetic trace: precision, recall, detection latency and the quality
+// metrics of Section 7.2 (average cluster size, average rank).
+//
+// Because the workload generator emits disjoint keyword pools per injected
+// event, matching a discovered cluster to its ground-truth event is
+// unambiguous: two shared keywords identify the event. Unlike the paper —
+// which had to extrapolate missed events by manually sampling bursty nouns
+// (Section 7.2.2) — the synthetic ground truth makes recall exact.
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/detect"
+	"repro/internal/stream"
+	"repro/internal/tracegen"
+)
+
+// MinOverlap is the number of shared keywords that ties a discovered event
+// to a ground-truth event.
+const MinOverlap = 2
+
+// Outcome records how one ground-truth event fared.
+type Outcome struct {
+	GT            tracegen.GTEvent
+	Detected      bool
+	FirstReported int // quantum; valid when Detected
+	StartQuantum  int // quantum the event began in the stream
+	LatencyQuanta int // FirstReported - StartQuantum
+	EventIDs      []uint64
+}
+
+// Result aggregates one evaluated run.
+type Result struct {
+	// Ground-truth side.
+	RealTotal    int // injected real events
+	RealDetected int
+	Outcomes     []Outcome
+	// Discovered side.
+	ReportedEvents int // events that ever passed reporting filters
+	TruePositives  int // reported events matching a real GT event
+	FalsePositives int // reported events matching nothing real
+	// Headline metrics.
+	Precision float64
+	Recall    float64
+	F1        float64
+	// Quality metrics (over reported events).
+	AvgClusterSize float64
+	AvgRank        float64
+	MeanLatency    float64 // quanta, over detected real events
+	// False-positive breakdown: reported events that matched an injected
+	// spurious burst, an injected discussion, or nothing at all (the
+	// paper's "events not in Google headlines" bucket).
+	SpuriousMatched   int
+	DiscussionMatched int
+	Unmatched         int
+}
+
+// Evaluate scores the detector's full event history against ground truth.
+// delta is the quantum size in messages (to convert message indices to
+// quanta for latency).
+func Evaluate(gt *tracegen.GroundTruth, events []*detect.Event, delta int) Result {
+	if delta <= 0 {
+		delta = 1
+	}
+	var res Result
+
+	// Index ground-truth keywords -> GT event id.
+	kwOwner := make(map[string]int)
+	gtByID := make(map[int]tracegen.GTEvent, len(gt.Events))
+	for _, g := range gt.Events {
+		gtByID[g.ID] = g
+		for _, kw := range g.Keywords {
+			kwOwner[kw] = g.ID
+		}
+	}
+
+	// Match each reported event to at most one GT event (max overlap).
+	matched := make(map[int][]*detect.Event) // gtID -> events
+	var sizeSum, rankSum float64
+	for _, ev := range events {
+		if !ev.Reported {
+			continue
+		}
+		res.ReportedEvents++
+		sizeSum += float64(ev.Size)
+		rankSum += float64(ev.PeakRank)
+		overlap := make(map[int]int)
+		for kw := range ev.AllKeywords {
+			if id, ok := kwOwner[kw]; ok {
+				overlap[id]++
+			}
+		}
+		bestID, best := 0, 0
+		for id, n := range overlap {
+			if n > best || (n == best && id < bestID) {
+				bestID, best = id, n
+			}
+		}
+		if best >= MinOverlap {
+			matched[bestID] = append(matched[bestID], ev)
+			switch gtByID[bestID].Kind {
+			case tracegen.Real:
+				res.TruePositives++
+			case tracegen.Spurious:
+				res.FalsePositives++
+				res.SpuriousMatched++
+			case tracegen.Discussion:
+				res.FalsePositives++
+				res.DiscussionMatched++
+			default:
+				res.FalsePositives++
+			}
+		} else {
+			res.FalsePositives++
+			res.Unmatched++
+		}
+	}
+
+	// Ground-truth outcomes for real events.
+	for _, g := range gt.Events {
+		if g.Kind != tracegen.Real {
+			continue
+		}
+		res.RealTotal++
+		out := Outcome{GT: g, StartQuantum: g.StartMsg/delta + 1}
+		if evs := matched[g.ID]; len(evs) > 0 {
+			out.Detected = true
+			res.RealDetected++
+			first := 0
+			for _, ev := range evs {
+				out.EventIDs = append(out.EventIDs, ev.ID)
+				if first == 0 || ev.FirstReported < first {
+					first = ev.FirstReported
+				}
+			}
+			sort.Slice(out.EventIDs, func(i, j int) bool { return out.EventIDs[i] < out.EventIDs[j] })
+			out.FirstReported = first
+			out.LatencyQuanta = first - out.StartQuantum
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+
+	if res.ReportedEvents > 0 {
+		res.Precision = float64(res.TruePositives) / float64(res.ReportedEvents)
+		res.AvgClusterSize = sizeSum / float64(res.ReportedEvents)
+		res.AvgRank = rankSum / float64(res.ReportedEvents)
+	}
+	if res.RealTotal > 0 {
+		res.Recall = float64(res.RealDetected) / float64(res.RealTotal)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	latSum, latN := 0.0, 0
+	for _, o := range res.Outcomes {
+		if o.Detected {
+			latSum += float64(o.LatencyQuanta)
+			latN++
+		}
+	}
+	if latN > 0 {
+		res.MeanLatency = latSum / float64(latN)
+	}
+	return res
+}
+
+// Run drives a fresh detector over msgs and evaluates it in one call.
+func Run(cfg detect.Config, msgs []stream.Message, gt *tracegen.GroundTruth) (Result, *detect.Detector, error) {
+	d := detect.New(cfg)
+	src := stream.NewSliceSource(msgs)
+	if err := d.Run(src, nil); err != nil {
+		return Result{}, nil, err
+	}
+	delta := cfg.Delta
+	if delta <= 0 {
+		delta = 160 // detect.Config default
+	}
+	res := Evaluate(gt, d.AllEvents(), delta)
+	return res, d, nil
+}

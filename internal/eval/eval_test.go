@@ -1,0 +1,219 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/detect"
+	"repro/internal/tracegen"
+)
+
+// TestEndToEndTW is the headline integration test: the detector must find
+// every injected real event in a TW-profile trace with high precision, and
+// the injected spurious burst must be flagged by the post-hoc rule.
+func TestEndToEndTW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	msgs, gt := tracegen.Generate(tracegen.TWConfig(42, 60000))
+	res, d, err := Run(detect.Config{}, msgs, &gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall < 0.8 {
+		t.Fatalf("recall = %v (%d/%d), want ≥ 0.8", res.Recall, res.RealDetected, res.RealTotal)
+	}
+	if res.Precision < 0.7 {
+		t.Fatalf("precision = %v, want ≥ 0.7", res.Precision)
+	}
+	if res.MeanLatency > 15 {
+		t.Fatalf("mean latency %v quanta too high", res.MeanLatency)
+	}
+	if res.AvgClusterSize <= 2 || res.AvgClusterSize > 12 {
+		t.Fatalf("avg cluster size %v implausible", res.AvgClusterSize)
+	}
+	// The spurious burst, if reported, must be recognisable post hoc.
+	for _, ev := range d.AllEvents() {
+		if !ev.Reported {
+			continue
+		}
+		spuriousGT := false
+		for kw := range ev.AllKeywords {
+			if len(kw) > 4 && kw[:4] == "spam" {
+				spuriousGT = true
+			}
+		}
+		if spuriousGT && !ev.Spurious() {
+			t.Fatalf("injected spurious burst not flagged: history=%v evolved=%v",
+				ev.RankHistory, ev.Evolved)
+		}
+	}
+}
+
+// TestEndToEndES checks the denser event-specific profile.
+func TestEndToEndES(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	msgs, gt := tracegen.Generate(tracegen.ESConfig(7, 60000))
+	res, _, err := Run(detect.Config{}, msgs, &gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RealTotal < 3 {
+		t.Fatalf("ES trace should carry several events, got %d", res.RealTotal)
+	}
+	if res.Recall < 0.7 {
+		t.Fatalf("ES recall = %v, want ≥ 0.7", res.Recall)
+	}
+}
+
+// TestRecallRisesWithDelta reproduces the Figure 7/8 trend on a small
+// trace: larger quanta (less stringent burstiness) must not lower recall.
+func TestRecallRisesWithDelta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	msgs, gt := tracegen.Generate(tracegen.TWConfig(3, 50000))
+	recall := func(delta int) float64 {
+		res, _, err := Run(detect.Config{Delta: delta}, msgs, &gt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Recall
+	}
+	lo, hi := recall(80), recall(240)
+	if hi < lo {
+		t.Fatalf("recall fell with larger quantum: Δ80→%v Δ240→%v", lo, hi)
+	}
+}
+
+// TestBelowBurstEventsNotDetected: events whose keywords never reach τ
+// must not be discovered (the paper's 27-headline exclusion).
+func TestBelowBurstEventsNotDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	msgs, gt := tracegen.Generate(tracegen.GroundTruthConfig(5, 40000))
+	_, d, err := Run(detect.Config{}, msgs, &gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quiet := map[string]bool{}
+	for _, g := range gt.OfKind(tracegen.BelowBurst) {
+		for _, kw := range g.Keywords {
+			quiet[kw] = true
+		}
+	}
+	for _, ev := range d.AllEvents() {
+		if !ev.Reported {
+			continue
+		}
+		for kw := range ev.AllKeywords {
+			if quiet[kw] {
+				t.Fatalf("below-burst keyword %q appeared in reported event", kw)
+			}
+		}
+	}
+}
+
+func TestEvaluateMatching(t *testing.T) {
+	gt := tracegen.GroundTruth{Events: []tracegen.GTEvent{
+		{ID: 1, Kind: tracegen.Real, Keywords: []string{"alpha", "beta", "gamma"}, StartMsg: 0},
+		{ID: 2, Kind: tracegen.Spurious, Keywords: []string{"spamx", "spamy"}, StartMsg: 100},
+	}}
+	events := []*detect.Event{
+		{ID: 1, Reported: true, FirstReported: 2, Size: 3, PeakRank: 50,
+			AllKeywords: set("alpha", "beta", "noise")},
+		{ID: 2, Reported: true, FirstReported: 3, Size: 2, PeakRank: 20,
+			AllKeywords: set("spamx", "spamy")},
+		{ID: 3, Reported: true, FirstReported: 4, Size: 3, PeakRank: 10,
+			AllKeywords: set("unrelated", "words", "here")},
+		{ID: 4, Reported: false,
+			AllKeywords: set("alpha", "gamma")}, // never reported: ignored
+	}
+	res := Evaluate(&gt, events, 10)
+	if res.RealTotal != 1 || res.RealDetected != 1 {
+		t.Fatalf("real detection wrong: %+v", res)
+	}
+	if res.ReportedEvents != 3 {
+		t.Fatalf("reported = %d", res.ReportedEvents)
+	}
+	if res.TruePositives != 1 || res.FalsePositives != 2 {
+		t.Fatalf("tp/fp = %d/%d", res.TruePositives, res.FalsePositives)
+	}
+	if res.Unmatched != 1 {
+		t.Fatalf("unmatched = %d", res.Unmatched)
+	}
+	if res.Recall != 1 || res.Precision != 1.0/3 {
+		t.Fatalf("p/r = %v/%v", res.Precision, res.Recall)
+	}
+	if len(res.Outcomes) != 1 || !res.Outcomes[0].Detected {
+		t.Fatalf("outcomes wrong: %+v", res.Outcomes)
+	}
+	if res.Outcomes[0].LatencyQuanta != 1 { // start quantum 1, reported 2
+		t.Fatalf("latency = %d", res.Outcomes[0].LatencyQuanta)
+	}
+}
+
+func TestEvaluateSingleKeywordOverlapIgnored(t *testing.T) {
+	gt := tracegen.GroundTruth{Events: []tracegen.GTEvent{
+		{ID: 1, Kind: tracegen.Real, Keywords: []string{"alpha", "beta"}},
+	}}
+	events := []*detect.Event{
+		{ID: 1, Reported: true, AllKeywords: set("alpha", "unrelated")},
+	}
+	res := Evaluate(&gt, events, 10)
+	if res.TruePositives != 0 {
+		t.Fatalf("single-keyword overlap should not match")
+	}
+}
+
+func set(ws ...string) map[string]struct{} {
+	m := make(map[string]struct{}, len(ws))
+	for _, w := range ws {
+		m[w] = struct{}{}
+	}
+	return m
+}
+
+func TestF1(t *testing.T) {
+	gt := tracegen.GroundTruth{Events: []tracegen.GTEvent{
+		{ID: 1, Kind: tracegen.Real, Keywords: []string{"alpha", "beta"}},
+		{ID: 2, Kind: tracegen.Real, Keywords: []string{"gamma", "delta"}},
+	}}
+	events := []*detect.Event{
+		{ID: 1, Reported: true, AllKeywords: set("alpha", "beta")},
+		{ID: 2, Reported: true, AllKeywords: set("junk", "words")},
+	}
+	res := Evaluate(&gt, events, 10)
+	// precision 0.5, recall 0.5 → F1 0.5
+	if res.F1 != 0.5 {
+		t.Fatalf("F1 = %v, want 0.5", res.F1)
+	}
+	empty := Evaluate(&tracegen.GroundTruth{}, nil, 10)
+	if empty.F1 != 0 {
+		t.Fatalf("empty F1 should be 0")
+	}
+}
+
+func TestFalsePositiveBreakdown(t *testing.T) {
+	gt := tracegen.GroundTruth{Events: []tracegen.GTEvent{
+		{ID: 1, Kind: tracegen.Real, Keywords: []string{"alpha", "beta"}},
+		{ID: 2, Kind: tracegen.Spurious, Keywords: []string{"spamx", "spamy"}},
+		{ID: 3, Kind: tracegen.Discussion, Keywords: []string{"debx", "deby"}},
+	}}
+	events := []*detect.Event{
+		{ID: 1, Reported: true, AllKeywords: set("alpha", "beta")},
+		{ID: 2, Reported: true, AllKeywords: set("spamx", "spamy")},
+		{ID: 3, Reported: true, AllKeywords: set("debx", "deby")},
+		{ID: 4, Reported: true, AllKeywords: set("noise", "junk")},
+	}
+	res := Evaluate(&gt, events, 10)
+	if res.SpuriousMatched != 1 || res.DiscussionMatched != 1 || res.Unmatched != 1 {
+		t.Fatalf("breakdown wrong: spurious=%d discussion=%d unmatched=%d",
+			res.SpuriousMatched, res.DiscussionMatched, res.Unmatched)
+	}
+	if res.FalsePositives != 3 || res.TruePositives != 1 {
+		t.Fatalf("totals wrong: tp=%d fp=%d", res.TruePositives, res.FalsePositives)
+	}
+}

@@ -1,0 +1,119 @@
+package quasi
+
+import (
+	"sort"
+
+	"repro/internal/dygraph"
+)
+
+// MaximalMQCs exhaustively enumerates the node sets of maximal majority
+// quasi cliques (strict majority degree within the induced subgraph,
+// connected, ≥ 3 nodes) in a small graph. Exponential — intended for
+// cross-validation only: the engine's completeness test uses it to verify
+// the paper's claim that clustering by the short-cycle property "ensures
+// that no MQC based clique is missed" (Section 4.2). Inputs beyond ~16
+// nodes are rejected.
+func MaximalMQCs(s *Subgraph) [][]dygraph.NodeID {
+	nodes := s.Nodes()
+	n := len(nodes)
+	if n > 16 {
+		panic("quasi: MaximalMQCs is exponential; use ≤16 nodes")
+	}
+	var mqcs []uint32 // bitmasks over nodes index
+	for mask := uint32(7); mask < 1<<n; mask++ {
+		cnt := popcount(mask)
+		if cnt < 3 {
+			continue
+		}
+		if isMQCMask(s, nodes, mask, cnt) {
+			mqcs = append(mqcs, mask)
+		}
+	}
+	// Keep only maximal sets.
+	var maximal []uint32
+	for _, m := range mqcs {
+		isMax := true
+		for _, o := range mqcs {
+			if o != m && m&o == m {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, m)
+		}
+	}
+	out := make([][]dygraph.NodeID, 0, len(maximal))
+	for _, m := range maximal {
+		var set []dygraph.NodeID
+		for i := 0; i < n; i++ {
+			if m&(1<<i) != 0 {
+				set = append(set, nodes[i])
+			}
+		}
+		out = append(out, set)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}
+
+// isMQCMask checks the strict-majority degree condition and connectivity
+// of the induced subgraph selected by mask.
+func isMQCMask(s *Subgraph, nodes []dygraph.NodeID, mask uint32, cnt int) bool {
+	need := (cnt-1)/2 + 1
+	idx := make(map[dygraph.NodeID]int, cnt)
+	for i, node := range nodes {
+		if mask&(1<<i) != 0 {
+			idx[node] = i
+		}
+	}
+	// Degree check.
+	for node, i := range idx {
+		deg := 0
+		for other := range s.adj[node] {
+			if j, ok := idx[other]; ok && j != i {
+				deg++
+			}
+		}
+		if deg < need {
+			return false
+		}
+	}
+	// Connectivity of the induced subgraph (strict majority implies it
+	// for cnt ≥ 3, but verify to stay independent of that argument).
+	var start dygraph.NodeID
+	for node := range idx {
+		start = node
+		break
+	}
+	visited := map[dygraph.NodeID]struct{}{start: {}}
+	stack := []dygraph.NodeID{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for nb := range s.adj[cur] {
+			if _, in := idx[nb]; !in {
+				continue
+			}
+			if _, ok := visited[nb]; !ok {
+				visited[nb] = struct{}{}
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(visited) == cnt
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

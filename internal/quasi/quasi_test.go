@@ -1,0 +1,285 @@
+package quasi
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dygraph"
+)
+
+func clique(n int) *Subgraph {
+	s := NewSubgraph()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddEdge(dygraph.NodeID(i), dygraph.NodeID(j))
+		}
+	}
+	return s
+}
+
+func cycle(n int) *Subgraph {
+	s := NewSubgraph()
+	for i := 0; i < n; i++ {
+		s.AddEdge(dygraph.NodeID(i), dygraph.NodeID((i+1)%n))
+	}
+	return s
+}
+
+func path(n int) *Subgraph {
+	s := NewSubgraph()
+	for i := 0; i+1 < n; i++ {
+		s.AddEdge(dygraph.NodeID(i), dygraph.NodeID(i+1))
+	}
+	return s
+}
+
+func TestBasicCounts(t *testing.T) {
+	s := clique(4)
+	if s.NodeCount() != 4 || s.EdgeCount() != 6 {
+		t.Fatalf("K4 counts wrong: %d nodes %d edges", s.NodeCount(), s.EdgeCount())
+	}
+	if s.Degree(0) != 3 || s.Degree(dygraph.NodeID(99)) != 0 {
+		t.Fatalf("degree wrong")
+	}
+	if len(s.Nodes()) != 4 || len(s.Edges()) != 6 {
+		t.Fatalf("listing wrong")
+	}
+	if !s.HasEdge(0, 1) || s.HasEdge(0, 9) {
+		t.Fatalf("HasEdge wrong")
+	}
+}
+
+func TestFromEdgesAndEdgeSet(t *testing.T) {
+	edges := []dygraph.Edge{dygraph.NewEdge(1, 2), dygraph.NewEdge(2, 3)}
+	if FromEdges(edges).EdgeCount() != 2 {
+		t.Fatalf("FromEdges wrong")
+	}
+	set := map[dygraph.Edge]struct{}{dygraph.NewEdge(1, 2): {}}
+	if FromEdgeSet(set).EdgeCount() != 1 {
+		t.Fatalf("FromEdgeSet wrong")
+	}
+	s := NewSubgraph()
+	s.AddEdge(1, 1) // self loop ignored
+	if s.EdgeCount() != 0 {
+		t.Fatalf("self loop stored")
+	}
+}
+
+func TestGammaQuasiClique(t *testing.T) {
+	k5 := clique(5)
+	if !k5.IsGammaQuasiClique(1.0) {
+		t.Fatalf("K5 should be a 1-quasi clique")
+	}
+	c5 := cycle(5)
+	// Each node in C5 has degree 2; (N-1)/2 = 2, so it's exactly a ½-QC.
+	if !c5.IsGammaQuasiClique(0.5) {
+		t.Fatalf("C5 should be a ½-quasi clique")
+	}
+	if c5.IsGammaQuasiClique(0.75) {
+		t.Fatalf("C5 should not be a ¾-quasi clique")
+	}
+	p4 := path(4)
+	if p4.IsGammaQuasiClique(0.5) {
+		t.Fatalf("P4 endpoints have degree 1 < 1.5")
+	}
+	single := NewSubgraph()
+	single.AddNode(1)
+	if !single.IsGammaQuasiClique(1.0) {
+		t.Fatalf("single node is trivially a clique")
+	}
+}
+
+func TestIsMQC(t *testing.T) {
+	if !clique(7).IsMQC() {
+		t.Fatalf("K7 is an MQC")
+	}
+	if !cycle(3).IsMQC() {
+		t.Fatalf("triangle is an MQC")
+	}
+	// C5: all degrees exactly (N-1)/2 = 2, not a strict majority.
+	// This is the Theorem 1 boundary case; see IsMQC doc comment.
+	if cycle(5).IsMQC() {
+		t.Fatalf("C5 must not count as MQC (strict majority)")
+	}
+	if cycle(7).IsMQC() {
+		t.Fatalf("C7 is not an MQC")
+	}
+	if path(4).IsMQC() {
+		t.Fatalf("P4 is not an MQC")
+	}
+	if path(3).IsMQC() {
+		t.Fatalf("P3 must not count as MQC (strict majority)")
+	}
+	// Diamond (K4 minus an edge): degrees 2,3,3,2, need 2 -> MQC.
+	d := clique(4)
+	d = NewSubgraph()
+	d.AddEdge(0, 1)
+	d.AddEdge(1, 2)
+	d.AddEdge(2, 3)
+	d.AddEdge(3, 0)
+	d.AddEdge(0, 2)
+	if !d.IsMQC() {
+		t.Fatalf("diamond is an MQC")
+	}
+}
+
+func TestSatisfiesSCP(t *testing.T) {
+	cases := []struct {
+		name string
+		s    *Subgraph
+		want bool
+	}{
+		{"triangle", cycle(3), true},
+		{"square", cycle(4), true},
+		{"pentagon", cycle(5), false},
+		{"K4", clique(4), true},
+		{"path", path(3), false},
+		{"empty", NewSubgraph(), true},
+	}
+	for _, tc := range cases {
+		if got := tc.s.SatisfiesSCP(); got != tc.want {
+			t.Errorf("%s: SCP = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Two squares sharing an edge: every edge on a 4-cycle.
+	s := cycle(4)
+	s.AddEdge(0, 4)
+	s.AddEdge(4, 5)
+	s.AddEdge(5, 1)
+	if !s.SatisfiesSCP() {
+		t.Fatalf("glued squares should satisfy SCP")
+	}
+	// Dangling edge breaks SCP.
+	s.AddEdge(5, 9)
+	if s.SatisfiesSCP() {
+		t.Fatalf("dangling edge must violate SCP")
+	}
+}
+
+// TestTheorem1 property-checks the paper's Theorem 1: every majority quasi
+// clique satisfies the short-cycle property. Random graphs are generated
+// and filtered to MQCs; each must pass SCP.
+func TestTheorem1MQCImpliesSCP(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 4000 && checked < 300; trial++ {
+		n := 3 + rng.Intn(7)
+		s := NewSubgraph()
+		for i := 0; i < n; i++ {
+			s.AddNode(dygraph.NodeID(i))
+		}
+		p := 0.4 + rng.Float64()*0.5
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					s.AddEdge(dygraph.NodeID(i), dygraph.NodeID(j))
+				}
+			}
+		}
+		if !s.IsMQC() || !s.IsConnected() {
+			continue
+		}
+		checked++
+		if !s.SatisfiesSCP() {
+			t.Fatalf("MQC without SCP found: %v", s.Edges())
+		}
+		if n >= 3 && s.Diameter() > 2 {
+			t.Fatalf("MQC with diameter > 2 found (Pei et al. property): %v", s.Edges())
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("generated too few MQCs to be meaningful: %d", checked)
+	}
+}
+
+// TestSCPDoesNotImplyMQC: the paper's Figure 3(b) point — SCP clusters
+// need not be MQCs. Two squares sharing one edge (6 nodes): corner nodes
+// have degree 2 < ceil(5/2)=3.
+func TestSCPDoesNotImplyMQC(t *testing.T) {
+	s := NewSubgraph()
+	// square 0-1-2-3, square 2-3-4-5 sharing edge 2-3
+	s.AddEdge(0, 1)
+	s.AddEdge(1, 2)
+	s.AddEdge(2, 3)
+	s.AddEdge(3, 0)
+	s.AddEdge(2, 4)
+	s.AddEdge(4, 5)
+	s.AddEdge(5, 3)
+	if !s.SatisfiesSCP() {
+		t.Fatalf("construction should satisfy SCP")
+	}
+	if s.IsMQC() {
+		t.Fatalf("construction should not be an MQC")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	s := NewSubgraph()
+	if !s.IsConnected() {
+		t.Fatalf("empty graph counts as connected")
+	}
+	s.AddNode(1)
+	if !s.IsConnected() {
+		t.Fatalf("single node connected")
+	}
+	s.AddNode(2)
+	if s.IsConnected() {
+		t.Fatalf("two isolated nodes are disconnected")
+	}
+	s.AddEdge(1, 2)
+	if !s.IsConnected() {
+		t.Fatalf("edge connects them")
+	}
+}
+
+func TestIsBiconnected(t *testing.T) {
+	if !cycle(4).IsBiconnected() || !clique(5).IsBiconnected() {
+		t.Fatalf("cycles and cliques are biconnected")
+	}
+	if path(3).IsBiconnected() {
+		t.Fatalf("path has articulation point")
+	}
+	// Two triangles sharing a node: articulation point.
+	s := NewSubgraph()
+	s.AddEdge(0, 1)
+	s.AddEdge(1, 2)
+	s.AddEdge(0, 2)
+	s.AddEdge(2, 3)
+	s.AddEdge(3, 4)
+	s.AddEdge(2, 4)
+	if s.IsBiconnected() {
+		t.Fatalf("bowtie is not biconnected")
+	}
+	if pts := s.ArticulationPoints(); len(pts) != 1 || pts[0] != 2 {
+		t.Fatalf("articulation points = %v, want [2]", pts)
+	}
+	two := NewSubgraph()
+	two.AddEdge(0, 1)
+	if two.IsBiconnected() {
+		t.Fatalf("K2 not biconnected by our definition")
+	}
+	if cycle(4).ArticulationPoints() != nil {
+		t.Fatalf("cycle has no articulation points")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := clique(4).Diameter(); d != 1 {
+		t.Fatalf("K4 diameter = %d, want 1", d)
+	}
+	if d := cycle(6).Diameter(); d != 3 {
+		t.Fatalf("C6 diameter = %d, want 3", d)
+	}
+	if d := path(5).Diameter(); d != 4 {
+		t.Fatalf("P5 diameter = %d, want 4", d)
+	}
+	if d := NewSubgraph().Diameter(); d != -1 {
+		t.Fatalf("empty diameter = %d, want -1", d)
+	}
+	disc := NewSubgraph()
+	disc.AddNode(1)
+	disc.AddNode(2)
+	if d := disc.Diameter(); d != -1 {
+		t.Fatalf("disconnected diameter = %d, want -1", d)
+	}
+}

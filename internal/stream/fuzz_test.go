@@ -1,0 +1,24 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzJSONLReader: arbitrary bytes never panic the reader; it either
+// yields messages or a line-tagged error.
+func FuzzJSONLReader(f *testing.F) {
+	f.Add("")
+	f.Add(`{"id":1,"user":2,"time":3,"text":"a"}`)
+	f.Add("{\"id\":1}\n\nnot json\n")
+	f.Add("\x00\xff{}[]")
+	f.Fuzz(func(t *testing.T, data string) {
+		r := NewJSONLReader(strings.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			_, ok, err := r.Next()
+			if err != nil || !ok {
+				return
+			}
+		}
+	})
+}

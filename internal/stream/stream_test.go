@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample(n int) []Message {
+	out := make([]Message, n)
+	for i := range out {
+		out[i] = Message{ID: uint64(i + 1), User: uint64(i % 7), Time: int64(i), Text: "hello world"}
+	}
+	return out
+}
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource(sample(3))
+	if src.Len() != 3 {
+		t.Fatalf("Len = %d", src.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		m, ok, err := src.Next()
+		if err != nil || !ok || m.ID != uint64(i) {
+			t.Fatalf("Next %d = %v,%v,%v", i, m, ok, err)
+		}
+	}
+	if _, ok, _ := src.Next(); ok {
+		t.Fatalf("source did not end")
+	}
+	src.Reset()
+	if m, ok, _ := src.Next(); !ok || m.ID != 1 {
+		t.Fatalf("Reset failed")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	msgs := sample(5)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, msgs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewJSONLReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("round trip lost messages: %d vs %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if got[i] != msgs[i] {
+			t.Fatalf("message %d mismatch: %+v vs %+v", i, got[i], msgs[i])
+		}
+	}
+}
+
+func TestJSONLSkipsEmptyLines(t *testing.T) {
+	in := `{"id":1,"user":2,"time":3,"text":"a b"}
+
+{"id":2,"user":2,"time":4,"text":"c"}
+`
+	got, err := ReadAll(NewJSONLReader(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d messages", len(got))
+	}
+}
+
+func TestJSONLMalformedLineError(t *testing.T) {
+	in := "{\"id\":1,\"text\":\"ok\"}\nnot json at all\n"
+	r := NewJSONLReader(strings.NewReader(in))
+	if _, ok, err := r.Next(); err != nil || !ok {
+		t.Fatalf("first line should parse")
+	}
+	_, _, err := r.Next()
+	if err == nil {
+		t.Fatalf("malformed line did not error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should identify line: %v", err)
+	}
+}
+
+func TestQuantizer(t *testing.T) {
+	q := NewQuantizer(3)
+	if q.Delta() != 3 {
+		t.Fatalf("Delta = %d", q.Delta())
+	}
+	msgs := sample(7)
+	var quanta [][]Message
+	for _, m := range msgs {
+		if batch := q.Add(m); batch != nil {
+			cp := make([]Message, len(batch))
+			copy(cp, batch)
+			quanta = append(quanta, cp)
+		}
+	}
+	if len(quanta) != 2 {
+		t.Fatalf("expected 2 full quanta, got %d", len(quanta))
+	}
+	for _, qu := range quanta {
+		if len(qu) != 3 {
+			t.Fatalf("quantum size %d", len(qu))
+		}
+	}
+	rest := q.Flush()
+	if len(rest) != 1 || rest[0].ID != 7 {
+		t.Fatalf("Flush = %v", rest)
+	}
+	if len(q.Flush()) != 0 {
+		t.Fatalf("second Flush not empty")
+	}
+}
+
+func TestQuantizerClampsDelta(t *testing.T) {
+	q := NewQuantizer(0)
+	if q.Delta() != 1 {
+		t.Fatalf("Delta = %d", q.Delta())
+	}
+	if batch := q.Add(Message{ID: 1}); len(batch) != 1 {
+		t.Fatalf("delta-1 quantizer should emit immediately")
+	}
+}

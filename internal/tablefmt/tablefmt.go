@@ -1,0 +1,117 @@
+// Package tablefmt renders the experiment harness's tables and figure
+// series as aligned ASCII, so `cmd/experiments` output reads like the
+// paper's evaluation section.
+package tablefmt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(vals ...any) *Table {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = trimFloat(x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.3f", f)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	line := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one labelled line of a "figure": y values over shared x ticks.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure renders figure data as a grid: one column per x tick, one row per
+// series — the textual analogue of the paper's recall/precision plots.
+func Figure(title, xlabel string, xs []string, series []Series) string {
+	t := New(title, append([]string{xlabel}, xs...)...)
+	for _, s := range series {
+		vals := make([]any, 0, len(s.Y)+1)
+		vals = append(vals, s.Label)
+		for _, y := range s.Y {
+			vals = append(vals, y)
+		}
+		t.Row(vals...)
+	}
+	return t.String()
+}

@@ -1,0 +1,71 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := New("Title", "A", "LongHeader").
+		Row("x", 1).
+		Row("longer", 2.5).
+		String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Title" {
+		t.Fatalf("title missing: %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All data lines should have equal width.
+	w := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(l) != w {
+			t.Fatalf("ragged line %q (want width %d)\n%s", l, w, out)
+		}
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatalf("float formatting lost value:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.0:    "1",
+		0.5:    "0.5",
+		0.25:   "0.25",
+		0.1239: "0.124",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	out := New("", "H").Row("v").String()
+	if strings.HasPrefix(out, "\n") {
+		t.Fatalf("empty title produced leading newline")
+	}
+}
+
+func TestRowWiderThanHeaders(t *testing.T) {
+	out := New("t", "only").Row("a", "b", "c").String()
+	if !strings.Contains(out, "c") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestFigure(t *testing.T) {
+	out := Figure("Fig", "recall", []string{"Δ=80", "Δ=160"}, []Series{
+		{Label: "β=0.10", Y: []float64{0.5, 1}},
+		{Label: "β=0.25", Y: []float64{0.25, 0.75}},
+	})
+	for _, want := range []string{"Fig", "Δ=80", "β=0.10", "0.75", "recall"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figure missing %q:\n%s", want, out)
+		}
+	}
+}

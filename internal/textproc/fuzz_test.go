@@ -1,0 +1,51 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize asserts tokenizer invariants over arbitrary input: no
+// panics, lower-cased output, no stop words, no empty or 1-rune tokens,
+// no duplicates within a message.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"Massive earthquake struck eastern Turkey",
+		"#quake 5.9 @user https://x.co !!",
+		"ünïcödé wörds ßtraße 日本語 テスト",
+		"a b c d e f g h",
+		strings.Repeat("loooong ", 100),
+		"\x00\x01\x02 binary junk \xff",
+		"RT @x: breaking NEWS!!!! (developing)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, msg string) {
+		toks := Tokenize(msg)
+		seen := map[string]struct{}{}
+		for _, tok := range toks {
+			if tok.Text == "" {
+				t.Fatalf("empty token from %q", msg)
+			}
+			if len([]rune(tok.Text)) < 2 {
+				t.Fatalf("1-rune token %q from %q", tok.Text, msg)
+			}
+			if IsStopWord(tok.Text) {
+				t.Fatalf("stop word %q survived from %q", tok.Text, msg)
+			}
+			// Lower-casing must be a fixed point. (Some upper-case runes
+			// such as U+03D2 have no lower-case mapping, so asserting
+			// !IsUpper would be wrong.)
+			if tok.Text != strings.ToLower(tok.Text) {
+				t.Fatalf("token %q not lower-case fixed point from %q", tok.Text, msg)
+			}
+			if _, dup := seen[tok.Text]; dup {
+				t.Fatalf("duplicate token %q from %q", tok.Text, msg)
+			}
+			seen[tok.Text] = struct{}{}
+			// LikelyNoun must be total (no panics) on any token.
+			_ = LikelyNoun(tok)
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package textproc
+
+import "repro/internal/dygraph"
+
+// Interner maps keyword strings to dense dygraph.NodeIDs and back. The
+// graph layers work exclusively with NodeIDs; only event reporting needs
+// the reverse mapping. IDs are never reused, matching the append-only
+// nature of a stream vocabulary.
+type Interner struct {
+	ids   map[string]dygraph.NodeID
+	words []string
+}
+
+// NewInterner returns an empty interner. The zero NodeID is reserved so
+// that "no node" can be expressed; the first interned word gets ID 1.
+func NewInterner() *Interner {
+	return &Interner{
+		ids:   make(map[string]dygraph.NodeID),
+		words: []string{""},
+	}
+}
+
+// Intern returns the ID for word, assigning a new one on first sight.
+func (in *Interner) Intern(word string) dygraph.NodeID {
+	if id, ok := in.ids[word]; ok {
+		return id
+	}
+	id := dygraph.NodeID(len(in.words))
+	in.ids[word] = id
+	in.words = append(in.words, word)
+	return id
+}
+
+// Lookup returns the ID for word without assigning, and whether it exists.
+func (in *Interner) Lookup(word string) (dygraph.NodeID, bool) {
+	id, ok := in.ids[word]
+	return id, ok
+}
+
+// Word returns the keyword for an ID ("" if unknown).
+func (in *Interner) Word(id dygraph.NodeID) string {
+	if int(id) >= len(in.words) {
+		return ""
+	}
+	return in.words[id]
+}
+
+// Words maps a slice of IDs to their keywords.
+func (in *Interner) Words(ids []dygraph.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = in.Word(id)
+	}
+	return out
+}
+
+// Size returns the number of interned keywords.
+func (in *Interner) Size() int { return len(in.words) - 1 }
+
+// WordList returns all interned words in ID order (excluding the reserved
+// zero entry), for checkpointing.
+func (in *Interner) WordList() []string {
+	out := make([]string, len(in.words)-1)
+	copy(out, in.words[1:])
+	return out
+}
+
+// FromWordList reconstructs an interner so that each word receives the
+// same ID it had when WordList was taken.
+func FromWordList(words []string) *Interner {
+	in := NewInterner()
+	for _, w := range words {
+		in.Intern(w)
+	}
+	return in
+}

@@ -1,0 +1,85 @@
+package textproc
+
+import "strings"
+
+// The paper filters discovered clusters with "at least one noun keyword"
+// using the Stanford POS tagger (Section 7.2.2). A full tagger is outside
+// stdlib scope, so LikelyNoun applies a conservative shape heuristic that
+// plays the same role as that filter: it only has to separate
+// content-bearing nouns from verbs/adjectives/adverbs well enough that
+// real-event clusters (which contain proper nouns and concrete objects)
+// pass and all-function-word clusters fail. DESIGN.md records this
+// substitution.
+
+// nounSuffixes are derivational suffixes that almost always mark English
+// nouns.
+var nounSuffixes = []string{
+	"tion", "sion", "ment", "ness", "ance", "ence", "ship", "hood",
+	"ism", "ist", "dom", "ure", "age", "cy", "quake", "storm", "fire",
+}
+
+// nonNounSuffixes mark words that are very likely not nouns (adverbs,
+// participles, comparatives and plain adjectives).
+var nonNounSuffixes = []string{
+	"ly", "ing", "ed", "est", "ous", "ive", "able", "ible", "ful",
+}
+
+// verbish lists frequent microblog verbs/adjectives that the suffix rules
+// miss. The set only needs to cover common words; rare words default to
+// noun, which matches how proper nouns and fresh event terms behave.
+var verbish = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"watch", "watches", "break", "breaks", "struck", "strike",
+		"strikes", "hit", "hits", "kill", "kills", "found", "find",
+		"finds", "made", "make", "makes", "run", "runs", "ran", "won",
+		"win", "wins", "lost", "lose", "loses", "dead", "big", "small",
+		"huge", "massive", "moderate", "awesome", "great", "good", "bad",
+		"live", "issued", "issue", "issues", "seek", "seeks", "pound",
+		"pounds", "hold", "holds", "held", "come", "comes", "came",
+		"take", "takes", "took", "give", "gives", "gave", "think",
+		"thinks", "thought",
+	} {
+		verbish[w] = struct{}{}
+	}
+}
+
+// LikelyNoun reports whether the token is probably a noun. Decision order:
+// numbers are not nouns; capitalized or hashtag tokens are (proper nouns
+// and topic tags); known verb/adjective lexicon entries are not; noun
+// suffixes win over non-noun suffixes; everything else of length ≥ 3
+// defaults to noun.
+func LikelyNoun(t Token) bool {
+	if t.Numeric {
+		return false
+	}
+	if t.Capitalized || t.Hashtag {
+		return true
+	}
+	if _, ok := verbish[t.Text]; ok {
+		return false
+	}
+	for _, suf := range nounSuffixes {
+		if strings.HasSuffix(t.Text, suf) && len(t.Text) > len(suf) {
+			return true
+		}
+	}
+	for _, suf := range nonNounSuffixes {
+		if strings.HasSuffix(t.Text, suf) && len(t.Text) > len(suf)+1 {
+			return false
+		}
+	}
+	return len(t.Text) >= 3
+}
+
+// HasNoun reports whether any token in the slice is a likely noun — the
+// cluster-level precision filter from Section 7.2.2.
+func HasNoun(tokens []Token) bool {
+	for _, t := range tokens {
+		if LikelyNoun(t) {
+			return true
+		}
+	}
+	return false
+}

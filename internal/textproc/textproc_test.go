@@ -1,0 +1,184 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dygraph"
+)
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	toks := Tokenize("Earthquake struck eastern Turkey")
+	got := texts(toks)
+	want := []string{"earthquake", "struck", "eastern", "turkey"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if !toks[0].Capitalized || toks[1].Capitalized {
+		t.Fatalf("capitalization flags wrong: %+v", toks)
+	}
+}
+
+func TestTokenizeDropsStopWords(t *testing.T) {
+	got := texts(Tokenize("the quick and the dead"))
+	want := []string{"quick", "dead"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeDropsURLsAndMentions(t *testing.T) {
+	got := texts(Tokenize("@friend check https://example.com/x www.foo.bar breaking story"))
+	want := []string{"check", "breaking", "story"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeHashtag(t *testing.T) {
+	toks := Tokenize("#earthquake hits city")
+	if toks[0].Text != "earthquake" || !toks[0].Hashtag {
+		t.Fatalf("hashtag handling wrong: %+v", toks[0])
+	}
+}
+
+func TestTokenizeDecimalNumber(t *testing.T) {
+	toks := Tokenize("magnitude 5.9 quake")
+	found := false
+	for _, tok := range toks {
+		if tok.Text == "5.9" {
+			found = true
+			if !tok.Numeric {
+				t.Fatalf("5.9 not flagged numeric")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("decimal token lost: %v", texts(toks))
+	}
+}
+
+func TestTokenizePunctuationTrim(t *testing.T) {
+	got := texts(Tokenize("breaking: earthquake!!! (turkey)"))
+	want := []string{"breaking", "earthquake", "turkey"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeInteriorApostrophe(t *testing.T) {
+	got := texts(Tokenize("Rick's house"))
+	if got[0] != "ricks" || got[1] != "house" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTokenizeDedupes(t *testing.T) {
+	got := texts(Tokenize("fire fire fire downtown"))
+	if len(got) != 2 {
+		t.Fatalf("duplicates kept: %v", got)
+	}
+}
+
+func TestTokenizeEmptyAndJunk(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("empty message produced tokens: %v", got)
+	}
+	if got := Tokenize("!!! ??? ..."); len(got) != 0 {
+		t.Fatalf("punctuation-only produced tokens: %v", got)
+	}
+	if got := Tokenize("a I"); len(got) != 0 {
+		t.Fatalf("single chars / stop words survived: %v", got)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	got := Keywords("Tornado pounds MidWest")
+	if len(got) != 3 || got[0] != "tornado" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "and", "rt", "youre"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"earthquake", "turkey"} {
+		if IsStopWord(w) {
+			t.Errorf("%q should not be a stop word", w)
+		}
+	}
+	if StopWordCount() < 150 {
+		t.Fatalf("stop word list suspiciously small: %d", StopWordCount())
+	}
+}
+
+func TestLikelyNoun(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want bool
+	}{
+		{Token{Text: "turkey", Capitalized: true}, true},
+		{Token{Text: "earthquake"}, true},          // quake suffix
+		{Token{Text: "election"}, true},            // tion suffix
+		{Token{Text: "5.9", Numeric: true}, false}, // numbers are not nouns
+		{Token{Text: "quickly"}, false},            // ly suffix
+		{Token{Text: "running"}, false},            // ing suffix
+		{Token{Text: "struck"}, false},             // verb lexicon
+		{Token{Text: "massive"}, false},            // adjective lexicon
+		{Token{Text: "jobs", Hashtag: true}, true}, // hashtags behave like topics
+		{Token{Text: "senator"}, true},             // default noun
+	}
+	for _, tc := range cases {
+		if got := LikelyNoun(tc.tok); got != tc.want {
+			t.Errorf("LikelyNoun(%q) = %v, want %v", tc.tok.Text, got, tc.want)
+		}
+	}
+}
+
+func TestHasNoun(t *testing.T) {
+	if !HasNoun(Tokenize("earthquake struck")) {
+		t.Fatalf("earthquake cluster must pass the noun filter")
+	}
+	if HasNoun([]Token{{Text: "quickly"}, {Text: "running"}}) {
+		t.Fatalf("all-non-noun set passed the filter")
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("alpha")
+	b := in.Intern("beta")
+	if a == b {
+		t.Fatalf("distinct words share an ID")
+	}
+	if a2 := in.Intern("alpha"); a2 != a {
+		t.Fatalf("re-intern changed ID")
+	}
+	if in.Word(a) != "alpha" || in.Word(9999) != "" {
+		t.Fatalf("Word lookup wrong")
+	}
+	if id, ok := in.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup wrong")
+	}
+	if _, ok := in.Lookup("gamma"); ok {
+		t.Fatalf("Lookup invented a word")
+	}
+	if in.Size() != 2 {
+		t.Fatalf("Size = %d", in.Size())
+	}
+	ws := in.Words([]dygraph.NodeID{b, a})
+	if len(ws) != 2 || ws[0] != "beta" || ws[1] != "alpha" {
+		t.Fatalf("Words = %v", ws)
+	}
+}

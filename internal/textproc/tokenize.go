@@ -1,0 +1,128 @@
+// Package textproc provides the light text-processing substrate the
+// detector needs: tokenization of microblog messages into keywords, stop
+// word removal (Section 3.1), a noun-likeness heuristic standing in for
+// the Stanford POS tagger the paper uses as a precision filter
+// (Section 7.2.2), and keyword interning to compact node IDs.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Token is a normalised keyword extracted from a message, along with the
+// shape information the noun heuristic uses.
+type Token struct {
+	Text        string // lower-cased keyword
+	Capitalized bool   // first rune was upper case in the source
+	Hashtag     bool   // token was written as #tag
+	Numeric     bool   // token is a number such as "5.9"
+}
+
+// Tokenize splits a raw message into keyword tokens:
+//
+//   - URLs and @mentions are dropped (they identify resources and users,
+//     not event vocabulary);
+//   - a leading '#' is stripped but remembered, since hashtags behave like
+//     keywords in the CKG;
+//   - everything is lower-cased; punctuation is trimmed; decimal numbers
+//     like "5.9" survive as single tokens (the paper's earthquake example
+//     depends on this);
+//   - stop words and single-character fragments are removed;
+//   - duplicate keywords within one message are collapsed.
+func Tokenize(msg string) []Token {
+	fields := strings.Fields(msg)
+	out := make([]Token, 0, len(fields))
+	seen := make(map[string]struct{}, len(fields))
+	for _, f := range fields {
+		if isURL(f) || strings.HasPrefix(f, "@") {
+			continue
+		}
+		hashtag := false
+		if strings.HasPrefix(f, "#") {
+			hashtag = true
+			f = f[1:]
+		}
+		f = strings.TrimFunc(f, func(r rune) bool {
+			return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+		})
+		if f == "" {
+			continue
+		}
+		first, _ := firstRune(f)
+		cap := unicode.IsUpper(first)
+		lower := strings.ToLower(f)
+		numeric := isNumeric(lower)
+		if !numeric {
+			// Strip interior punctuation except apostrophes already gone;
+			// split tokens like "earthquake,struck" conservatively: keep
+			// the longest clean prefix of letters/digits.
+			lower = cleanInterior(lower)
+		}
+		if utf8.RuneCountInString(lower) < 2 {
+			continue
+		}
+		if IsStopWord(lower) {
+			continue
+		}
+		if _, dup := seen[lower]; dup {
+			continue
+		}
+		seen[lower] = struct{}{}
+		out = append(out, Token{Text: lower, Capitalized: cap, Hashtag: hashtag, Numeric: numeric})
+	}
+	return out
+}
+
+// Keywords returns just the token texts of Tokenize(msg).
+func Keywords(msg string) []string {
+	toks := Tokenize(msg)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func firstRune(s string) (rune, int) {
+	for i, r := range s {
+		return r, i
+	}
+	return 0, 0
+}
+
+func isURL(s string) bool {
+	return strings.HasPrefix(s, "http://") ||
+		strings.HasPrefix(s, "https://") ||
+		strings.HasPrefix(s, "www.")
+}
+
+// isNumeric reports whether s is a plain or decimal number ("5", "5.9").
+func isNumeric(s string) bool {
+	dot := false
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' && !dot && digits > 0:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// cleanInterior removes non-alphanumeric runes from inside a token,
+// keeping letters and digits only ("rick's" -> "ricks").
+func cleanInterior(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,33 @@
+package tracegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serialises the ground truth as indented JSON.
+func (gt *GroundTruth) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(gt); err != nil {
+		return fmt.Errorf("tracegen: encode ground truth: %w", err)
+	}
+	return nil
+}
+
+// ReadGroundTruth parses a ground-truth log written by WriteJSON.
+func ReadGroundTruth(r io.Reader) (GroundTruth, error) {
+	var gt GroundTruth
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&gt); err != nil {
+		return GroundTruth{}, fmt.Errorf("tracegen: decode ground truth: %w", err)
+	}
+	for i, e := range gt.Events {
+		if e.ID == 0 || len(e.Keywords) == 0 {
+			return GroundTruth{}, fmt.Errorf("tracegen: ground-truth event %d malformed (id=%d, %d keywords)",
+				i, e.ID, len(e.Keywords))
+		}
+	}
+	return gt, nil
+}

@@ -1,0 +1,166 @@
+package tracegen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TWConfig(7, 20000)
+	m1, gt1 := Generate(cfg)
+	m2, gt2 := Generate(cfg)
+	if len(m1) != len(m2) || len(gt1.Events) != len(gt2.Events) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("message %d differs: %+v vs %+v", i, m1[i], m2[i])
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := TWConfig(11, 30000)
+	msgs, gt := Generate(cfg)
+	if len(msgs) != 30000 {
+		t.Fatalf("message count %d", len(msgs))
+	}
+	for i := 1; i < len(msgs); i++ {
+		if msgs[i].Time < msgs[i-1].Time {
+			t.Fatalf("timestamps not monotone at %d", i)
+		}
+	}
+	real := gt.OfKind(Real)
+	if len(real) == 0 {
+		t.Fatalf("no real events injected")
+	}
+	for _, g := range gt.Events {
+		if g.StartMsg > g.EndMsg || g.EndMsg >= len(msgs) {
+			t.Fatalf("bad span: %+v", g)
+		}
+		if g.Messages <= 0 || len(g.Keywords) == 0 {
+			t.Fatalf("bad event: %+v", g)
+		}
+	}
+}
+
+func TestInjectedMessagesCarryEventKeywords(t *testing.T) {
+	cfg := TWConfig(13, 20000)
+	cfg.RealEvents = 2
+	msgs, gt := Generate(cfg)
+	real := gt.OfKind(Real)
+	if len(real) == 0 {
+		t.Skip("no real event landed")
+	}
+	g := real[0]
+	// Count messages mentioning ≥2 of the event's keywords.
+	hits := 0
+	for _, m := range msgs[g.StartMsg : g.EndMsg+1] {
+		n := 0
+		for _, kw := range g.Keywords {
+			if strings.Contains(m.Text, kw) {
+				n++
+			}
+		}
+		if n >= 2 {
+			hits++
+		}
+	}
+	if hits < g.Messages/2 {
+		t.Fatalf("only %d/%d injected messages carry ≥2 event keywords", hits, g.Messages)
+	}
+}
+
+func TestLateKeywordsAppearLate(t *testing.T) {
+	cfg := TWConfig(17, 40000)
+	cfg.RealEvents = 3
+	msgs, gt := Generate(cfg)
+	checked := 0
+	for _, g := range gt.OfKind(Real) {
+		if g.Core >= len(g.Keywords) {
+			continue
+		}
+		late := g.Keywords[len(g.Keywords)-1]
+		mid := (g.StartMsg + g.EndMsg) / 2
+		for i := g.StartMsg; i <= mid && i < len(msgs); i++ {
+			if strings.Contains(msgs[i].Text, late) {
+				t.Fatalf("late keyword %q appeared in first half at %d", late, i)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no event with late keywords")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Real.String() != "real" || Spurious.String() != "spurious" ||
+		BelowBurst.String() != "below-burst" || Discussion.String() != "discussion" {
+		t.Fatalf("Kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatalf("unknown kind should still format")
+	}
+}
+
+func TestESDensityHigherThanTW(t *testing.T) {
+	tw := TWConfig(1, 100000)
+	es := ESConfig(1, 100000)
+	if es.RealEvents < 3*tw.RealEvents {
+		t.Fatalf("ES density %d not ≈3× TW %d", es.RealEvents, tw.RealEvents)
+	}
+}
+
+func TestGroundTruthConfigHasBelowBurst(t *testing.T) {
+	c := GroundTruthConfig(1, 100000)
+	if c.BelowBurstEvents == 0 {
+		t.Fatalf("GT profile must include below-burst events")
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	gt := GroundTruth{Events: []GTEvent{{Kind: Real}, {Kind: Spurious}, {Kind: Real}}}
+	if len(gt.OfKind(Real)) != 2 || len(gt.OfKind(Spurious)) != 1 || len(gt.OfKind(Discussion)) != 0 {
+		t.Fatalf("OfKind filtering wrong")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	msgs, _ := Generate(Config{Seed: 3, TotalMessages: 5000})
+	if len(msgs) != 5000 {
+		t.Fatalf("defaults failed: %d messages", len(msgs))
+	}
+}
+
+func TestGroundTruthJSONRoundTrip(t *testing.T) {
+	_, gt := Generate(GroundTruthConfig(9, 20000))
+	var buf bytes.Buffer
+	if err := gt.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGroundTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(gt.Events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got.Events), len(gt.Events))
+	}
+	for i := range gt.Events {
+		a, b := gt.Events[i], got.Events[i]
+		if a.ID != b.ID || a.Kind != b.Kind || a.Headline != b.Headline ||
+			a.StartMsg != b.StartMsg || len(a.Keywords) != len(b.Keywords) {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadGroundTruthRejectsMalformed(t *testing.T) {
+	if _, err := ReadGroundTruth(strings.NewReader("not json")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	if _, err := ReadGroundTruth(strings.NewReader(`{"events":[{"id":0}]}`)); err == nil {
+		t.Fatalf("malformed event accepted")
+	}
+}
