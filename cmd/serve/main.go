@@ -1,0 +1,103 @@
+// Command serve runs the event-discovery pipeline as a multi-tenant
+// HTTP/JSON service: POST message batches per tenant, query live events
+// and correlations, or subscribe to the SSE stream for per-quantum push
+// notifications. See docs/ARCHITECTURE.md for the design.
+//
+// Usage:
+//
+//	serve -addr :8080 -checkpoints ./ckpt
+//
+// Ingest and query:
+//
+//	curl -XPOST localhost:8080/v1/demo/messages -d '[{"id":1,"user":7,"time":0,"text":"earthquake struck eastern turkey"}]'
+//	curl localhost:8080/v1/demo/events
+//	curl -N localhost:8080/v1/demo/stream
+//
+// On SIGINT/SIGTERM the server drains in-flight requests and ingest
+// queues and checkpoints every tenant; a restart with the same
+// -checkpoints directory resumes each stream bit-identically.
+//
+// Tunables mirror Table 2: -delta (quantum size), -tau (high state
+// threshold), -beta (EC threshold), -w (window quanta).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/akg"
+	"repro/internal/detect"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		ckpt   = flag.String("checkpoints", "", "checkpoint directory (empty disables persistence)")
+		queue  = flag.Int("queue", 64, "per-tenant ingest queue depth in batches")
+		queueM = flag.Int("queue-msgs", 100000, "per-tenant ingest queue bound in messages")
+		maxT   = flag.Int("max-tenants", 1024, "tenant limit")
+		retain = flag.Int("retain", 0, "finished events kept per tenant (0 = unlimited)")
+		grace  = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+
+		delta = flag.Int("delta", 160, "quantum size Δ in messages")
+		qtime = flag.Int64("qtime", 0, "time-based quantum length (0 = message count)")
+		tau   = flag.Int("tau", 4, "high state threshold τ (users/quantum)")
+		beta  = flag.Float64("beta", 0.20, "edge correlation threshold β")
+		w     = flag.Int("w", 30, "window length in quanta")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Addr:          *addr,
+		ShutdownGrace: *grace,
+		Pool: server.PoolConfig{
+			Detector: detect.Config{
+				Delta:       *delta,
+				QuantumTime: *qtime,
+				AKG:         akg.Config{Tau: *tau, Beta: *beta, Window: *w},
+			},
+			QueueDepth:    *queue,
+			QueueMessages: *queueM,
+			RetainEvents:  *retain,
+			CheckpointDir: *ckpt,
+			MaxTenants:    *maxT,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	if tenants := srv.Pool.Names(); len(tenants) > 0 {
+		log.Printf("restored %d tenant(s) from %s: %v", len(tenants), *ckpt, tenants)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		log.Printf("shutting down: draining queues and checkpointing")
+		if err := srv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+			os.Exit(1)
+		}
+		log.Printf("shutdown complete")
+	}
+}

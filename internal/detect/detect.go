@@ -136,16 +136,24 @@ func (e *Event) Spurious() bool {
 	return rank.Spurious(e.RankHistory, e.Evolved)
 }
 
-// Report is the per-quantum snapshot of a reportable event.
+// Report is the per-quantum snapshot of a reportable event. The JSON
+// tags are the wire shape of the serving subsystem's SSE stream.
 type Report struct {
-	EventID  uint64
-	Quantum  int
-	Keywords []string
-	Rank     float64
-	Size     int
-	Support  int
-	Born     int
-	Evolved  bool
+	EventID  uint64   `json:"event_id"`
+	Quantum  int      `json:"quantum"`
+	Keywords []string `json:"keywords"`
+	Rank     float64  `json:"rank"`
+	Size     int      `json:"size"`
+	Support  int      `json:"support"`
+	Born     int      `json:"born"`
+	Evolved  bool     `json:"evolved"`
+}
+
+// MergeNote records one event absorbed by another during a quantum. Into
+// is zero when the surviving cluster had no tracked event.
+type MergeNote struct {
+	Event uint64 `json:"event"`
+	Into  uint64 `json:"into"`
 }
 
 // QuantumResult summarises one processed quantum.
@@ -157,6 +165,13 @@ type QuantumResult struct {
 	CKGEdges int
 	AKGNodes int
 	AKGEdges int
+	// Lifecycle deltas observed this quantum: IDs of events born, of
+	// events that died (cluster dissolved), and of events merged away
+	// with their surviving event. Serving layers use these to push
+	// born/evolve/merge/die notifications without diffing snapshots.
+	Born   []uint64
+	Ended  []uint64
+	Merged []MergeNote
 	// Elapsed is the wall time spent processing this quantum (graph
 	// maintenance + event reconciliation; excludes the caller's IO).
 	Elapsed time.Duration
@@ -180,6 +195,10 @@ type Detector struct {
 	// lifecycle notes collected from engine hooks during a quantum
 	mergedInto map[core.ClusterID]core.ClusterID
 	splitFrom  map[core.ClusterID]core.ClusterID
+
+	// onQuantum, when set, is called with every QuantumResult the
+	// detector produces, on whichever goroutine applies quanta.
+	onQuantum func(*QuantumResult)
 }
 
 // New returns a Detector with the given configuration.
@@ -214,6 +233,12 @@ func New(cfg Config) *Detector {
 	}
 	return d
 }
+
+// SetOnQuantum registers fn to be pushed every QuantumResult the detector
+// produces, whatever the entry point (Ingest, Run, RunParallel, Flush).
+// Serving layers use it for push notification; nil clears the hook. The
+// hook is not part of checkpoints — re-register after Load.
+func (d *Detector) SetOnQuantum(fn func(*QuantumResult)) { d.onQuantum = fn }
 
 // Interner exposes the keyword interner (read-only use by harnesses).
 func (d *Detector) Interner() *textproc.Interner { return d.interner }
@@ -393,26 +418,30 @@ func (d *Detector) applyQuantum(prep []preparedUser) QuantumResult {
 		d.ckg.AddQuantum(uks)
 	}
 	stats := d.akg.ProcessQuantum(uks)
-	reports := d.reconcileEvents(stats.Quantum)
 
 	res := QuantumResult{
-		Quantum:  stats.Quantum,
-		Stats:    stats,
-		Reports:  reports,
-		AKGNodes: d.akg.NodeCount(),
-		AKGEdges: d.akg.EdgeCount(),
+		Quantum: stats.Quantum,
+		Stats:   stats,
 	}
+	d.reconcileEvents(&res)
+	res.AKGNodes = d.akg.NodeCount()
+	res.AKGEdges = d.akg.EdgeCount()
 	if d.ckg != nil {
 		res.CKGNodes = d.ckg.NodeCount()
 		res.CKGEdges = d.ckg.EdgeCount()
 	}
 	res.Elapsed = time.Since(started)
+	if d.onQuantum != nil {
+		d.onQuantum(&res)
+	}
 	return res
 }
 
 // reconcileEvents aligns the event registry with the engine's live
-// clusters after a quantum and produces the reportable snapshot.
-func (d *Detector) reconcileEvents(quantum int) []Report {
+// clusters after a quantum, filling res.Reports (the reportable snapshot,
+// rank-descending) and the lifecycle deltas.
+func (d *Detector) reconcileEvents(res *QuantumResult) {
+	quantum := res.Quantum
 	eng := d.akg.Engine()
 	live := make(map[core.ClusterID]*core.Cluster)
 	eng.ForEachCluster(func(c *core.Cluster) { live[c.ID()] = c })
@@ -436,12 +465,18 @@ func (d *Detector) reconcileEvents(quantum int) []Report {
 			if surv, ok := d.events[final]; ok {
 				ev.MergedInto = surv.ID
 			}
+			res.Merged = append(res.Merged, MergeNote{Event: ev.ID, Into: ev.MergedInto})
 		} else {
 			ev.State = EventEnded
+			res.Ended = append(res.Ended, ev.ID)
 		}
 		d.finished = append(d.finished, ev)
 		delete(d.events, cid)
 	}
+	// The retirement loop walks a map; sort the deltas so results are
+	// deterministic run to run.
+	sort.Slice(res.Ended, func(i, j int) bool { return res.Ended[i] < res.Ended[j] })
+	sort.Slice(res.Merged, func(i, j int) bool { return res.Merged[i].Event < res.Merged[j].Event })
 
 	// Create or update events for live clusters, in cluster-ID order so
 	// fresh event IDs are assigned deterministically (cluster IDs are
@@ -451,7 +486,7 @@ func (d *Detector) reconcileEvents(quantum int) []Report {
 		liveIDs = append(liveIDs, cid)
 	}
 	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
-	reports := make([]Report, 0, len(live))
+	res.Reports = make([]Report, 0, len(live))
 	for _, cid := range liveIDs {
 		c := live[cid]
 		ev, ok := d.events[cid]
@@ -472,6 +507,7 @@ func (d *Detector) reconcileEvents(quantum int) []Report {
 				}
 			}
 			d.events[cid] = ev
+			res.Born = append(res.Born, ev.ID)
 		} else if !sameStrings(ev.Keywords, keywords) {
 			ev.Evolved = true
 			ev.Keywords = keywords
@@ -500,7 +536,7 @@ func (d *Detector) reconcileEvents(quantum int) []Report {
 				ev.Reported = true
 				ev.FirstReported = quantum
 			}
-			reports = append(reports, Report{
+			res.Reports = append(res.Reports, Report{
 				EventID:  ev.ID,
 				Quantum:  quantum,
 				Keywords: ev.Keywords,
@@ -512,17 +548,16 @@ func (d *Detector) reconcileEvents(quantum int) []Report {
 			})
 		}
 	}
-	sort.Slice(reports, func(i, j int) bool {
-		if reports[i].Rank != reports[j].Rank {
-			return reports[i].Rank > reports[j].Rank
+	sort.Slice(res.Reports, func(i, j int) bool {
+		if res.Reports[i].Rank != res.Reports[j].Rank {
+			return res.Reports[i].Rank > res.Reports[j].Rank
 		}
-		return reports[i].EventID < reports[j].EventID
+		return res.Reports[i].EventID < res.Reports[j].EventID
 	})
 
 	// Lifecycle notes were consumed; reset for the next quantum.
 	d.mergedInto = make(map[core.ClusterID]core.ClusterID)
 	d.splitFrom = make(map[core.ClusterID]core.ClusterID)
-	return reports
 }
 
 // reportable applies the Section 7.2.2 reporting filters.
@@ -559,6 +594,46 @@ func (d *Detector) LiveEvents() []*Event {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// LiveCount returns the number of live events without copying them.
+func (d *Detector) LiveCount() int { return len(d.events) }
+
+// TotalCount returns the number of currently retained events (live +
+// finished) without copying them. Not monotonic once TrimFinished is in
+// use — trimmed events no longer count.
+func (d *Detector) TotalCount() int { return len(d.events) + len(d.finished) }
+
+// FindEvent returns the tracked event with the given ID, live or
+// finished, or nil. A linear scan, but without the copy-and-sort cost of
+// AllEvents — serving layers call this per lookup request.
+func (d *Detector) FindEvent(id uint64) *Event {
+	for _, ev := range d.events {
+		if ev.ID == id {
+			return ev
+		}
+	}
+	for _, ev := range d.finished {
+		if ev.ID == id {
+			return ev
+		}
+	}
+	return nil
+}
+
+// TrimFinished drops the oldest finished (ended or merged) events so at
+// most max remain, returning how many were dropped; max ≤ 0 means
+// unlimited (no-op). Live events are never dropped. Long-lived serving
+// deployments call this to bound per-tenant memory — the finished list
+// otherwise grows for the life of the stream. Trimmed events disappear
+// from AllEvents, FindEvent and subsequent checkpoints.
+func (d *Detector) TrimFinished(max int) int {
+	if max <= 0 || len(d.finished) <= max {
+		return 0
+	}
+	n := len(d.finished) - max
+	d.finished = append(d.finished[:0:0], d.finished[n:]...)
+	return n
 }
 
 // AllEvents returns every event ever tracked (live and finished), sorted

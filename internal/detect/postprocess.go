@@ -17,8 +17,9 @@ import (
 // their keyword clusters did not merge (different vocabulary, different
 // language, different perspective).
 type RelatedPair struct {
-	A, B        uint64 // event IDs, A < B
-	UserJaccard float64
+	A           uint64  `json:"a"` // event IDs, A < B
+	B           uint64  `json:"b"`
+	UserJaccard float64 `json:"user_jaccard"`
 }
 
 // RelatedEvents returns all pairs of live reported events whose windowed

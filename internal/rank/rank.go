@@ -30,18 +30,22 @@ type Weights func(n dygraph.NodeID) float64
 type Correlations func(a, b dygraph.NodeID) float64
 
 // Score computes the rank of a cluster from its local properties only.
+// Nodes and edges are summed in sorted order: float addition is not
+// associative, so map-order iteration would make ranks differ in the last
+// ulp from run to run — enough to flip reporting thresholds and break the
+// bit-identical replay guarantee checkpoints rely on.
 func Score(c *core.Cluster, w Weights, ec Correlations) float64 {
 	n := c.NodeCount()
 	if n == 0 {
 		return 0
 	}
 	total := 0.0
-	c.ForEachNode(func(node dygraph.NodeID) {
+	for _, node := range c.Nodes() {
 		total += w(node) // diagonal: C_ii = 1
-	})
-	c.ForEachEdge(func(e dygraph.Edge) {
+	}
+	for _, e := range c.Edges() {
 		total += ec(e.U, e.V) * (w(e.U) + w(e.V))
-	})
+	}
 	return total / float64(n)
 }
 

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/detect"
+)
+
+// ckptExt is the checkpoint filename extension; one file per tenant.
+const ckptExt = ".ckpt"
+
+// checkpointStore persists per-tenant detector checkpoints in a flat
+// directory, one gob file per tenant, written atomically (tmp + rename)
+// so a crash mid-write never corrupts the previous good checkpoint.
+// Tenant names are validated by the pool, so they are safe as filenames.
+type checkpointStore struct {
+	dir string
+}
+
+func newCheckpointStore(dir string) (*checkpointStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	return &checkpointStore{dir: dir}, nil
+}
+
+func (s *checkpointStore) path(tenant string) string {
+	return filepath.Join(s.dir, tenant+ckptExt)
+}
+
+// Save checkpoints one tenant's detector. The caller must hold the
+// tenant's detector lock (or otherwise guarantee the detector is idle).
+func (s *checkpointStore) Save(tenant string, d *detect.Detector) error {
+	tmp, err := os.CreateTemp(s.dir, tenant+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := d.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
+	}
+	// Sync before the rename: without it a power loss after the rename
+	// can leave the new name pointing at unwritten pages — a truncated
+	// checkpoint replacing the previous good one.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(tenant)); err != nil {
+		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
+	}
+	// Persist the rename itself.
+	if dir, err := os.Open(s.dir); err == nil {
+		dir.Sync() //nolint:errcheck // best-effort directory fsync
+		dir.Close()
+	}
+	return nil
+}
+
+// Load restores a tenant's detector from its checkpoint file. Returns
+// (nil, nil) when no checkpoint exists.
+func (s *checkpointStore) Load(tenant string) (*detect.Detector, error) {
+	f, err := os.Open(s.path(tenant))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: load checkpoint %s: %w", tenant, err)
+	}
+	defer f.Close()
+	d, err := detect.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: load checkpoint %s: %w", tenant, err)
+	}
+	return d, nil
+}
+
+// List returns the tenant names with a saved checkpoint, sorted by the
+// directory listing order (ReadDir sorts by filename).
+func (s *checkpointStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: list checkpoints: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ckptExt) {
+			continue
+		}
+		names = append(names, strings.TrimSuffix(e.Name(), ckptExt))
+	}
+	return names, nil
+}

@@ -1,0 +1,228 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// maxBodyBytes bounds one ingest POST (64 MiB of JSON).
+const maxBodyBytes = 64 << 20
+
+// NewHandler returns the HTTP API over a pool:
+//
+//	POST /v1/{tenant}/messages   ingest a JSON array (or NDJSON) of messages
+//	POST /v1/{tenant}/flush      process the buffered partial quantum
+//	GET  /v1/{tenant}/events     live reported events (?k= top-k, ?all=1 history)
+//	GET  /v1/{tenant}/events/{id} one event by ID
+//	GET  /v1/{tenant}/related    correlated same-event pairs (?min= overlap)
+//	GET  /v1/{tenant}/stream     SSE push of per-quantum reports + lifecycle
+//	GET  /v1/tenants             tenant names
+//	GET  /healthz                liveness
+//	GET  /statsz                 per-tenant throughput, lag, graph size
+func NewHandler(p *Pool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/{tenant}/messages", func(w http.ResponseWriter, r *http.Request) {
+		handleIngest(w, r, p)
+	})
+	mux.HandleFunc("POST /v1/{tenant}/flush", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		if err := t.Flush(r.Context()); err != nil {
+			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("flush abandoned: %v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
+	})
+	mux.HandleFunc("GET /v1/{tenant}/events", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		var k int
+		if s := q.Get("k"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				httpError(w, http.StatusBadRequest, "k must be a non-negative integer")
+				return
+			}
+			k = v
+		}
+		all := q.Get("all") == "1" || q.Get("all") == "true"
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant": t.Name(),
+			"events": t.Events(k, all),
+		})
+	})
+	mux.HandleFunc("GET /v1/{tenant}/events/{id}", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad event id")
+			return
+		}
+		ev, ok := t.Event(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such event")
+			return
+		}
+		writeJSON(w, http.StatusOK, ev)
+	})
+	mux.HandleFunc("GET /v1/{tenant}/related", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		min := 0.1
+		if s := r.URL.Query().Get("min"); s != "" {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil || v < 0 || v > 1 {
+				httpError(w, http.StatusBadRequest, "min must be in [0,1]")
+				return
+			}
+			min = v
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":  t.Name(),
+			"related": t.Related(min),
+		})
+	})
+	mux.HandleFunc("GET /v1/{tenant}/stream", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		serveSSE(w, r, t)
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": p.Names()})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"tenants": p.TenantCount(),
+		})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"tenants": p.Stats()})
+	})
+	return mux
+}
+
+// handleIngest decodes the body — a JSON array by default, NDJSON when
+// the Content-Type says so — and enqueues it as one batch. The body is
+// decoded before the tenant is resolved so a malformed request cannot
+// create a tenant as a side effect.
+func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
+	name := r.PathValue("tenant")
+	if !tenantNameRE.MatchString(name) {
+		httpError(w, http.StatusBadRequest, ErrBadTenant.Error())
+		return
+	}
+	// Shed guaranteed-rejected ingest before paying to decode the body:
+	// a closed or tenant-full pool would only refuse the batch after a
+	// potentially 64 MiB parse. GetOrCreate below remains authoritative.
+	if _, ok := p.Tenant(name); !ok {
+		if err := p.CanCreate(); err != nil {
+			if errors.Is(err, ErrMaxTenants) {
+				httpError(w, http.StatusInsufficientStorage, err.Error())
+			} else {
+				httpError(w, http.StatusServiceUnavailable, err.Error())
+			}
+			return
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var msgs []stream.Message
+	var err error
+	if strings.Contains(r.Header.Get("Content-Type"), "ndjson") {
+		msgs, err = stream.ReadAll(stream.NewJSONLReader(body))
+	} else {
+		dec := json.NewDecoder(body)
+		if err = dec.Decode(&msgs); err == nil {
+			// Reject trailing content: silently dropping a second batch
+			// concatenated after the array would be invisible data loss.
+			if _, terr := dec.Token(); terr != io.EOF {
+				err = errors.New("trailing data after JSON array")
+			}
+		}
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode messages: %v", err))
+		return
+	}
+	t, err := p.GetOrCreate(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrMaxTenants):
+			httpError(w, http.StatusInsufficientStorage, err.Error())
+		default:
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		}
+		return
+	}
+	if err := t.Enqueue(msgs); err != nil {
+		switch {
+		case errors.Is(err, ErrBatchTooLarge):
+			// Retrying the same batch can never succeed; tell the
+			// client to split it instead.
+			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"tenant": name,
+		"queued": len(msgs),
+	})
+}
+
+// getTenant resolves the {tenant} path value to an existing tenant,
+// writing the error response itself when absent or invalid.
+func getTenant(w http.ResponseWriter, r *http.Request, p *Pool) (*Tenant, bool) {
+	name := r.PathValue("tenant")
+	if !tenantNameRE.MatchString(name) {
+		httpError(w, http.StatusBadRequest, ErrBadTenant.Error())
+		return nil, false
+	}
+	t, ok := p.Tenant(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNoTenant.Error())
+		return nil, false
+	}
+	return t, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

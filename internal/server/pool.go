@@ -1,0 +1,577 @@
+// Package server is the HTTP/JSON serving subsystem: a multi-tenant pool
+// of streaming detectors behind ingest, query, and SSE push endpoints,
+// with checkpoint-on-shutdown persistence so restarts resume the stream
+// bit-identically. See docs/ARCHITECTURE.md for the design.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/stream"
+)
+
+// Errors surfaced to handlers (mapped onto HTTP status codes there).
+var (
+	ErrQueueFull     = errors.New("server: ingest queue full")
+	ErrBatchTooLarge = errors.New("server: batch exceeds the queue's message bound; split it")
+	ErrClosed        = errors.New("server: pool shut down")
+	ErrBadTenant     = errors.New("server: invalid tenant name")
+	ErrNoTenant      = errors.New("server: unknown tenant")
+	ErrMaxTenants    = errors.New("server: tenant limit reached")
+)
+
+// tenantNameRE keeps tenant names URL- and filename-safe.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+// PoolConfig configures a detector pool.
+type PoolConfig struct {
+	// Detector is the configuration every new tenant's detector gets.
+	// Restored tenants keep the configuration frozen in their checkpoint.
+	Detector detect.Config
+	// QueueDepth bounds each tenant's ingest queue in batches (one POST
+	// body = one batch). Zero selects 64. A full queue rejects ingest
+	// with ErrQueueFull — backpressure, never unbounded memory.
+	QueueDepth int
+	// QueueMessages bounds the total messages buffered across queued
+	// batches — the actual memory bound, since one batch can hold a
+	// whole POST body. Zero selects 100000.
+	QueueMessages int
+	// RetainEvents, when positive, caps the finished-event history kept
+	// per tenant (oldest trimmed first; live events are never dropped).
+	// Zero keeps everything — fine for bounded experiments, not for a
+	// long-lived tenant, whose history otherwise grows forever.
+	RetainEvents int
+	// CheckpointDir, when non-empty, enables persistence: tenants with a
+	// checkpoint are restored on pool start and every tenant is
+	// checkpointed on Shutdown.
+	CheckpointDir string
+	// MaxTenants bounds the number of tenants. Zero selects 1024.
+	MaxTenants int
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueMessages <= 0 {
+		c.QueueMessages = 100000
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 1024
+	}
+	return c
+}
+
+// TenantStats is the monitoring snapshot of one tenant.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+	// Messages is the number of messages ingested over the tenant's
+	// lifetime (it survives checkpoint/restore).
+	Messages uint64 `json:"messages"`
+	// Quanta is the index of the last processed quantum.
+	Quanta int `json:"quanta"`
+	// QueueDepth and QueueCap measure quantum lag: batches accepted but
+	// not yet applied to the graph; QueuedMessages is the same backlog
+	// in messages.
+	QueueDepth     int   `json:"queue_depth"`
+	QueueCap       int   `json:"queue_cap"`
+	QueuedMessages int64 `json:"queued_messages"`
+	// LiveEvents / TotalEvents count currently retained event
+	// lifecycles; with RetainEvents set, TotalEvents is not monotonic
+	// (trimmed finished events leave the count).
+	LiveEvents  int `json:"live_events"`
+	TotalEvents int `json:"total_events"`
+	// AKGNodes / AKGEdges give the active graph size.
+	AKGNodes int `json:"akg_nodes"`
+	AKGEdges int `json:"akg_edges"`
+	// ProcessMillis is the cumulative detector processing time this
+	// process spent on the tenant; MsgsPerSec is Messages ingested this
+	// process divided by that time — the pipeline rate of Section 7.2.
+	ProcessMillis float64 `json:"process_millis"`
+	MsgsPerSec    float64 `json:"msgs_per_sec"`
+}
+
+// EventView is the immutable JSON projection of a detect.Event, safe to
+// hand out after the detector lock is released.
+type EventView struct {
+	ID            uint64    `json:"id"`
+	State         string    `json:"state"`
+	Keywords      []string  `json:"keywords"`
+	Rank          float64   `json:"rank"`
+	PeakRank      float64   `json:"peak_rank"`
+	RankHistory   []float64 `json:"rank_history,omitempty"`
+	BornQuantum   int       `json:"born_quantum"`
+	LastQuantum   int       `json:"last_quantum"`
+	Evolved       bool      `json:"evolved"`
+	Size          int       `json:"size"`
+	Support       int       `json:"support"`
+	Reported      bool      `json:"reported"`
+	FirstReported int       `json:"first_reported,omitempty"`
+	MergedInto    uint64    `json:"merged_into,omitempty"`
+	SplitFrom     uint64    `json:"split_from,omitempty"`
+	Spurious      bool      `json:"spurious"`
+}
+
+func viewOf(ev *detect.Event) EventView {
+	return EventView{
+		ID:            ev.ID,
+		State:         ev.State.String(),
+		Keywords:      append([]string(nil), ev.Keywords...),
+		Rank:          ev.Rank,
+		PeakRank:      ev.PeakRank,
+		RankHistory:   append([]float64(nil), ev.RankHistory...),
+		BornQuantum:   ev.BornQuantum,
+		LastQuantum:   ev.LastQuantum,
+		Evolved:       ev.Evolved,
+		Size:          ev.Size,
+		Support:       ev.Support,
+		Reported:      ev.Reported,
+		FirstReported: ev.FirstReported,
+		MergedInto:    ev.MergedInto,
+		SplitFrom:     ev.SplitFrom,
+		Spurious:      ev.Spurious(),
+	}
+}
+
+func viewsOf(evs []*detect.Event) []EventView {
+	out := make([]EventView, len(evs))
+	for i, ev := range evs {
+		out[i] = viewOf(ev)
+	}
+	return out
+}
+
+// Tenant is one isolated detector: a bounded ingest queue drained by a
+// dedicated goroutine, the (single-threaded) detector it feeds, and an
+// SSE broker for push notification. Queries copy state under the
+// detector lock; they never touch live detector internals afterwards.
+type Tenant struct {
+	name   string
+	broker *broker
+
+	qmu     sync.Mutex // guards queue close vs. enqueue
+	queue   chan []stream.Message
+	closed  bool
+	drained chan struct{} // closed when the worker has exited
+
+	// accepted counts batches admitted to the queue, applied counts
+	// batches fully ingested; equal means the tenant is idle. queuedMsgs
+	// tracks the backlog in messages, bounded by maxQueuedMsgs.
+	accepted      atomic.Uint64
+	applied       atomic.Uint64
+	queuedMsgs    atomic.Int64
+	maxQueuedMsgs int64
+
+	retain int // finished-event retention cap (0 = unlimited)
+
+	mu      sync.Mutex // guards det and the elapsed counters
+	det     *detect.Detector
+	elapsed time.Duration // detector time spent this process
+	since   uint64        // messages ingested this process
+}
+
+func newTenant(name string, det *detect.Detector, cfg PoolConfig) *Tenant {
+	t := &Tenant{
+		name:          name,
+		broker:        newBroker(),
+		queue:         make(chan []stream.Message, cfg.QueueDepth),
+		drained:       make(chan struct{}),
+		det:           det,
+		maxQueuedMsgs: int64(cfg.QueueMessages),
+		retain:        cfg.RetainEvents,
+	}
+	det.SetOnQuantum(func(res *detect.QuantumResult) {
+		t.elapsed += res.Elapsed
+		t.broker.publish(&StreamEvent{
+			Tenant:   name,
+			Quantum:  res.Quantum,
+			Reports:  res.Reports,
+			Born:     res.Born,
+			Ended:    res.Ended,
+			Merged:   res.Merged,
+			AKGNodes: res.AKGNodes,
+			AKGEdges: res.AKGEdges,
+		})
+	})
+	go t.work()
+	return t
+}
+
+// work drains the ingest queue until it is closed. Messages are applied
+// strictly in arrival order; the detector's own push hook notifies the
+// broker at every quantum boundary. The lock is taken per message, not
+// per batch, so query endpoints interleave with ingest instead of
+// stalling behind a large batch.
+func (t *Tenant) work() {
+	defer close(t.drained)
+	for batch := range t.queue {
+		for _, m := range batch {
+			t.mu.Lock()
+			t.det.IngestAll(m)
+			t.since++
+			t.mu.Unlock()
+		}
+		if t.retain > 0 {
+			t.mu.Lock()
+			t.det.TrimFinished(t.retain)
+			t.mu.Unlock()
+		}
+		t.queuedMsgs.Add(-int64(len(batch)))
+		t.applied.Add(1)
+	}
+}
+
+// Name returns the tenant name.
+func (t *Tenant) Name() string { return t.name }
+
+// Enqueue hands a batch to the tenant's worker. It never blocks: a full
+// queue returns ErrQueueFull (the client should retry), a batch that
+// could never fit even in an empty queue returns ErrBatchTooLarge
+// (retrying is futile — the client must split it), and a shut-down
+// tenant returns ErrClosed.
+func (t *Tenant) Enqueue(msgs []stream.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if int64(len(msgs)) > t.maxQueuedMsgs {
+		return ErrBatchTooLarge
+	}
+	if t.queuedMsgs.Load()+int64(len(msgs)) > t.maxQueuedMsgs {
+		return ErrQueueFull
+	}
+	select {
+	case t.queue <- msgs:
+		t.queuedMsgs.Add(int64(len(msgs)))
+		t.accepted.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Flush forces processing of the tenant's buffered partial quantum (end
+// of stream). It first waits for every batch accepted before the call to
+// be applied, so the flush observes the whole accepted stream; ctx
+// abandons the wait (e.g. the HTTP client disconnected).
+func (t *Tenant) Flush(ctx context.Context) error {
+	target := t.accepted.Load()
+	if t.applied.Load() < target {
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for t.applied.Load() < target {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-tick.C:
+			}
+		}
+	}
+	t.mu.Lock()
+	t.det.Flush()
+	t.mu.Unlock()
+	return nil
+}
+
+// Events returns the tenant's events: the top-k live reported events by
+// rank (k ≤ 0 means all) or, when all is set, every event ever tracked in
+// birth order.
+func (t *Tenant) Events(k int, all bool) []EventView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if all {
+		return viewsOf(t.det.AllEvents())
+	}
+	return viewsOf(t.det.TopK(k))
+}
+
+// Event returns one event by ID.
+func (t *Tenant) Event(id uint64) (EventView, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev := t.det.FindEvent(id); ev != nil {
+		return viewOf(ev), true
+	}
+	return EventView{}, false
+}
+
+// Related returns live event pairs whose user communities overlap by at
+// least minOverlap (the paper's same-event correlation post-processing).
+// Never nil, so the API serves [] rather than null.
+func (t *Tenant) Related(minOverlap float64) []detect.RelatedPair {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]detect.RelatedPair{}, t.det.RelatedEvents(minOverlap)...)
+}
+
+// Stats returns the tenant's monitoring snapshot.
+func (t *Tenant) Stats() TenantStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TenantStats{
+		Tenant:         t.name,
+		Messages:       t.det.Processed(),
+		LiveEvents:     t.det.LiveCount(),
+		TotalEvents:    t.det.TotalCount(),
+		AKGNodes:       t.det.AKG().NodeCount(),
+		AKGEdges:       t.det.AKG().EdgeCount(),
+		QueueDepth:     len(t.queue),
+		QueuedMessages: t.queuedMsgs.Load(),
+		QueueCap:       cap(t.queue),
+		Quanta:         t.det.AKG().Quantum(),
+		ProcessMillis:  float64(t.elapsed) / float64(time.Millisecond),
+	}
+	if t.elapsed > 0 {
+		s.MsgsPerSec = float64(t.since) / t.elapsed.Seconds()
+	}
+	return s
+}
+
+// shutdown stops ingest, waits (bounded by ctx) for the worker to drain,
+// and closes the broker. Safe to call once.
+func (t *Tenant) shutdown(ctx context.Context) error {
+	t.qmu.Lock()
+	if !t.closed {
+		t.closed = true
+		close(t.queue)
+	}
+	t.qmu.Unlock()
+	var err error
+	select {
+	case <-t.drained:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: tenant %s: drain: %w", t.name, ctx.Err())
+	}
+	t.broker.close()
+	return err
+}
+
+// Pool manages the tenants of one serving process.
+type Pool struct {
+	cfg  PoolConfig
+	ckpt *checkpointStore // nil when persistence is disabled
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	closed  bool // refuses new tenants (set by BeginShutdown)
+
+	// shutdownOnce guards the drain+checkpoint pass; shutdownDone is
+	// closed when it finishes so concurrent Shutdown callers wait for
+	// completion instead of returning success early.
+	shutdownOnce sync.Once
+	shutdownDone chan struct{}
+	shutdownErr  error
+}
+
+// NewPool builds a pool and, when a checkpoint directory is configured,
+// restores every tenant found there so their streams resume exactly
+// where the previous process stopped.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:          cfg,
+		tenants:      make(map[string]*Tenant),
+		shutdownDone: make(chan struct{}),
+	}
+	if cfg.CheckpointDir != "" {
+		store, err := newCheckpointStore(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		p.ckpt = store
+		names, err := store.List()
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			if !tenantNameRE.MatchString(name) {
+				// A stray file (backup copy, editor droppings) would
+				// otherwise become a zombie tenant no route can reach.
+				continue
+			}
+			det, err := store.Load(name)
+			if err != nil {
+				// Don't leak the workers of tenants already restored.
+				for _, t := range p.tenants {
+					t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
+				}
+				return nil, err
+			}
+			if det == nil {
+				// Checkpoint vanished between List and Load (concurrent
+				// cleanup); skip rather than panic on a nil detector.
+				continue
+			}
+			p.tenants[name] = newTenant(name, det, cfg)
+		}
+	}
+	return p, nil
+}
+
+// Tenant returns an existing tenant.
+func (p *Pool) Tenant(name string) (*Tenant, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	t, ok := p.tenants[name]
+	return t, ok
+}
+
+// TenantCount returns the number of tenants without copying names.
+func (p *Pool) TenantCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.tenants)
+}
+
+// CanCreate cheaply pre-checks whether a new tenant could be admitted
+// right now. Racy by nature (the answer can change before GetOrCreate),
+// but lets handlers shed guaranteed-rejected ingest before paying to
+// decode a large body; GetOrCreate remains the authoritative gate.
+func (p *Pool) CanCreate() error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if len(p.tenants) >= p.cfg.MaxTenants {
+		return ErrMaxTenants
+	}
+	return nil
+}
+
+// GetOrCreate returns the named tenant, creating it with the pool's
+// detector configuration on first use.
+func (p *Pool) GetOrCreate(name string) (*Tenant, error) {
+	if !tenantNameRE.MatchString(name) {
+		return nil, ErrBadTenant
+	}
+	p.mu.RLock()
+	t, ok := p.tenants[name]
+	closed := p.closed
+	p.mu.RUnlock()
+	if ok {
+		return t, nil
+	}
+	if closed {
+		return nil, ErrClosed
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	if t, ok := p.tenants[name]; ok {
+		return t, nil
+	}
+	if len(p.tenants) >= p.cfg.MaxTenants {
+		return nil, ErrMaxTenants
+	}
+	t = newTenant(name, detect.New(p.cfg.Detector), p.cfg)
+	p.tenants[name] = t
+	return t, nil
+}
+
+// Names returns the tenant names, sorted.
+func (p *Pool) Names() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.tenants))
+	for name := range p.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats returns every tenant's monitoring snapshot, sorted by name.
+func (p *Pool) Stats() []TenantStats {
+	p.mu.RLock()
+	tenants := make([]*Tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	out := make([]TenantStats, len(tenants))
+	for i, t := range tenants {
+		out[i] = t.Stats()
+	}
+	return out
+}
+
+// BeginShutdown makes the pool refuse new tenants and ends every
+// tenant's SSE stream, without draining anything yet. Server.Shutdown
+// calls it before draining HTTP: http.Server.Shutdown waits for
+// connections to go idle, and an SSE subscriber never goes idle on its
+// own — without this the drain (and therefore checkpointing) stalls for
+// the whole grace period behind a single connected client. Refusing new
+// tenants first closes the race where a tenant created mid-drain gets a
+// fresh broker that a late subscriber could hang the drain on.
+// Idempotent; returns the tenants present at shutdown, name-sorted.
+func (p *Pool) BeginShutdown() []*Tenant {
+	p.mu.Lock()
+	p.closed = true
+	tenants := make([]*Tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	for _, t := range tenants {
+		t.broker.close()
+	}
+	return tenants
+}
+
+// Shutdown stops ingest on every tenant, drains their queues (bounded by
+// ctx), and — when persistence is enabled — checkpoints each detector.
+// The first error is returned, but every tenant is still processed.
+// Concurrent calls block until the shutdown pass completes (bounded by
+// their own ctx) rather than reporting success while it is in flight.
+func (p *Pool) Shutdown(ctx context.Context) error {
+	p.shutdownOnce.Do(func() {
+		defer close(p.shutdownDone)
+		tenants := p.BeginShutdown()
+		var first error
+		for _, t := range tenants {
+			if err := t.shutdown(ctx); err != nil && first == nil {
+				first = err
+			}
+			if p.ckpt != nil {
+				t.mu.Lock()
+				err := p.ckpt.Save(t.name, t.det)
+				t.mu.Unlock()
+				if err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		p.shutdownErr = first
+	})
+	// Completed-shutdown fast path first: with both channels ready the
+	// select below picks randomly, which would report a spurious
+	// in-progress error to a caller arriving with an expired ctx.
+	select {
+	case <-p.shutdownDone:
+		return p.shutdownErr
+	default:
+	}
+	select {
+	case <-p.shutdownDone:
+		return p.shutdownErr
+	case <-ctx.Done():
+		return fmt.Errorf("server: shutdown in progress: %w", ctx.Err())
+	}
+}

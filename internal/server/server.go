@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address (host:port), default ":8080".
+	Addr string
+	// Pool configures the tenant pool behind the API.
+	Pool PoolConfig
+	// ShutdownGrace bounds graceful shutdown (HTTP drain + queue drain +
+	// checkpointing). Default 30s.
+	ShutdownGrace time.Duration
+}
+
+// Server ties the HTTP listener to the detector pool and owns graceful
+// shutdown: stop accepting, drain in-flight requests, drain ingest
+// queues, checkpoint every tenant.
+type Server struct {
+	Pool *Pool
+	HTTP *http.Server
+
+	grace time.Duration
+}
+
+// New builds a server (and its pool, restoring any checkpoints).
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 30 * time.Second
+	}
+	pool, err := NewPool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		Pool: pool,
+		HTTP: &http.Server{
+			Addr:    cfg.Addr,
+			Handler: NewHandler(pool),
+			// Slowloris defence. No ReadTimeout (large ingest bodies) and
+			// no WriteTimeout (SSE streams are long-lived by design).
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+		grace: cfg.ShutdownGrace,
+	}, nil
+}
+
+// ListenAndServe serves until Shutdown; the sentinel
+// http.ErrServerClosed is filtered out.
+func (s *Server) ListenAndServe() error {
+	err := s.HTTP.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the HTTP side, then drains and checkpoints
+// the pool. Bounded by the configured grace period (or ctx, whichever
+// ends first). SSE streams are ended first — they never go idle on
+// their own, and http.Server.Shutdown waits for idle connections.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, s.grace)
+	defer cancel()
+	s.Pool.BeginShutdown()
+	httpErr := s.HTTP.Shutdown(ctx)
+	poolErr := s.Pool.Shutdown(ctx)
+	if poolErr != nil {
+		return poolErr
+	}
+	return httpErr
+}

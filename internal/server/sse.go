@@ -1,0 +1,150 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+)
+
+// StreamEvent is the payload pushed on the SSE stream, one per processed
+// quantum: the reportable snapshot plus the lifecycle deltas, so clients
+// can render births, evolutions, merges and deaths without polling.
+type StreamEvent struct {
+	Tenant   string             `json:"tenant"`
+	Quantum  int                `json:"quantum"`
+	Reports  []detect.Report    `json:"reports"`
+	Born     []uint64           `json:"born,omitempty"`
+	Ended    []uint64           `json:"ended,omitempty"`
+	Merged   []detect.MergeNote `json:"merged,omitempty"`
+	AKGNodes int                `json:"akg_nodes"`
+	AKGEdges int                `json:"akg_edges"`
+}
+
+// subBuffer is the per-subscriber channel depth. A subscriber that falls
+// further behind than this has events dropped (never the publisher
+// blocked): the detector goroutine must keep pace with the stream, not
+// with the slowest client.
+const subBuffer = 16
+
+// broker fans quantum notifications out to SSE subscribers of one tenant.
+type broker struct {
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[chan []byte]struct{})}
+}
+
+// subscribe registers a new subscriber. The returned cancel function is
+// idempotent and safe to call after the broker is closed. The channel is
+// closed when the broker shuts down.
+func (b *broker) subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, subBuffer)
+	b.mu.Lock()
+	if b.closed {
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			if _, ok := b.subs[ch]; ok {
+				delete(b.subs, ch)
+				close(ch)
+			}
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// publish marshals ev once and offers it to every subscriber without
+// blocking; subscribers whose buffers are full miss this event. With no
+// subscribers it returns before marshaling — this runs on the ingest
+// path under the detector lock, so idle-broker cost must be nil.
+func (b *broker) publish(ev *StreamEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- payload:
+		default:
+		}
+	}
+}
+
+// close shuts the broker down, closing every subscriber channel.
+func (b *broker) close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		for ch := range b.subs {
+			delete(b.subs, ch)
+			close(ch)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// serveSSE streams quantum events for one tenant until the client
+// disconnects or the tenant shuts down.
+func serveSSE(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := t.broker.subscribe()
+	defer cancel()
+
+	// Per-write deadlines: a connected-but-not-reading client would
+	// otherwise park this goroutine inside Fprintf once the kernel send
+	// buffer fills, where neither the request context nor broker close
+	// can reach it — and http.Server.Shutdown would wait out the whole
+	// grace period on the never-idle connection. (The server deliberately
+	// sets no global WriteTimeout; SSE streams are long-lived by design.)
+	rc := http.NewResponseController(w)
+	const writeBudget = 30 * time.Second
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	// Initial comment line so proxies and clients see bytes immediately.
+	fmt.Fprintf(w, ": stream %s\n\n", t.name)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case payload, ok := <-ch:
+			if !ok {
+				return
+			}
+			rc.SetWriteDeadline(time.Now().Add(writeBudget)) //nolint:errcheck // unsupported writer → unbounded write, as before
+			if _, err := fmt.Fprintf(w, "event: quantum\ndata: %s\n\n", payload); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

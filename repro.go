@@ -18,6 +18,12 @@
 //     anticipates). Add and remove nodes/edges; the engine maintains the
 //     unique canonical SCP clustering with purely local computation.
 //
+//   - Pool / Server: the HTTP/JSON serving subsystem (cmd/serve): a
+//     multi-tenant detector pool with bounded ingest queues, live event
+//     and correlation queries, an SSE push stream of per-quantum reports,
+//     and checkpoint-on-shutdown persistence so restarts resume each
+//     tenant's stream bit-identically. Design notes: docs/ARCHITECTURE.md.
+//
 // Quickstart:
 //
 //	d := repro.NewDetector(repro.Config{})
@@ -35,12 +41,14 @@ package repro
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/akg"
 	"repro/internal/core"
 	"repro/internal/detect"
 	"repro/internal/dygraph"
 	"repro/internal/eval"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
 )
@@ -90,6 +98,46 @@ func NewDetector(cfg Config) *Detector { return detect.New(cfg) }
 // Detector.Save. The restored detector continues the stream exactly where
 // the saved one stopped (bit-identical event histories).
 func LoadDetector(r io.Reader) (*Detector, error) { return detect.Load(r) }
+
+// MergeNote records one event absorbed by another during a quantum.
+type MergeNote = detect.MergeNote
+
+// ---- Event-serving HTTP subsystem ----
+
+// Pool is a multi-tenant detector pool: per-tenant ingest queues, query
+// snapshots and SSE push, with checkpoint-on-shutdown persistence.
+type Pool = server.Pool
+
+// PoolConfig configures a Pool.
+type PoolConfig = server.PoolConfig
+
+// Tenant is one isolated detector inside a Pool.
+type Tenant = server.Tenant
+
+// TenantStats is the monitoring snapshot of one tenant.
+type TenantStats = server.TenantStats
+
+// EventView is the JSON projection of an Event served by the API.
+type EventView = server.EventView
+
+// StreamEvent is the per-quantum SSE push payload.
+type StreamEvent = server.StreamEvent
+
+// ServerConfig configures a Server.
+type ServerConfig = server.Config
+
+// Server is the HTTP serving frontend over a Pool (see cmd/serve).
+type Server = server.Server
+
+// NewPool builds a detector pool, restoring any checkpointed tenants.
+func NewPool(cfg PoolConfig) (*Pool, error) { return server.NewPool(cfg) }
+
+// NewServer builds an HTTP server (and its pool) from cfg.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewServerHandler returns just the HTTP API handler over a pool, for
+// embedding into an existing mux or test server.
+func NewServerHandler(p *Pool) http.Handler { return server.NewHandler(p) }
 
 // ---- Generic dynamic-graph cluster engine ----
 
