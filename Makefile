@@ -1,0 +1,20 @@
+# Developer entry points. CI runs the same four checks as `make check`.
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	gofmt -l .
+	go vet ./...
+	go build ./...
+	go test ./...
+
+# Persistence benchmarks (WAL append/replay, crash recovery); emits
+# BENCH_persistence.json. Pass BENCHTIME=5s for steadier numbers.
+BENCHTIME ?= 1s
+bench:
+	./scripts/bench_persistence.sh $(BENCHTIME)

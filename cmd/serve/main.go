@@ -17,6 +17,14 @@
 // queues and checkpoints every tenant; a restart with the same
 // -checkpoints directory resumes each stream bit-identically.
 //
+// With -wal-dir set, every accepted batch is write-ahead logged before
+// it is acknowledged and the detector is snapshotted every
+// -snapshot-every quanta, so even a kill -9 loses nothing: restart with
+// the same -wal-dir and recovery (snapshot + tail replay) resumes
+// bit-identically. With -archive-dir set, events evicted by -retain are
+// persisted to a queryable on-disk archive (GET /v1/{tenant}/archive)
+// instead of discarded. See docs/PERSISTENCE.md.
+//
 // Tunables mirror Table 2: -delta (quantum size), -tau (high state
 // threshold), -beta (EC threshold), -w (window quanta).
 package main
@@ -46,6 +54,14 @@ func main() {
 		retain = flag.Int("retain", 0, "finished events kept per tenant (0 = unlimited)")
 		grace  = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 
+		walDir  = flag.String("wal-dir", "", "write-ahead log directory (empty disables crash durability)")
+		walSeg  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
+		walSync = flag.Int("wal-sync", 0, "fsync the WAL every N appends (0 = rely on the page cache)")
+		snapEvr = flag.Int("snapshot-every", 256, "WAL snapshot cadence in quanta")
+		archDir = flag.String("archive-dir", "", "evicted-event archive directory (empty discards evicted events)")
+		archSeg = flag.Int("archive-segment-events", 512, "archive segment rotation by record count")
+		archBkt = flag.Int("archive-bucket-quanta", 1024, "archive segment rotation by quantum span")
+
 		delta = flag.Int("delta", 160, "quantum size Δ in messages")
 		qtime = flag.Int64("qtime", 0, "time-based quantum length (0 = message count)")
 		tau   = flag.Int("tau", 4, "high state threshold τ (users/quantum)")
@@ -68,6 +84,14 @@ func main() {
 			RetainEvents:  *retain,
 			CheckpointDir: *ckpt,
 			MaxTenants:    *maxT,
+
+			WALDir:               *walDir,
+			WALSegmentBytes:      *walSeg,
+			WALSyncEvery:         *walSync,
+			SnapshotEvery:        *snapEvr,
+			ArchiveDir:           *archDir,
+			ArchiveSegmentEvents: *archSeg,
+			ArchiveBucketQuanta:  *archBkt,
 		},
 	})
 	if err != nil {
@@ -75,7 +99,7 @@ func main() {
 		os.Exit(1)
 	}
 	if tenants := srv.Pool.Names(); len(tenants) > 0 {
-		log.Printf("restored %d tenant(s) from %s: %v", len(tenants), *ckpt, tenants)
+		log.Printf("restored %d tenant(s): %v", len(tenants), tenants)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

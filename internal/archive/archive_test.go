@@ -1,0 +1,283 @@
+package archive
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// rec builds a record: one event alive over [born, last] with keywords.
+func rec(seq uint64, born, last int, kws ...string) Record {
+	return Record{
+		Seq:         seq,
+		ID:          seq * 10,
+		State:       "ended",
+		Keywords:    kws,
+		AllKeywords: kws,
+		Rank:        float64(seq),
+		BornQuantum: born,
+		LastQuantum: last,
+	}
+}
+
+// TestAppendQueryRotation drives three time buckets through rotation and
+// checks range queries, keyword queries, and the skip statistics that
+// prove the sidecar metadata is doing its job.
+func TestAppendQueryRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments: {1,2} quanta 0..19, {3,4} quanta 100..119, {5} active 200..209.
+	for i, r := range []Record{
+		rec(1, 0, 9, "earthquake", "turkey"),
+		rec(2, 10, 19, "flood", "river"),
+		rec(3, 100, 109, "storm", "coast"),
+		rec(4, 110, 119, "election", "debate"),
+		rec(5, 200, 209, "wildfire", "evacuation"),
+	} {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if n := l.SegmentCount(); n != 3 {
+		t.Fatalf("segments = %d, want 3", n)
+	}
+	if n := l.EventCount(); n != 5 {
+		t.Fatalf("events = %d, want 5", n)
+	}
+
+	// Full range, no keyword: everything, in eviction order.
+	all, stats, err := l.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("full query = %d records", len(all))
+	}
+	for i, r := range all {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("order broken: %v", all)
+		}
+	}
+	if stats.Scanned != 3 || stats.Segments != 3 {
+		t.Fatalf("full query stats = %+v", stats)
+	}
+
+	// Range query hitting only the middle bucket skips the other two.
+	mid, stats, err := l.Query(100, 119, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid) != 2 || mid[0].Seq != 3 || mid[1].Seq != 4 {
+		t.Fatalf("mid query = %v", mid)
+	}
+	if stats.SkippedByTime != 2 || stats.Scanned != 1 {
+		t.Fatalf("mid query stats = %+v, want 2 time-skips", stats)
+	}
+
+	// Keyword present in one sealed segment: Bloom skips the others.
+	storm, stats, err := l.Query(0, -1, "storm", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(storm) != 1 || storm[0].Seq != 3 {
+		t.Fatalf("storm query = %v", storm)
+	}
+	if stats.SkippedByBloom != 2 || stats.Scanned != 1 {
+		t.Fatalf("storm query stats = %+v, want 2 bloom-skips", stats)
+	}
+
+	// Absent keyword: every segment skipped, nothing scanned.
+	none, stats, err := l.Query(0, -1, "nosuchkeyword", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 || stats.Scanned != 0 || stats.SkippedByBloom != 3 {
+		t.Fatalf("absent keyword: records = %v stats = %+v", none, stats)
+	}
+
+	// Limit caps the result set.
+	two, _, err := l.Query(0, -1, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("limit query = %d records", len(two))
+	}
+}
+
+// TestBucketRotationByQuanta rotates on time span even when the event
+// count stays under the segment cap.
+func TestBucketRotationByQuanta(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentEvents: 100, BucketQuanta: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1, 0, 10, "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(2, 40, 60, "b")); err != nil { // span 0..60 ≥ 50: rotate
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(3, 100, 110, "c")); err != nil {
+		t.Fatal(err)
+	}
+	if n := l.SegmentCount(); n != 2 {
+		t.Fatalf("segments = %d, want 2 (time-bucket rotation)", n)
+	}
+}
+
+// TestReopenDedup reopens an archive and verifies replayed (duplicate)
+// ordinals are dropped while fresh ones append — the WAL-replay
+// idempotence contract.
+func TestReopenDedup(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if err := l.Append(rec(i, int(i)*10, int(i)*10+5, fmt.Sprintf("kw%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: simulates a kill. The active segment has no sidecar yet.
+	l2, err := Open(dir, Options{SegmentEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastSeq() != 3 {
+		t.Fatalf("LastSeq after reopen = %d, want 3", l2.LastSeq())
+	}
+	// Replayed evictions 1..3 are dropped; 4 is new.
+	for i := uint64(1); i <= 4; i++ {
+		if err := l2.Append(rec(i, int(i)*10, int(i)*10+5, fmt.Sprintf("kw%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, _, err := l2.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("records after dedup = %d, want 4", len(all))
+	}
+	// An ordinal gap (records lost for good) is skipped over and
+	// counted, not allowed to wedge all future archiving.
+	if err := l2.Append(rec(99, 0, 1, "gap")); err != nil {
+		t.Fatalf("gap append failed: %v", err)
+	}
+	if l2.Gaps() != 1 || l2.LastSeq() != 99 {
+		t.Fatalf("gaps = %d lastSeq = %d, want 1/99", l2.Gaps(), l2.LastSeq())
+	}
+	if err := l2.Append(rec(100, 0, 1, "after-gap")); err != nil {
+		t.Fatalf("append after gap: %v", err)
+	}
+}
+
+// TestTornTailTruncated leaves a partial JSON line (crash mid-append) in
+// the active segment; reopen must drop it and re-accept that ordinal.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(1, 0, 5, "alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(2, 6, 9, "beta")); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segExt))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments = %v", segs)
+	}
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"id":30,"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (torn record dropped)", l2.LastSeq())
+	}
+	if err := l2.Append(rec(3, 10, 15, "gamma")); err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := l2.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[2].Keywords[0] != "gamma" {
+		t.Fatalf("records after torn-tail recovery = %v", all)
+	}
+}
+
+// TestCorruptSealedSegmentSurfaces flips bytes mid-file in a sealed
+// segment: the sidecar knows the true record count, so a query must
+// report corruption instead of silently serving a truncated history.
+func TestCorruptSealedSegmentSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentEvents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 4; i++ { // 3 seal a segment, 1 stays active
+		if err := l.Append(rec(i, int(i)*10, int(i)*10+5, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segExt))
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("segments = %v", segs)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the structure of the middle record (JSON tolerates stray
+	// bytes inside strings, so corrupt the leading brace).
+	raw[bytes.IndexByte(raw, '\n')+1] = 'X'
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Query(0, -1, "", 0); err == nil {
+		t.Fatal("query over corrupt sealed segment reported success")
+	}
+}
+
+// TestBloomNoFalseNegatives is the Bloom correctness property the
+// skipping depends on: an added keyword is always reported present.
+func TestBloomNoFalseNegatives(t *testing.T) {
+	bf := newBloom()
+	for i := 0; i < 1000; i++ {
+		bf.add(fmt.Sprintf("keyword-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !bf.mayContain(fmt.Sprintf("keyword-%d", i)) {
+			t.Fatalf("false negative for keyword-%d", i)
+		}
+	}
+	// And at this load the false-positive rate stays usable.
+	fp := 0
+	for i := 0; i < 1000; i++ {
+		if bf.mayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Fatalf("false positives = %d/1000, filter useless", fp)
+	}
+}

@@ -1,0 +1,65 @@
+package archive
+
+import (
+	"encoding/base64"
+	"hash/fnv"
+)
+
+// bloomBits / bloomHashes size the per-segment keyword Bloom filter:
+// 8192 bits with 4 hashes keeps the false-positive rate under ~2% for
+// the few hundred distinct keywords a segment accumulates, at 1 KiB of
+// sidecar per segment.
+const (
+	bloomBits   = 8192
+	bloomHashes = 4
+)
+
+// bloom is a fixed-size Bloom filter over keyword strings, using double
+// hashing (h1 + i·h2) over one 64-bit FNV-1a pass.
+type bloom []byte
+
+func newBloom() bloom { return make(bloom, bloomBits/8) }
+
+func bloomHash(s string) (h1, h2 uint32) {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // hash.Hash never errors
+	v := h.Sum64()
+	h1 = uint32(v)
+	h2 = uint32(v>>32) | 1 // odd, so the probe sequence cycles all bits
+	return
+}
+
+func (b bloom) add(s string) {
+	h1, h2 := bloomHash(s)
+	for i := uint32(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % bloomBits
+		b[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// mayContain reports whether s could have been added (false positives
+// possible, false negatives not).
+func (b bloom) mayContain(s string) bool {
+	if len(b) != bloomBits/8 {
+		// Unknown filter shape (corrupt or future sidecar): never skip.
+		return true
+	}
+	h1, h2 := bloomHash(s)
+	for i := uint32(0); i < bloomHashes; i++ {
+		bit := (h1 + i*h2) % bloomBits
+		if b[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (b bloom) encode() string { return base64.StdEncoding.EncodeToString(b) }
+
+func decodeBloom(s string) bloom {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil
+	}
+	return bloom(raw)
+}

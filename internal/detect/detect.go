@@ -191,6 +191,7 @@ type Detector struct {
 	finished  []*Event
 	nextEvent uint64
 	processed uint64 // total messages ingested
+	trimmed   uint64 // total finished events ever evicted by TrimFinished
 
 	// lifecycle notes collected from engine hooks during a quantum
 	mergedInto map[core.ClusterID]core.ClusterID
@@ -199,6 +200,10 @@ type Detector struct {
 	// onQuantum, when set, is called with every QuantumResult the
 	// detector produces, on whichever goroutine applies quanta.
 	onQuantum func(*QuantumResult)
+	// onEvict, when set, is called with each finished event dropped by
+	// TrimFinished, in eviction order (oldest first). Serving layers use
+	// it to archive history instead of losing it.
+	onEvict func(*Event)
 }
 
 // New returns a Detector with the given configuration.
@@ -239,6 +244,19 @@ func New(cfg Config) *Detector {
 // Serving layers use it for push notification; nil clears the hook. The
 // hook is not part of checkpoints — re-register after Load.
 func (d *Detector) SetOnQuantum(fn func(*QuantumResult)) { d.onQuantum = fn }
+
+// SetOnEvict registers fn to be called with every finished event dropped
+// by TrimFinished, in eviction order. During the callback Trimmed()
+// already counts the event being evicted, so fn can use it as the
+// event's 1-based eviction ordinal — the basis for exactly-once archival
+// across WAL replays. Like SetOnQuantum, the hook is not part of
+// checkpoints — re-register after Load. nil clears it.
+func (d *Detector) SetOnEvict(fn func(*Event)) { d.onEvict = fn }
+
+// Trimmed returns the cumulative count of finished events ever evicted
+// by TrimFinished. It survives checkpoint/restore, so a replayed stream
+// re-evicts events at exactly the same ordinals.
+func (d *Detector) Trimmed() uint64 { return d.trimmed }
 
 // Interner exposes the keyword interner (read-only use by harnesses).
 func (d *Detector) Interner() *textproc.Interner { return d.interner }
@@ -446,11 +464,19 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 	live := make(map[core.ClusterID]*core.Cluster)
 	eng.ForEachCluster(func(c *core.Cluster) { live[c.ID()] = c })
 
-	// Retire events whose cluster no longer exists.
-	for cid, ev := range d.events {
-		if _, ok := live[cid]; ok {
-			continue
+	// Retire events whose cluster no longer exists, in cluster-ID order:
+	// the order events enter d.finished is the order TrimFinished later
+	// evicts them, and WAL replay needs that order to be identical run to
+	// run (map iteration order is not).
+	var retired []core.ClusterID
+	for cid := range d.events {
+		if _, ok := live[cid]; !ok {
+			retired = append(retired, cid)
 		}
+	}
+	sort.Slice(retired, func(i, j int) bool { return retired[i] < retired[j] })
+	for _, cid := range retired {
+		ev := d.events[cid]
 		if into, merged := d.mergedInto[cid]; merged {
 			ev.State = EventMerged
 			// The surviving cluster's event absorbs this one.
@@ -473,8 +499,8 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 		d.finished = append(d.finished, ev)
 		delete(d.events, cid)
 	}
-	// The retirement loop walks a map; sort the deltas so results are
-	// deterministic run to run.
+	// Deltas carry event IDs, not cluster IDs; sort them so the wire
+	// shape is deterministic run to run.
 	sort.Slice(res.Ended, func(i, j int) bool { return res.Ended[i] < res.Ended[j] })
 	sort.Slice(res.Merged, func(i, j int) bool { return res.Merged[i].Event < res.Merged[j].Event })
 
@@ -626,12 +652,19 @@ func (d *Detector) FindEvent(id uint64) *Event {
 // unlimited (no-op). Live events are never dropped. Long-lived serving
 // deployments call this to bound per-tenant memory — the finished list
 // otherwise grows for the life of the stream. Trimmed events disappear
-// from AllEvents, FindEvent and subsequent checkpoints.
+// from AllEvents, FindEvent and subsequent checkpoints; the OnEvict
+// hook (if set) observes each one before it goes.
 func (d *Detector) TrimFinished(max int) int {
 	if max <= 0 || len(d.finished) <= max {
 		return 0
 	}
 	n := len(d.finished) - max
+	for _, ev := range d.finished[:n] {
+		d.trimmed++
+		if d.onEvict != nil {
+			d.onEvict(ev)
+		}
+	}
 	d.finished = append(d.finished[:0:0], d.finished[n:]...)
 	return n
 }

@@ -55,7 +55,11 @@ type DetectorState struct {
 	Finished  []EventSnapshot
 	NextEvent uint64
 	Processed uint64
-	Pending   []stream.Message // partial quantum buffered at snapshot time
+	// Trimmed is the cumulative TrimFinished eviction count; restoring it
+	// keeps eviction ordinals stable across a snapshot + WAL replay, so
+	// the archive can deduplicate re-evicted events exactly.
+	Trimmed uint64
+	Pending []stream.Message // partial quantum buffered at snapshot time
 	// Time-quantizer grid position (meaningful when Cfg.QuantumTime > 0).
 	TQStart   int64
 	TQStarted bool
@@ -127,6 +131,7 @@ func (d *Detector) State() DetectorState {
 		AKG:       d.akg.State(),
 		NextEvent: d.nextEvent,
 		Processed: d.processed,
+		Trimmed:   d.trimmed,
 	}
 	for id, seen := range d.nounSeen {
 		if seen {
@@ -172,6 +177,7 @@ func FromState(s DetectorState) (*Detector, error) {
 		events:     make(map[core.ClusterID]*Event, len(s.Events)),
 		nextEvent:  s.NextEvent,
 		processed:  s.Processed,
+		trimmed:    s.Trimmed,
 		mergedInto: make(map[core.ClusterID]core.ClusterID),
 		splitFrom:  make(map[core.ClusterID]core.ClusterID),
 	}
@@ -226,13 +232,21 @@ func FromState(s DetectorState) (*Detector, error) {
 	return d, nil
 }
 
-// Save writes a gob-encoded checkpoint.
-func (d *Detector) Save(w io.Writer) error {
-	s := d.State()
-	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+// EncodeState writes an already-captured state as a checkpoint stream
+// (the format Save produces and Load reads). State() deep-copies, so a
+// serving layer can capture under its detector lock and encode/write
+// outside it, keeping slow disk IO off the ingest path.
+func EncodeState(s *DetectorState, w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
 		return fmt.Errorf("detect: encode checkpoint: %w", err)
 	}
 	return nil
+}
+
+// Save writes a gob-encoded checkpoint.
+func (d *Detector) Save(w io.Writer) error {
+	s := d.State()
+	return EncodeState(&s, w)
 }
 
 // Load reads a checkpoint written by Save and reconstructs the detector.

@@ -23,9 +23,12 @@ const maxBodyBytes = 64 << 20
 //	GET  /v1/{tenant}/events/{id} one event by ID
 //	GET  /v1/{tenant}/related    correlated same-event pairs (?min= overlap)
 //	GET  /v1/{tenant}/stream     SSE push of per-quantum reports + lifecycle
+//	GET  /v1/{tenant}/archive    evicted-event history (?from= ?to= quanta,
+//	                             ?keyword=, ?limit=) with data-skipping stats
 //	GET  /v1/tenants             tenant names
 //	GET  /healthz                liveness
 //	GET  /statsz                 per-tenant throughput, lag, graph size
+//	GET  /metrics                durability + observability counters
 func NewHandler(p *Pool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/{tenant}/messages", func(w http.ResponseWriter, r *http.Request) {
@@ -99,6 +102,13 @@ func NewHandler(p *Pool) http.Handler {
 			"related": t.Related(min),
 		})
 	})
+	mux.HandleFunc("GET /v1/{tenant}/archive", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		handleArchiveQuery(w, r, t)
+	})
 	mux.HandleFunc("GET /v1/{tenant}/stream", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
 		if !ok {
@@ -118,7 +128,55 @@ func NewHandler(p *Pool) http.Handler {
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tenants": p.Stats()})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Metrics())
+	})
 	return mux
+}
+
+// handleArchiveQuery serves the evicted-event history. from/to are
+// quantum indices (the archive's time axis); to defaults to unbounded.
+// limit caps the result set (default 1000, 0 = unlimited).
+func handleArchiveQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	q := r.URL.Query()
+	parse := func(key string, def int) (int, bool) {
+		s := q.Get(key)
+		if s == "" {
+			return def, true
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, key+" must be a non-negative integer")
+			return 0, false
+		}
+		return v, true
+	}
+	from, ok := parse("from", 0)
+	if !ok {
+		return
+	}
+	to, ok := parse("to", -1)
+	if !ok {
+		return
+	}
+	limit, ok := parse("limit", 1000)
+	if !ok {
+		return
+	}
+	events, stats, err := t.ArchiveQuery(from, to, q.Get("keyword"), limit)
+	if err != nil {
+		if errors.Is(err, ErrNoArchive) {
+			httpError(w, http.StatusNotFound, err.Error())
+		} else {
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": t.Name(),
+		"events": events,
+		"stats":  stats,
+	})
 }
 
 // handleIngest decodes the body — a JSON array by default, NDJSON when

@@ -1,0 +1,96 @@
+package server
+
+// TenantMetrics extends the monitoring snapshot with the durability
+// layer's counters — the observability surface behind GET /metrics.
+type TenantMetrics struct {
+	TenantStats
+	// WALEnabled/ArchiveEnabled say which durability subsystems back the
+	// tenant, so a zero segment count is distinguishable from "off".
+	WALEnabled     bool `json:"wal_enabled"`
+	ArchiveEnabled bool `json:"archive_enabled"`
+	// WALSegments is the on-disk segment file count (compaction keeps it
+	// near 1 when snapshots keep pace with ingest). WALLastSeq /
+	// WALSnapshotSeq are the newest appended record and the newest
+	// snapshot position; their gap is the replay a crash would cost.
+	WALSegments    int    `json:"wal_segments,omitempty"`
+	WALLastSeq     uint64 `json:"wal_last_seq,omitempty"`
+	WALSnapshotSeq uint64 `json:"wal_snapshot_seq,omitempty"`
+	// SnapshotAgeQuanta is how many quanta the tenant has processed
+	// since its newest snapshot (bounded by the SnapshotEvery cadence).
+	SnapshotAgeQuanta int `json:"snapshot_age_quanta,omitempty"`
+	// WALErrors counts failed snapshot/compaction passes.
+	WALErrors uint64 `json:"wal_errors,omitempty"`
+	// ArchiveSegments / ArchiveEvents size the evicted-event history;
+	// ArchiveErrors counts append failures (events lost to the archive)
+	// and ArchiveGaps ordinal holes skipped over (records lost to a
+	// crash that replay could not regenerate).
+	ArchiveSegments int    `json:"archive_segments,omitempty"`
+	ArchiveEvents   int    `json:"archive_events,omitempty"`
+	ArchiveErrors   uint64 `json:"archive_errors,omitempty"`
+	ArchiveGaps     uint64 `json:"archive_gaps,omitempty"`
+}
+
+// MetricsTotals aggregates the per-tenant metrics for dashboards that
+// only want one line per process.
+type MetricsTotals struct {
+	Tenants         int    `json:"tenants"`
+	Messages        uint64 `json:"messages"`
+	Quanta          int    `json:"quanta"`
+	QueuedMessages  int64  `json:"queued_messages"`
+	WALSegments     int    `json:"wal_segments"`
+	ArchiveSegments int    `json:"archive_segments"`
+	ArchiveEvents   int    `json:"archive_events"`
+}
+
+// PoolMetrics is the GET /metrics response body.
+type PoolMetrics struct {
+	Tenants []TenantMetrics `json:"tenants"`
+	Totals  MetricsTotals   `json:"totals"`
+}
+
+// Metrics returns the tenant's monitoring + durability snapshot.
+func (t *Tenant) Metrics() TenantMetrics {
+	m := TenantMetrics{TenantStats: t.Stats()}
+	if wl := t.walLog(); wl != nil {
+		m.WALEnabled = true
+		m.WALSegments = wl.SegmentCount()
+		m.WALLastSeq = wl.LastSeq()
+		m.WALSnapshotSeq = wl.SnapshotSeq()
+		m.WALErrors = t.storage.walErrs.Load()
+		t.mu.Lock()
+		m.SnapshotAgeQuanta = m.Quanta - t.lastSnapQuantum
+		t.mu.Unlock()
+	}
+	if ar := t.archLog(); ar != nil {
+		m.ArchiveEnabled = true
+		m.ArchiveSegments = ar.SegmentCount()
+		m.ArchiveEvents = ar.EventCount()
+		m.ArchiveErrors = t.storage.archErrs.Load()
+		m.ArchiveGaps = ar.Gaps()
+	}
+	return m
+}
+
+// Metrics returns every tenant's metrics (name-sorted) plus totals.
+func (p *Pool) Metrics() PoolMetrics {
+	p.mu.RLock()
+	tenants := make([]*Tenant, 0, len(p.tenants))
+	for _, t := range p.tenants {
+		tenants = append(tenants, t)
+	}
+	p.mu.RUnlock()
+	sortTenants(tenants)
+	out := PoolMetrics{Tenants: make([]TenantMetrics, 0, len(tenants))}
+	for _, t := range tenants {
+		m := t.Metrics()
+		out.Tenants = append(out.Tenants, m)
+		out.Totals.Tenants++
+		out.Totals.Messages += m.Messages
+		out.Totals.Quanta += m.Quanta
+		out.Totals.QueuedMessages += m.QueuedMessages
+		out.Totals.WALSegments += m.WALSegments
+		out.Totals.ArchiveSegments += m.ArchiveSegments
+		out.Totals.ArchiveEvents += m.ArchiveEvents
+	}
+	return out
+}

@@ -8,14 +8,19 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/detect"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Errors surfaced to handlers (mapped onto HTTP status codes there).
@@ -26,6 +31,7 @@ var (
 	ErrBadTenant     = errors.New("server: invalid tenant name")
 	ErrNoTenant      = errors.New("server: unknown tenant")
 	ErrMaxTenants    = errors.New("server: tenant limit reached")
+	ErrNoArchive     = errors.New("server: event archive not enabled")
 )
 
 // tenantNameRE keeps tenant names URL- and filename-safe.
@@ -49,12 +55,39 @@ type PoolConfig struct {
 	// Zero keeps everything — fine for bounded experiments, not for a
 	// long-lived tenant, whose history otherwise grows forever.
 	RetainEvents int
-	// CheckpointDir, when non-empty, enables persistence: tenants with a
-	// checkpoint are restored on pool start and every tenant is
-	// checkpointed on Shutdown.
+	// CheckpointDir, when non-empty, enables clean-shutdown persistence:
+	// tenants with a checkpoint are restored on pool start and every
+	// tenant is checkpointed on Shutdown. A crash between checkpoints
+	// loses everything since startup — use WALDir for crash durability.
 	CheckpointDir string
 	// MaxTenants bounds the number of tenants. Zero selects 1024.
 	MaxTenants int
+
+	// WALDir, when non-empty, enables crash durability: every accepted
+	// ingest batch is appended to a per-tenant write-ahead log before it
+	// is acknowledged, and the detector is snapshotted every
+	// SnapshotEvery quanta. On pool start each tenant found under WALDir
+	// is recovered as latest snapshot + replay of the segment tail —
+	// bit-identical to the pre-crash state, however the process died.
+	WALDir string
+	// WALSegmentBytes rotates WAL segments (default 4 MiB).
+	WALSegmentBytes int64
+	// WALSyncEvery fsyncs the WAL after every N appends; 0 never fsyncs
+	// explicitly (kill-safe via the page cache, not power-safe).
+	WALSyncEvery int
+	// SnapshotEvery is the WAL snapshot cadence in quanta (default 256).
+	// Smaller = faster recovery, more snapshot IO.
+	SnapshotEvery int
+
+	// ArchiveDir, when non-empty, routes events evicted by the
+	// RetainEvents policy into a per-tenant on-disk archive (time-bucketed
+	// JSONL segments with data-skipping sidecars) instead of discarding
+	// them, queryable via Tenant.ArchiveQuery and GET /v1/{t}/archive.
+	ArchiveDir string
+	// ArchiveSegmentEvents rotates archive segments by record count
+	// (default 512); ArchiveBucketQuanta by time span (default 1024).
+	ArchiveSegmentEvents int
+	ArchiveBucketQuanta  int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -66,6 +99,9 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.MaxTenants <= 0 {
 		c.MaxTenants = 1024
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
 	}
 	return c
 }
@@ -149,6 +185,72 @@ func viewsOf(evs []*detect.Event) []EventView {
 	return out
 }
 
+// walBatch is one queued work item — an ingest batch or a stream-flush
+// marker — with its WAL sequence number (0 when the WAL is disabled).
+// Flushes ride the queue so their order relative to batches matches
+// the WAL's record order exactly; replay depends on that.
+type walBatch struct {
+	seq   uint64
+	msgs  []stream.Message
+	flush bool
+}
+
+// tenantStorage bundles one tenant's durability handles; fields are nil
+// when the corresponding subsystem is disabled.
+type tenantStorage struct {
+	wal      *wal.Log
+	arch     *archive.Log
+	archErrs *atomic.Uint64 // archive append failures (events lost)
+	walErrs  *atomic.Uint64 // snapshot/compaction failures
+}
+
+// attachEvict routes events evicted by detect.TrimFinished into the
+// archive. The detector's cumulative trim counter is the record's
+// eviction ordinal; the archive drops ordinals it already holds, which
+// makes the hook idempotent across WAL replays. Must be registered
+// before any replay so pre-crash evictions the archive lost (torn tail)
+// self-heal.
+func (s *tenantStorage) attachEvict(det *detect.Detector) {
+	if s == nil || s.arch == nil {
+		return
+	}
+	arch, errs := s.arch, s.archErrs
+	det.SetOnEvict(func(ev *detect.Event) {
+		if err := arch.Append(archiveRecord(det.Trimmed(), ev)); err != nil {
+			errs.Add(1)
+		}
+	})
+}
+
+// archiveRecord projects an evicted event onto the archive's JSONL
+// record shape, with seq as its eviction ordinal.
+func archiveRecord(seq uint64, ev *detect.Event) archive.Record {
+	all := make([]string, 0, len(ev.AllKeywords))
+	for kw := range ev.AllKeywords {
+		all = append(all, kw)
+	}
+	sort.Strings(all)
+	return archive.Record{
+		Seq:           seq,
+		ID:            ev.ID,
+		State:         ev.State.String(),
+		Keywords:      append([]string(nil), ev.Keywords...),
+		AllKeywords:   all,
+		Rank:          ev.Rank,
+		PeakRank:      ev.PeakRank,
+		BornQuantum:   ev.BornQuantum,
+		LastQuantum:   ev.LastQuantum,
+		Evolved:       ev.Evolved,
+		Size:          ev.Size,
+		Support:       ev.Support,
+		Reported:      ev.Reported,
+		FirstReported: ev.FirstReported,
+		MergedInto:    ev.MergedInto,
+		SplitFrom:     ev.SplitFrom,
+		Spurious:      ev.Spurious(),
+	}
+}
+
 // Tenant is one isolated detector: a bounded ingest queue drained by a
 // dedicated goroutine, the (single-threaded) detector it feeds, and an
 // SSE broker for push notification. Queries copy state under the
@@ -157,8 +259,8 @@ type Tenant struct {
 	name   string
 	broker *broker
 
-	qmu     sync.Mutex // guards queue close vs. enqueue
-	queue   chan []stream.Message
+	qmu     sync.Mutex // guards queue close vs. enqueue (and WAL appends)
+	queue   chan walBatch
 	closed  bool
 	drained chan struct{} // closed when the worker has exited
 
@@ -172,22 +274,34 @@ type Tenant struct {
 
 	retain int // finished-event retention cap (0 = unlimited)
 
-	mu      sync.Mutex // guards det and the elapsed counters
+	// Durability. lastApplied is the WAL seq of the last fully applied
+	// batch — the only safe snapshot position. snapEvery is the snapshot
+	// cadence in quanta; lastSnapQuantum (under mu) tracks the quantum of
+	// the newest snapshot for cadence and the snapshot-age metric.
+	storage         *tenantStorage
+	lastApplied     atomic.Uint64
+	snapEvery       int
+	lastSnapQuantum int
+
+	mu      sync.Mutex // guards det, elapsed counters, archive access
 	det     *detect.Detector
 	elapsed time.Duration // detector time spent this process
 	since   uint64        // messages ingested this process
 }
 
-func newTenant(name string, det *detect.Detector, cfg PoolConfig) *Tenant {
+func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage) *Tenant {
 	t := &Tenant{
 		name:          name,
 		broker:        newBroker(),
-		queue:         make(chan []stream.Message, cfg.QueueDepth),
+		queue:         make(chan walBatch, cfg.QueueDepth),
 		drained:       make(chan struct{}),
 		det:           det,
 		maxQueuedMsgs: int64(cfg.QueueMessages),
 		retain:        cfg.RetainEvents,
+		storage:       st,
+		snapEvery:     cfg.SnapshotEvery,
 	}
+	st.attachEvict(det)
 	det.SetOnQuantum(func(res *detect.QuantumResult) {
 		t.elapsed += res.Elapsed
 		t.broker.publish(&StreamEvent{
@@ -205,6 +319,21 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig) *Tenant {
 	return t
 }
 
+// walLog / archLog are nil-safe storage accessors.
+func (t *Tenant) walLog() *wal.Log {
+	if t.storage == nil {
+		return nil
+	}
+	return t.storage.wal
+}
+
+func (t *Tenant) archLog() *archive.Log {
+	if t.storage == nil {
+		return nil
+	}
+	return t.storage.arch
+}
+
 // work drains the ingest queue until it is closed. Messages are applied
 // strictly in arrival order; the detector's own push hook notifies the
 // broker at every quantum boundary. The lock is taken per message, not
@@ -213,20 +342,67 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig) *Tenant {
 func (t *Tenant) work() {
 	defer close(t.drained)
 	for batch := range t.queue {
-		for _, m := range batch {
+		if batch.flush {
+			t.mu.Lock()
+			t.det.Flush()
+			t.mu.Unlock()
+		}
+		for _, m := range batch.msgs {
 			t.mu.Lock()
 			t.det.IngestAll(m)
 			t.since++
 			t.mu.Unlock()
 		}
-		if t.retain > 0 {
+		if !batch.flush && t.retain > 0 {
 			t.mu.Lock()
 			t.det.TrimFinished(t.retain)
 			t.mu.Unlock()
 		}
-		t.queuedMsgs.Add(-int64(len(batch)))
+		if batch.seq > 0 {
+			t.lastApplied.Store(batch.seq)
+		}
+		t.maybeSnapshot()
+		t.queuedMsgs.Add(-int64(len(batch.msgs)))
 		t.applied.Add(1)
 	}
+}
+
+// maybeSnapshot checkpoints the detector into the WAL once enough quanta
+// have passed since the last snapshot, then compaction (inside
+// wal.Snapshot) drops the covered segments. It runs synchronously on
+// the worker between batches — that is what makes lastApplied exactly
+// name the state captured, and it deliberately paces ingest to
+// snapshot IO at the cadence point. The state is deep-copied under the
+// detector lock but encoded and written outside it, so *queries* (and
+// WAL appends from Enqueue) proceed during the write; only this
+// tenant's batch application waits.
+func (t *Tenant) maybeSnapshot() {
+	wl := t.walLog()
+	if wl == nil || t.snapEvery <= 0 {
+		return
+	}
+	t.mu.Lock()
+	q := t.det.AKG().Quantum()
+	if q-t.lastSnapQuantum < t.snapEvery {
+		t.mu.Unlock()
+		return
+	}
+	st := t.det.State()
+	t.mu.Unlock()
+	err := wl.Snapshot(t.lastApplied.Load(), func(w io.Writer) error {
+		return detect.EncodeState(&st, w)
+	})
+	if err != nil {
+		if t.storage.walErrs != nil {
+			t.storage.walErrs.Add(1)
+		}
+		return
+	}
+	t.mu.Lock()
+	if q > t.lastSnapQuantum {
+		t.lastSnapQuantum = q
+	}
+	t.mu.Unlock()
 }
 
 // Name returns the tenant name.
@@ -236,7 +412,8 @@ func (t *Tenant) Name() string { return t.name }
 // queue returns ErrQueueFull (the client should retry), a batch that
 // could never fit even in an empty queue returns ErrBatchTooLarge
 // (retrying is futile — the client must split it), and a shut-down
-// tenant returns ErrClosed.
+// tenant returns ErrClosed. With the WAL enabled the batch is on disk
+// before Enqueue returns: an accepted batch survives any crash.
 func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if len(msgs) == 0 {
 		return nil
@@ -252,36 +429,87 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if t.queuedMsgs.Load()+int64(len(msgs)) > t.maxQueuedMsgs {
 		return ErrQueueFull
 	}
-	select {
-	case t.queue <- msgs:
-		t.queuedMsgs.Add(int64(len(msgs)))
-		t.accepted.Add(1)
-		return nil
-	default:
+	// Admission must be decided before the WAL append: a batch logged
+	// but then rejected would reappear at recovery as data the client
+	// was told to retry. Only the worker removes from the queue, so a
+	// free slot observed here (under qmu) stays free until our send.
+	if len(t.queue) == cap(t.queue) {
 		return ErrQueueFull
 	}
+	var seq uint64
+	if wl := t.walLog(); wl != nil {
+		var err error
+		if seq, err = wl.Append(msgs); err != nil {
+			return fmt.Errorf("server: tenant %s: %w", t.name, err)
+		}
+	}
+	t.queue <- walBatch{seq: seq, msgs: msgs}
+	t.queuedMsgs.Add(int64(len(msgs)))
+	t.accepted.Add(1)
+	return nil
+}
+
+// ArchiveQuery serves the tenant's evicted-event history: records whose
+// lifecycle intersects [from, to] quanta (to < 0 = unbounded), filtered
+// by keyword when non-empty. The archive synchronises internally, so a
+// long history scan never blocks this tenant's ingest.
+func (t *Tenant) ArchiveQuery(from, to int, keyword string, limit int) ([]archive.Record, archive.QueryStats, error) {
+	arch := t.archLog()
+	if arch == nil {
+		return nil, archive.QueryStats{}, ErrNoArchive
+	}
+	return arch.Query(from, to, keyword, limit)
 }
 
 // Flush forces processing of the tenant's buffered partial quantum (end
-// of stream). It first waits for every batch accepted before the call to
-// be applied, so the flush observes the whole accepted stream; ctx
-// abandons the wait (e.g. the HTTP client disconnected).
+// of stream). A flush mutates the detector exactly like ingest does, so
+// it is WAL-logged and queued behind every batch accepted before the
+// call — order in the log is order of application, which replay relies
+// on. Flush returns once the marker has been applied; ctx abandons the
+// wait (e.g. the HTTP client disconnected), though an enqueued flush
+// still executes.
 func (t *Tenant) Flush(ctx context.Context) error {
-	target := t.accepted.Load()
-	if t.applied.Load() < target {
-		tick := time.NewTicker(time.Millisecond)
-		defer tick.Stop()
-		for t.applied.Load() < target {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-tick.C:
+	var target uint64
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		t.qmu.Lock()
+		if t.closed {
+			t.qmu.Unlock()
+			return ErrClosed
+		}
+		if len(t.queue) < cap(t.queue) {
+			var seq uint64
+			if wl := t.walLog(); wl != nil {
+				s, err := wl.AppendFlush()
+				if err != nil {
+					t.qmu.Unlock()
+					return fmt.Errorf("server: tenant %s: %w", t.name, err)
+				}
+				seq = s
 			}
+			t.queue <- walBatch{seq: seq, flush: true}
+			t.accepted.Add(1)
+			target = t.accepted.Load()
+			t.qmu.Unlock()
+			break
+		}
+		t.qmu.Unlock()
+		// Queue full: wait for the worker to make room rather than
+		// failing — Flush's contract is to block until done.
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
 		}
 	}
-	t.mu.Lock()
-	t.det.Flush()
-	t.mu.Unlock()
+	for t.applied.Load() < target {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 	return nil
 }
 
@@ -365,7 +593,11 @@ type Pool struct {
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
-	closed  bool // refuses new tenants (set by BeginShutdown)
+	// creating holds an in-flight latch per tenant name being built
+	// outside the lock (WAL recovery can be slow); the channel closes
+	// when the build finishes, successfully or not.
+	creating map[string]chan struct{}
+	closed   bool // refuses new tenants (set by BeginShutdown)
 
 	// shutdownOnce guards the drain+checkpoint pass; shutdownDone is
 	// closed when it finishes so concurrent Shutdown callers wait for
@@ -375,15 +607,22 @@ type Pool struct {
 	shutdownErr  error
 }
 
-// NewPool builds a pool and, when a checkpoint directory is configured,
-// restores every tenant found there so their streams resume exactly
-// where the previous process stopped.
+// NewPool builds a pool and restores tenants from disk: first by WAL
+// recovery (snapshot + tail replay — survives crashes), then from
+// clean-shutdown checkpoints for tenants without a WAL directory.
 func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	p := &Pool{
 		cfg:          cfg,
 		tenants:      make(map[string]*Tenant),
+		creating:     make(map[string]chan struct{}),
 		shutdownDone: make(chan struct{}),
+	}
+	abandon := func() {
+		// Don't leak the workers of tenants already restored.
+		for _, t := range p.tenants {
+			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
+		}
 	}
 	if cfg.CheckpointDir != "" {
 		store, err := newCheckpointStore(cfg.CheckpointDir)
@@ -391,8 +630,31 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 			return nil, err
 		}
 		p.ckpt = store
-		names, err := store.List()
+	}
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: wal dir: %w", err)
+		}
+		entries, err := os.ReadDir(cfg.WALDir)
 		if err != nil {
+			return nil, fmt.Errorf("server: list wal dir: %w", err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() || !tenantNameRE.MatchString(e.Name()) {
+				continue
+			}
+			t, err := p.recoverTenant(e.Name())
+			if err != nil {
+				abandon()
+				return nil, err
+			}
+			p.tenants[e.Name()] = t
+		}
+	}
+	if p.ckpt != nil {
+		names, err := p.ckpt.List()
+		if err != nil {
+			abandon()
 			return nil, err
 		}
 		for _, name := range names {
@@ -401,12 +663,47 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 				// otherwise become a zombie tenant no route can reach.
 				continue
 			}
-			det, err := store.Load(name)
-			if err != nil {
-				// Don't leak the workers of tenants already restored.
-				for _, t := range p.tenants {
-					t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
+			if existing, ok := p.tenants[name]; ok {
+				// The WAL is usually at least as new as the shutdown
+				// checkpoint — but if the server ran for a while with the
+				// WAL disabled, the checkpoint can be ahead. Prefer
+				// whichever processed more of the stream instead of
+				// silently rewinding the tenant.
+				det, err := p.ckpt.Load(name)
+				if err != nil {
+					abandon()
+					return nil, err
 				}
+				if det == nil {
+					continue
+				}
+				existing.mu.Lock()
+				cur := existing.det.Processed()
+				existing.mu.Unlock()
+				if det.Processed() <= cur {
+					continue
+				}
+				existing.shutdown(context.Background()) //nolint:errcheck // empty queue drains instantly
+				st := existing.storage
+				if st.wal != nil {
+					// Re-seed the WAL from the newer checkpoint; the
+					// records it held are superseded and compacted away.
+					if err := st.wal.Snapshot(st.wal.LastSeq(), det.Save); err != nil {
+						abandon()
+						return nil, err
+					}
+				}
+				t := newTenant(name, det, cfg, st)
+				if st.wal != nil {
+					t.lastApplied.Store(st.wal.LastSeq())
+				}
+				t.lastSnapQuantum = det.AKG().Quantum()
+				p.tenants[name] = t
+				continue
+			}
+			det, err := p.ckpt.Load(name)
+			if err != nil {
+				abandon()
 				return nil, err
 			}
 			if det == nil {
@@ -414,10 +711,128 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 				// cleanup); skip rather than panic on a nil detector.
 				continue
 			}
-			p.tenants[name] = newTenant(name, det, cfg)
+			st, err := p.openStorage(name)
+			if err != nil {
+				abandon()
+				return nil, err
+			}
+			if st.wal != nil {
+				// Base the fresh WAL on the checkpointed state: without
+				// this, a crash before the first cadence snapshot would
+				// replay the tail onto an empty detector.
+				if err := st.wal.Snapshot(st.wal.LastSeq(), det.Save); err != nil {
+					st.close()
+					abandon()
+					return nil, err
+				}
+			}
+			t := newTenant(name, det, cfg, st)
+			t.lastApplied.Store(0)
+			t.lastSnapQuantum = det.AKG().Quantum()
+			p.tenants[name] = t
 		}
 	}
 	return p, nil
+}
+
+// openStorage opens (creating as needed) one tenant's WAL and archive
+// handles; disabled subsystems yield nil fields.
+func (p *Pool) openStorage(name string) (*tenantStorage, error) {
+	st := &tenantStorage{archErrs: new(atomic.Uint64), walErrs: new(atomic.Uint64)}
+	if p.cfg.WALDir != "" {
+		wl, err := wal.Open(filepath.Join(p.cfg.WALDir, name), wal.Options{
+			SegmentBytes: p.cfg.WALSegmentBytes,
+			SyncEvery:    p.cfg.WALSyncEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+		}
+		st.wal = wl
+	}
+	if p.cfg.ArchiveDir != "" {
+		ar, err := archive.Open(filepath.Join(p.cfg.ArchiveDir, name), archive.Options{
+			SegmentEvents: p.cfg.ArchiveSegmentEvents,
+			BucketQuanta:  p.cfg.ArchiveBucketQuanta,
+		})
+		if err != nil {
+			if st.wal != nil {
+				st.wal.Close() //nolint:errcheck // already failing
+			}
+			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
+		}
+		st.arch = ar
+	}
+	return st, nil
+}
+
+// close releases the storage handles (error-path cleanup).
+func (s *tenantStorage) close() {
+	if s.wal != nil {
+		s.wal.Close() //nolint:errcheck // best effort
+	}
+	if s.arch != nil {
+		s.arch.Close() //nolint:errcheck // best effort
+	}
+}
+
+// recoverTenant rebuilds one tenant from its WAL directory: load the
+// latest snapshot (or start empty), then replay the segment tail
+// through the detector exactly as the worker would have applied it.
+// Determinism makes the result bit-identical to the pre-crash state;
+// the eviction hook is attached before replay so events the archive
+// already holds are deduplicated by ordinal while any it lost to a torn
+// tail are re-archived.
+func (p *Pool) recoverTenant(name string) (*Tenant, error) {
+	st, err := p.openStorage(name)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Tenant, error) {
+		st.close()
+		return nil, fmt.Errorf("server: recover tenant %s: %w", name, err)
+	}
+	var det *detect.Detector
+	r, snapSeq, err := st.wal.LatestSnapshot()
+	if err != nil {
+		return fail(err)
+	}
+	if r != nil {
+		det, err = detect.Load(r)
+		r.Close()
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		det = detect.New(p.cfg.Detector)
+	}
+	baseQuantum := det.AKG().Quantum()
+	st.attachEvict(det)
+	if err := st.wal.Replay(snapSeq, func(seq uint64, msgs []stream.Message, flush bool) error {
+		// Mirror the worker exactly: flush markers flush, batches apply
+		// per message then trim.
+		if flush {
+			det.Flush()
+			return nil
+		}
+		for _, m := range msgs {
+			det.IngestAll(m)
+		}
+		if p.cfg.RetainEvents > 0 {
+			det.TrimFinished(p.cfg.RetainEvents)
+		}
+		return nil
+	}); err != nil {
+		return fail(err)
+	}
+	t := newTenant(name, det, p.cfg, st)
+	t.lastApplied.Store(st.wal.LastSeq())
+	t.mu.Lock()
+	t.lastSnapQuantum = baseQuantum
+	t.mu.Unlock()
+	// If the tail replay crossed a snapshot cadence, snapshot now so a
+	// crash loop cannot make recovery cost grow without bound.
+	t.maybeSnapshot()
+	return t, nil
 }
 
 // Tenant returns an existing tenant.
@@ -452,35 +867,85 @@ func (p *Pool) CanCreate() error {
 }
 
 // GetOrCreate returns the named tenant, creating it with the pool's
-// detector configuration on first use.
+// detector configuration on first use. The build itself — which with a
+// WAL configured may mean recovering leftovers of a pool that died
+// mid-create, snapshot load and tail replay included — runs outside the
+// pool lock behind a per-name latch, so one tenant's recovery never
+// freezes every other tenant's requests.
 func (p *Pool) GetOrCreate(name string) (*Tenant, error) {
 	if !tenantNameRE.MatchString(name) {
 		return nil, ErrBadTenant
 	}
-	p.mu.RLock()
-	t, ok := p.tenants[name]
-	closed := p.closed
-	p.mu.RUnlock()
-	if ok {
+	for {
+		p.mu.RLock()
+		t, ok := p.tenants[name]
+		closed := p.closed
+		p.mu.RUnlock()
+		if ok {
+			return t, nil
+		}
+		if closed {
+			return nil, ErrClosed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if t, ok := p.tenants[name]; ok {
+			p.mu.Unlock()
+			return t, nil
+		}
+		if wait, busy := p.creating[name]; busy {
+			// Another request is already building this tenant: wait for
+			// it to finish either way, then retry the lookup.
+			p.mu.Unlock()
+			<-wait
+			continue
+		}
+		if len(p.tenants)+len(p.creating) >= p.cfg.MaxTenants {
+			p.mu.Unlock()
+			return nil, ErrMaxTenants
+		}
+		done := make(chan struct{})
+		p.creating[name] = done
+		p.mu.Unlock()
+
+		t, err := p.buildTenant(name)
+
+		p.mu.Lock()
+		delete(p.creating, name)
+		close(done)
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		if p.closed {
+			// Shutdown began while we were building: the new tenant was
+			// never published, so BeginShutdown could not reach it.
+			p.mu.Unlock()
+			t.shutdown(context.Background()) //nolint:errcheck // empty queue drains instantly
+			t.storage.close()
+			return nil, ErrClosed
+		}
+		p.tenants[name] = t
+		p.mu.Unlock()
 		return t, nil
 	}
-	if closed {
-		return nil, ErrClosed
+}
+
+// buildTenant constructs one tenant without holding the pool lock.
+func (p *Pool) buildTenant(name string) (*Tenant, error) {
+	if p.cfg.WALDir != "" {
+		// recoverTenant handles both a genuinely new tenant (empty WAL
+		// directory) and leftovers of one whose pool died mid-create.
+		return p.recoverTenant(name)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, ErrClosed
+	st, err := p.openStorage(name)
+	if err != nil {
+		return nil, err
 	}
-	if t, ok := p.tenants[name]; ok {
-		return t, nil
-	}
-	if len(p.tenants) >= p.cfg.MaxTenants {
-		return nil, ErrMaxTenants
-	}
-	t = newTenant(name, detect.New(p.cfg.Detector), p.cfg)
-	p.tenants[name] = t
-	return t, nil
+	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st), nil
 }
 
 // Names returns the tenant names, sorted.
@@ -495,6 +960,10 @@ func (p *Pool) Names() []string {
 	return names
 }
 
+func sortTenants(tenants []*Tenant) {
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+}
+
 // Stats returns every tenant's monitoring snapshot, sorted by name.
 func (p *Pool) Stats() []TenantStats {
 	p.mu.RLock()
@@ -503,7 +972,7 @@ func (p *Pool) Stats() []TenantStats {
 		tenants = append(tenants, t)
 	}
 	p.mu.RUnlock()
-	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	sortTenants(tenants)
 	out := make([]TenantStats, len(tenants))
 	for i, t := range tenants {
 		out[i] = t.Stats()
@@ -528,7 +997,7 @@ func (p *Pool) BeginShutdown() []*Tenant {
 		tenants = append(tenants, t)
 	}
 	p.mu.Unlock()
-	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+	sortTenants(tenants)
 	for _, t := range tenants {
 		t.broker.close()
 	}
@@ -546,12 +1015,39 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		tenants := p.BeginShutdown()
 		var first error
 		for _, t := range tenants {
-			if err := t.shutdown(ctx); err != nil && first == nil {
-				first = err
+			derr := t.shutdown(ctx)
+			if derr != nil && first == nil {
+				first = derr
 			}
 			if p.ckpt != nil {
 				t.mu.Lock()
 				err := p.ckpt.Save(t.name, t.det)
+				t.mu.Unlock()
+				if err != nil && first == nil {
+					first = err
+				}
+			}
+			if derr != nil {
+				// The worker may still be applying a batch; touching the
+				// WAL now could pair partially-applied state with a
+				// pre-batch log position. Leave the log as-is — that is
+				// exactly the crash case recovery replays correctly.
+				continue
+			}
+			if wl := t.walLog(); wl != nil {
+				t.mu.Lock()
+				err := wl.Snapshot(t.lastApplied.Load(), t.det.Save)
+				t.mu.Unlock()
+				if cerr := wl.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil && first == nil {
+					first = err
+				}
+			}
+			if ar := t.archLog(); ar != nil {
+				t.mu.Lock()
+				err := ar.Close()
 				t.mu.Unlock()
 				if err != nil && first == nil {
 					first = err

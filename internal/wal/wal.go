@@ -1,0 +1,554 @@
+// Package wal is the durability layer of the serving subsystem: a
+// per-tenant write-ahead log of raw ingest batches in size-rotated,
+// CRC-framed segment files, plus periodic snapshots (any codec — the
+// server plugs in the detect checkpoint encoder). Recovery loads the
+// latest snapshot and replays the segment tail; because the detector is
+// deterministic, replay reproduces the pre-crash state bit-identically.
+// Compaction deletes segments wholly covered by the latest snapshot.
+//
+// On-disk layout of one log directory:
+//
+//	seg-00000000000000000001.wal    records 1..k (first seq in the name)
+//	seg-00000000000000000042.wal    records 42.. (active, appended)
+//	snap-00000000000000000041.snap  state after applying records 1..41
+//
+// Record framing: 4-byte big-endian payload length, 4-byte CRC-32
+// (Castagnoli) of the payload, payload. The payload's first byte is the
+// record kind — 'B' (ingest batch, followed by the JSON message array)
+// or 'F' (stream flush, no body; flushes mutate the detector and must
+// replay in order with batches). A torn tail — short frame or CRC
+// mismatch at the end of the newest segment, the signature of a crash
+// mid-append — is truncated away on Open; the same damage in an older
+// (rotated, therefore once-complete) segment is reported as corruption
+// instead.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+const (
+	segPrefix  = "seg-"
+	segExt     = ".wal"
+	snapPrefix = "snap-"
+	snapExt    = ".snap"
+	frameHdr   = 8 // length + CRC
+	// Record kinds (first payload byte).
+	recBatch = 'B'
+	recFlush = 'F'
+	// maxRecordBytes bounds one framed payload (a single ingest batch);
+	// it exists so a corrupt length field cannot drive a huge allocation.
+	maxRecordBytes = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tune one Log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this many
+	// bytes (checked after each append). Zero selects 4 MiB.
+	SegmentBytes int64
+	// SyncEvery fsyncs the active segment after every N appends; 0 never
+	// fsyncs explicitly (the OS page cache still survives kill -9; only
+	// power loss can lose the unsynced tail). 1 is fully synchronous.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Log is one tenant's write-ahead log. Safe for concurrent use: the
+// server appends from its ingest path while the tenant worker snapshots
+// and reads metrics.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	segStart uint64   // first record seq of the active segment
+	size     int64    // bytes written to the active segment
+	seq      uint64   // last appended record seq (0 = empty log)
+	snapSeq  uint64   // seq of the latest snapshot
+	hasSnap  bool     // a snapshot exists (snapSeq 0 is a valid position)
+	failed   error    // set when the active segment may hold garbage
+	unsynced int      // appends since the last fsync
+	segCount int      // on-disk segment files (avoids ReadDir per metric read)
+}
+
+// Open opens (creating if needed) the log directory, truncates any torn
+// tail left by a crash, and positions appends after the last intact
+// record.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opt: opt}
+	// Sweep temp files a crash mid-snapshot left behind — the defer that
+	// would have removed them never ran, and nothing else ever would.
+	if orphans, err := filepath.Glob(filepath.Join(dir, "snap-tmp-*")); err == nil {
+		for _, o := range orphans {
+			os.Remove(o) //nolint:errcheck // best effort
+		}
+	}
+	segs, snaps, err := l.scanDir()
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) > 0 {
+		l.snapSeq = snaps[len(snaps)-1]
+		l.hasSnap = true
+	}
+	l.segCount = len(segs)
+	l.seq = l.snapSeq
+	if len(segs) > 0 {
+		// Count records per segment; truncate a torn tail on the newest.
+		for i, start := range segs {
+			last, validBytes, err := l.scanSegment(start, nil)
+			if err != nil {
+				if i != len(segs)-1 {
+					return nil, fmt.Errorf("wal: segment %s: %w", l.segPath(start), err)
+				}
+				if terr := os.Truncate(l.segPath(start), validBytes); terr != nil {
+					return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", l.segPath(start), terr)
+				}
+				last = start - 1
+				if validBytes > 0 {
+					last, _, err = l.scanSegment(start, nil)
+					if err != nil {
+						return nil, fmt.Errorf("wal: segment %s after truncation: %w", l.segPath(start), err)
+					}
+				}
+			}
+			if last > l.seq {
+				l.seq = last
+			}
+		}
+		active := segs[len(segs)-1]
+		f, err := os.OpenFile(l.segPath(active), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open active segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: stat active segment: %w", err)
+		}
+		l.f, l.segStart, l.size = f, active, st.Size()
+	}
+	return l, nil
+}
+
+// Append frames and writes one ingest batch, returning its sequence
+// number (1-based, monotonic). The record is on disk (page cache at
+// least; fsynced per Options.SyncEvery) before Append returns, so a
+// batch acknowledged to a client is never lost to a process kill.
+func (l *Log) Append(msgs []stream.Message) (uint64, error) {
+	js, err := json.Marshal(msgs)
+	if err != nil {
+		return 0, fmt.Errorf("wal: encode batch: %w", err)
+	}
+	payload := make([]byte, 1, 1+len(js))
+	payload[0] = recBatch
+	payload = append(payload, js...)
+	return l.appendPayload(payload)
+}
+
+// AppendFlush logs a stream-flush control record. A flush forces the
+// detector's buffered partial quantum through, mutating state exactly
+// like a batch does — so it must be in the log, in order, or replay
+// would cut subsequent quanta at different boundaries than the live
+// run did.
+func (l *Log) AppendFlush() (uint64, error) {
+	return l.appendPayload([]byte{recFlush})
+}
+
+func (l *Log) appendPayload(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
+	}
+	if l.f == nil {
+		if err := l.rotate(l.seq + 1); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [frameHdr]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		l.rollback()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		l.rollback()
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq++
+	l.size += int64(frameHdr + len(payload))
+	l.unsynced++
+	if l.opt.SyncEvery > 0 && l.unsynced >= l.opt.SyncEvery {
+		if err := l.f.Sync(); err != nil {
+			// The record is written but its durability is in doubt, and
+			// the caller will report failure — roll it back so a client
+			// retry cannot leave two copies for replay to double-apply.
+			l.seq--
+			l.size -= int64(frameHdr + len(payload))
+			l.unsynced--
+			l.rollback()
+			return 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.unsynced = 0
+	}
+	if l.size >= l.opt.SegmentBytes {
+		// The record is committed; a failed rotation must not fail the
+		// append (the caller would retry and duplicate it). Rotation is
+		// simply reattempted on the next append.
+		l.rotate(l.seq + 1) //nolint:errcheck // deferred to next append
+	}
+	return l.seq, nil
+}
+
+// rollback discards a partially-written frame after a failed append by
+// truncating the active segment to the last good offset. Without it a
+// later successful append would land after torn bytes mid-segment, and
+// recovery would either refuse the segment or truncate away records
+// that were already acknowledged. If even the truncate fails the log
+// goes fail-stop: better to refuse appends than to ack unrecoverable
+// ones.
+func (l *Log) rollback() {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.failed = fmt.Errorf("truncate after failed append: %w", err)
+	}
+}
+
+// rotate closes the active segment (fsyncing it — a rotated segment is
+// immutable and must be complete) and starts a new one whose name is
+// the seq of the first record it will hold.
+func (l *Log) rotate(firstSeq uint64) error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync on rotate: %w", err)
+		}
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: close segment: %w", err)
+		}
+		l.f = nil
+	}
+	// O_APPEND matters beyond convention: rollback() truncates after a
+	// failed write, and only append-mode writes land at the new EOF
+	// rather than at the stale positional offset (which would leave a
+	// zero-filled hole that parses as a phantom record).
+	f, err := os.OpenFile(l.segPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: new segment: %w", err)
+	}
+	l.f, l.segStart, l.size, l.unsynced = f, firstSeq, 0, 0
+	l.segCount++
+	return nil
+}
+
+// Snapshot atomically persists the state after applying records 1..seq
+// (write is the caller's codec — the server passes detect's encoder),
+// then deletes segments and older snapshots the new snapshot covers.
+// The slow part — encoding and fsyncing the temp file — runs outside
+// the log mutex so concurrent Appends (the ingest ack path) never
+// stall behind snapshot IO; only the rename, bookkeeping and
+// compaction take the lock. Concurrent Snapshot calls are the caller's
+// responsibility to avoid (the server snapshots from one goroutine per
+// tenant).
+func (l *Log) Snapshot(seq uint64, write func(io.Writer) error) error {
+	l.mu.Lock()
+	if l.hasSnap && seq < l.snapSeq {
+		defer l.mu.Unlock()
+		return fmt.Errorf("wal: snapshot seq %d behind existing snapshot %d", seq, l.snapSeq)
+	}
+	l.mu.Unlock()
+	tmp, err := os.CreateTemp(l.dir, "snap-tmp-*")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.hasSnap && seq < l.snapSeq {
+		return fmt.Errorf("wal: snapshot seq %d behind existing snapshot %d", seq, l.snapSeq)
+	}
+	if err := os.Rename(tmp.Name(), l.snapPath(seq)); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	l.syncDir()
+	prev, hadPrev := l.snapSeq, l.hasSnap
+	l.snapSeq, l.hasSnap = seq, true
+	if hadPrev && prev != seq {
+		os.Remove(l.snapPath(prev)) //nolint:errcheck // superseded; best effort
+	}
+	return l.compact()
+}
+
+// compact deletes non-active segments whose every record is ≤ snapSeq.
+func (l *Log) compact() error {
+	segs, _, err := l.scanDir()
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		if start == l.segStart && l.f != nil {
+			continue // never delete the active segment
+		}
+		// The segment holds records start..(next segment's start - 1);
+		// for the last listed segment that is start..l.seq.
+		last := l.seq
+		if i+1 < len(segs) {
+			last = segs[i+1] - 1
+		}
+		if last <= l.snapSeq {
+			if err := os.Remove(l.segPath(start)); err != nil {
+				return fmt.Errorf("wal: compact: %w", err)
+			}
+			l.segCount--
+		}
+	}
+	l.syncDir()
+	return nil
+}
+
+// LatestSnapshot opens the newest snapshot for reading. Returns
+// (nil, 0, nil) when the log has none. A snapshot at position 0 (state
+// seeded before any record — e.g. basing a fresh WAL on a restored
+// checkpoint) is a real snapshot, not "none".
+func (l *Log) LatestSnapshot() (io.ReadCloser, uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.hasSnap {
+		return nil, 0, nil
+	}
+	f, err := os.Open(l.snapPath(l.snapSeq))
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: open snapshot: %w", err)
+	}
+	return f, l.snapSeq, nil
+}
+
+// Replay streams every record with sequence number > after, in order,
+// to fn: an ingest batch (flush false) or a stream-flush marker (flush
+// true, msgs nil). Used with after = latest snapshot seq to rebuild
+// the tail.
+func (l *Log) Replay(after uint64, fn func(seq uint64, msgs []stream.Message, flush bool) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, _, err := l.scanDir()
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		last := l.seq
+		if i+1 < len(segs) {
+			last = segs[i+1] - 1
+		}
+		if last <= after {
+			continue
+		}
+		if _, _, err := l.scanSegment(start, func(seq uint64, payload []byte) error {
+			if seq <= after {
+				return nil
+			}
+			if len(payload) == 0 {
+				return fmt.Errorf("wal: record %d has no kind byte", seq)
+			}
+			switch payload[0] {
+			case recFlush:
+				return fn(seq, nil, true)
+			case recBatch:
+				var msgs []stream.Message
+				if err := json.Unmarshal(payload[1:], &msgs); err != nil {
+					return fmt.Errorf("wal: decode record %d: %w", seq, err)
+				}
+				return fn(seq, msgs, false)
+			default:
+				return fmt.Errorf("wal: record %d has unknown kind %q", seq, payload[0])
+			}
+		}); err != nil {
+			return fmt.Errorf("wal: segment %s: %w", l.segPath(start), err)
+		}
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the newest appended record.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// SnapshotSeq returns the sequence number of the latest snapshot.
+func (l *Log) SnapshotSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapSeq
+}
+
+// SegmentCount returns the number of on-disk segment files, tracked in
+// memory — metric reads must not hold the append mutex across a
+// directory listing.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segCount
+}
+
+// Sync fsyncs the active segment regardless of SyncEvery.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	l.unsynced = 0
+	return l.f.Sync()
+}
+
+// Close fsyncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+func (l *Log) segPath(firstSeq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, segExt))
+}
+
+func (l *Log) snapPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapExt))
+}
+
+// syncDir fsyncs the directory so renames/removes survive power loss.
+func (l *Log) syncDir() {
+	if d, err := os.Open(l.dir); err == nil {
+		d.Sync() //nolint:errcheck // best-effort directory fsync
+		d.Close()
+	}
+}
+
+// scanDir lists segment start seqs and snapshot seqs, each ascending.
+func (l *Log) scanDir() (segs, snaps []uint64, err error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list %s: %w", l.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segExt):
+			n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segExt), 10, 64)
+			if err == nil {
+				segs = append(segs, n)
+			}
+		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapExt):
+			n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapExt), 10, 64)
+			if err == nil {
+				snaps = append(snaps, n)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	return segs, snaps, nil
+}
+
+// scanSegment walks one segment's frames. fn (optional) receives each
+// record's seq and raw payload. Returns the last record seq present
+// (start-1 for an empty segment) and the byte offset up to which frames
+// were intact; a torn or corrupt frame yields that offset plus an error,
+// so the caller can distinguish "truncate here" from "refuse".
+func (l *Log) scanSegment(start uint64, fn func(seq uint64, payload []byte) error) (last uint64, validBytes int64, err error) {
+	f, err := os.Open(l.segPath(start))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	r := newByteCounter(f)
+	last = start - 1
+	var hdr [frameHdr]byte
+	for {
+		validBytes = r.n
+		if _, err := io.ReadFull(r, hdr[:1]); err == io.EOF {
+			return last, validBytes, nil
+		} else if err != nil {
+			return last, validBytes, fmt.Errorf("torn frame header at offset %d", validBytes)
+		}
+		if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+			return last, validBytes, fmt.Errorf("torn frame header at offset %d", validBytes)
+		}
+		size := binary.BigEndian.Uint32(hdr[0:4])
+		if size > maxRecordBytes {
+			return last, validBytes, fmt.Errorf("implausible record size %d at offset %d", size, validBytes)
+		}
+		payload := make([]byte, size)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return last, validBytes, fmt.Errorf("torn record at offset %d", validBytes)
+		}
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(hdr[4:8]) {
+			return last, validBytes, fmt.Errorf("CRC mismatch at offset %d", validBytes)
+		}
+		last++
+		if fn != nil {
+			if err := fn(last, payload); err != nil {
+				return last, r.n, err
+			}
+		}
+	}
+}
+
+// byteCounter counts bytes consumed from an io.Reader.
+type byteCounter struct {
+	r io.Reader
+	n int64
+}
+
+func newByteCounter(r io.Reader) *byteCounter { return &byteCounter{r: r} }
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Runs the persistence benchmarks (WAL append/replay, pool recovery) and
+# writes the results as JSON to BENCH_persistence.json at the repo root.
+# Usage: scripts/bench_persistence.sh [benchtime]   (default 1s)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_persistence.json"
+
+RAW="$(go test -bench 'WALAppend|WALReplay|Recovery' -run xxx -benchmem \
+	-benchtime "$BENCHTIME" ./internal/wal ./internal/server)"
+
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+	n = 0
+	print "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"benchmarks\": ["
+}
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	print ""
+	print "  ],"
+	printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n", goos, goarch, cpu
+	print "}"
+}' >"$OUT"
+
+echo "wrote $OUT"
