@@ -1,5 +1,5 @@
 # Developer entry points. CI runs the same four checks as `make check`.
-.PHONY: build test check bench
+.PHONY: build test check bench bench-serving
 
 build:
 	go build ./...
@@ -18,3 +18,8 @@ check:
 BENCHTIME ?= 1s
 bench:
 	./scripts/bench_persistence.sh $(BENCHTIME)
+
+# Serving benchmarks (query p50/p99 under full-rate ingest, ingest
+# throughput); emits BENCH_serving.json.
+bench-serving:
+	./scripts/bench_serving.sh $(BENCHTIME)

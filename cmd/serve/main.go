@@ -13,6 +13,14 @@
 //	curl localhost:8080/v1/demo/events
 //	curl -N localhost:8080/v1/demo/stream
 //
+// Reads are wait-free: after every quantum the apply step publishes an
+// immutable epoch snapshot, and all query endpoints resolve against the
+// latest snapshot instead of locking the detector — query latency is
+// independent of ingest load. Ingest is applied by a fixed -workers
+// sized scheduler shared across tenants (round-robin, one batch per
+// turn), so tenants-per-process scales past the goroutine-per-tenant
+// limit and a hot tenant cannot starve the rest.
+//
 // On SIGINT/SIGTERM the server drains in-flight requests and ingest
 // queues and checkpoints every tenant; a restart with the same
 // -checkpoints directory resumes each stream bit-identically.
@@ -46,13 +54,15 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		ckpt   = flag.String("checkpoints", "", "checkpoint directory (empty disables persistence)")
-		queue  = flag.Int("queue", 64, "per-tenant ingest queue depth in batches")
-		queueM = flag.Int("queue-msgs", 100000, "per-tenant ingest queue bound in messages")
-		maxT   = flag.Int("max-tenants", 1024, "tenant limit")
-		retain = flag.Int("retain", 0, "finished events kept per tenant (0 = unlimited)")
-		grace  = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+		addr    = flag.String("addr", ":8080", "listen address")
+		ckpt    = flag.String("checkpoints", "", "checkpoint directory (empty disables persistence)")
+		queue   = flag.Int("queue", 64, "per-tenant ingest queue depth in batches")
+		queueM  = flag.Int("queue-msgs", 100000, "per-tenant ingest queue bound in messages")
+		maxT    = flag.Int("max-tenants", 1024, "tenant limit")
+		retain  = flag.Int("retain", 0, "finished events kept per tenant (0 = unlimited)")
+		workers = flag.Int("workers", 0, "shared scheduler worker count (0 = GOMAXPROCS)")
+		snapRH  = flag.Int("snapshot-rank-history", 0, "rank-history entries kept in published epoch snapshots (0 = full history)")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 
 		walDir  = flag.String("wal-dir", "", "write-ahead log directory (empty disables crash durability)")
 		walSeg  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
@@ -79,11 +89,13 @@ func main() {
 				QuantumTime: *qtime,
 				AKG:         akg.Config{Tau: *tau, Beta: *beta, Window: *w},
 			},
-			QueueDepth:    *queue,
-			QueueMessages: *queueM,
-			RetainEvents:  *retain,
-			CheckpointDir: *ckpt,
-			MaxTenants:    *maxT,
+			QueueDepth:          *queue,
+			QueueMessages:       *queueM,
+			RetainEvents:        *retain,
+			CheckpointDir:       *ckpt,
+			MaxTenants:          *maxT,
+			Workers:             *workers,
+			SnapshotRankHistory: *snapRH,
 
 			WALDir:               *walDir,
 			WALSegmentBytes:      *walSeg,

@@ -46,8 +46,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/dygraph"
 )
 
@@ -100,7 +98,7 @@ func (c *Cluster) Nodes() []dygraph.NodeID {
 	for n := range c.nodes {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dygraph.SortNodes(out)
 	return out
 }
 
@@ -165,11 +163,4 @@ func (c *Cluster) removeEdge(e dygraph.Edge) []dygraph.NodeID {
 	return gone
 }
 
-func sortEdges(es []dygraph.Edge) {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
-}
+func sortEdges(es []dygraph.Edge) { dygraph.SortEdges(es) }

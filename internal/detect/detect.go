@@ -204,6 +204,16 @@ type Detector struct {
 	// TrimFinished, in eviction order (oldest first). Serving layers use
 	// it to archive history instead of losing it.
 	onEvict func(*Event)
+
+	// Incremental epoch-snapshot builder state (see snapshot.go): cached
+	// immutable views of d.finished (eviction order), the same views
+	// ID-sorted (the base slice snapshots share until the finished set
+	// changes), the trim counter they are synced to, and the rank-history
+	// cap applied to snapshot views.
+	snapFin        []*Event
+	snapFinSorted  []*Event
+	snapFinTrimmed uint64
+	snapMaxHist    int
 }
 
 // New returns a Detector with the given configuration.

@@ -1,0 +1,291 @@
+// Epoch snapshots: after every quantum the detector can materialize a
+// compact, immutable view of its queryable state. Serving layers publish
+// the view through an atomic pointer so queries (top-k, history, single
+// event, related pairs, keyword lookup) are wait-free against the latest
+// epoch instead of contending on the detector lock with ingest.
+//
+// The snapshot is built incrementally from what actually changed:
+// finished events are immutable once they retire, so their views are
+// cloned exactly once and cached across epochs (with an ID-sorted base
+// slice reused verbatim by every epoch until the finished set changes);
+// only the (small) live set is re-cloned each quantum. Per-quantum
+// build cost is proportional to the live set, not the retained history.
+package detect
+
+import (
+	"slices"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// byIDAsc orders snapshot views by event ID without sort.Slice's
+// closure/reflection cost — this runs on the per-quantum apply path.
+func byIDAsc(a, b *Event) int {
+	if a.ID < b.ID {
+		return -1
+	}
+	if a.ID > b.ID {
+		return 1
+	}
+	return 0
+}
+
+// Snapshot is an immutable view of the detector at one quantum boundary.
+// Every reachable *Event is a deep copy owned by the snapshot; callers
+// may read them from any goroutine for as long as they like, but must
+// not mutate them (the finished-event views are shared across epochs).
+type Snapshot struct {
+	// Quantum is the epoch: the index of the last processed quantum.
+	Quantum int
+	// Processed / Trimmed mirror the detector's cumulative counters at
+	// the epoch boundary.
+	Processed uint64
+	Trimmed   uint64
+	// AKGNodes / AKGEdges size the active graph at the epoch boundary.
+	AKGNodes int
+	AKGEdges int
+	// Born / Ended / Merged are the lifecycle deltas of the newest
+	// quantum (empty on a freshly restored detector): enough for a
+	// subscriber to catch up without diffing epochs.
+	Born   []uint64
+	Ended  []uint64
+	Merged []MergeNote
+
+	finSorted []*Event            // finished events, ID ascending (shared across epochs)
+	live      []*Event            // live events, rank-descending (ties: ID)
+	liveByID  []*Event            // the same live views, ID ascending
+	related   []RelatedPair       // live reported pairs, overlap-descending
+	keyword   map[string][]uint64 // keyword → live reported event IDs, ascending
+}
+
+// AllEvents returns every retained event in birth (ID) order, merged on
+// demand from the finished base and the live overlay (finished IDs and
+// live IDs never interleave-free — a live event can be older than a
+// finished one — so this is a two-way merge). The result is freshly
+// allocated; the events it points at are snapshot-owned and read-only.
+func (s *Snapshot) AllEvents() []*Event {
+	out := make([]*Event, 0, len(s.finSorted)+len(s.liveByID))
+	i, j := 0, 0
+	for i < len(s.finSorted) && j < len(s.liveByID) {
+		if s.finSorted[i].ID < s.liveByID[j].ID {
+			out = append(out, s.finSorted[i])
+			i++
+		} else {
+			out = append(out, s.liveByID[j])
+			j++
+		}
+	}
+	out = append(out, s.finSorted[i:]...)
+	out = append(out, s.liveByID[j:]...)
+	return out
+}
+
+// TopK returns the k highest-ranked live reported events (k ≤ 0 = all),
+// mirroring Detector.TopK.
+func (s *Snapshot) TopK(k int) []*Event {
+	out := make([]*Event, 0, len(s.live))
+	for _, ev := range s.live {
+		if !ev.Reported {
+			continue
+		}
+		out = append(out, ev)
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// Find returns the retained event with the given ID, or nil — a binary
+// search of the finished base, then of the live overlay.
+func (s *Snapshot) Find(id uint64) *Event {
+	if ev := findByID(s.finSorted, id); ev != nil {
+		return ev
+	}
+	return findByID(s.liveByID, id)
+}
+
+func findByID(sorted []*Event, id uint64) *Event {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i].ID >= id })
+	if i < len(sorted) && sorted[i].ID == id {
+		return sorted[i]
+	}
+	return nil
+}
+
+// LiveCount returns the number of live events (reported or not).
+func (s *Snapshot) LiveCount() int { return len(s.live) }
+
+// TotalCount returns the number of retained events (live + finished).
+func (s *Snapshot) TotalCount() int { return len(s.finSorted) + len(s.live) }
+
+// Related returns the live reported event pairs with user-community
+// overlap ≥ minOverlap, mirroring Detector.RelatedEvents: the pairs were
+// computed at the epoch boundary, so this is a wait-free filter of a
+// precomputed overlap-descending list. Never nil.
+func (s *Snapshot) Related(minOverlap float64) []RelatedPair {
+	out := make([]RelatedPair, 0, len(s.related))
+	for _, p := range s.related {
+		if p.UserJaccard >= minOverlap {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// KeywordEventIDs returns the IDs (ascending) of live reported events
+// whose current keyword set contains kw — the inverted-index lookup
+// behind keyword-filtered event queries. The slice is shared with the
+// snapshot: read-only.
+func (s *Snapshot) KeywordEventIDs(kw string) []uint64 { return s.keyword[kw] }
+
+// TopKKeyword is TopK restricted to events whose current keyword set
+// contains kw, resolved through the inverted index.
+func (s *Snapshot) TopKKeyword(k int, kw string) []*Event {
+	ids := s.keyword[kw]
+	if len(ids) == 0 {
+		return []*Event{}
+	}
+	member := make(map[uint64]struct{}, len(ids))
+	for _, id := range ids {
+		member[id] = struct{}{}
+	}
+	out := make([]*Event, 0, len(ids))
+	for _, ev := range s.live {
+		if _, ok := member[ev.ID]; !ok {
+			continue
+		}
+		out = append(out, ev)
+		if k > 0 && len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// SetSnapshotRankHistory caps the RankHistory entries carried into
+// subsequent Snapshot calls (keeping the newest n); n ≤ 0 keeps the full
+// history. Rank history grows one entry per quantum per live event, so
+// unbounded snapshots of a long-lived tenant would copy O(quanta) floats
+// per epoch — the cap bounds snapshot size and build time. Like the
+// hooks, the setting is not part of checkpoints.
+func (d *Detector) SetSnapshotRankHistory(n int) { d.snapMaxHist = n }
+
+// cloneEventView deep-copies ev for inclusion in a snapshot, truncating
+// RankHistory to the newest maxHist entries when maxHist > 0.
+// AllKeywords is deliberately left nil in snapshot views: no snapshot
+// consumer reads it (the wire projection carries Keywords only, and the
+// archive reads detector events through the evict hook), and copying a
+// map that grows with the event's lifetime would be per-quantum churn
+// on the apply path.
+func cloneEventView(ev *Event, maxHist int) *Event {
+	cp := *ev
+	cp.Keywords = append([]string(nil), ev.Keywords...)
+	hist := ev.RankHistory
+	if maxHist > 0 && len(hist) > maxHist {
+		hist = hist[len(hist)-maxHist:]
+	}
+	cp.RankHistory = append([]float64(nil), hist...)
+	cp.AllKeywords = nil
+	return &cp
+}
+
+// syncFinishedViews brings the cached finished-event views in line with
+// d.finished: trimmed events fall off the front (matched by the
+// cumulative trim counter), newly finished events are cloned once and
+// appended. The ID-sorted base slice (what snapshots serve from) is
+// rebuilt only when the finished set actually changed; on the common
+// quantum where nothing finishes, every epoch shares the same base and
+// the sync costs nothing. Published snapshots reference the base slice
+// by value, so the rebuild (a fresh allocation) never mutates an
+// already-published epoch.
+func (d *Detector) syncFinishedViews() {
+	changed := false
+	if delta := d.trimmed - d.snapFinTrimmed; delta > 0 {
+		if int(delta) >= len(d.snapFin) {
+			d.snapFin = d.snapFin[:0]
+		} else {
+			d.snapFin = append(d.snapFin[:0:0], d.snapFin[delta:]...)
+		}
+		d.snapFinTrimmed = d.trimmed
+		changed = true
+	}
+	for i := len(d.snapFin); i < len(d.finished); i++ {
+		d.snapFin = append(d.snapFin, cloneEventView(d.finished[i], d.snapMaxHist))
+		changed = true
+	}
+	if changed || (d.snapFinSorted == nil && len(d.snapFin) > 0) {
+		d.snapFinSorted = append([]*Event(nil), d.snapFin...)
+		slices.SortFunc(d.snapFinSorted, byIDAsc)
+	}
+}
+
+// Snapshot materializes the immutable epoch view of the detector's
+// queryable state. res, when non-nil, is the QuantumResult that closed
+// the epoch and supplies the lifecycle deltas (pass nil after a restore,
+// where there is no delta to report). Like every other Detector method
+// it must not race with ingest: callers serialise it on whichever
+// goroutine applies quanta.
+func (d *Detector) Snapshot(res *QuantumResult) *Snapshot {
+	d.syncFinishedViews()
+
+	// Live views, cloned fresh each epoch in cluster-ID order (every live
+	// event's rank and history changed this quantum anyway).
+	cids := make([]core.ClusterID, 0, len(d.events))
+	for cid := range d.events {
+		cids = append(cids, cid)
+	}
+	slices.Sort(cids)
+	live := make([]*Event, 0, len(cids))
+	for _, cid := range cids {
+		live = append(live, cloneEventView(d.events[cid], d.snapMaxHist))
+	}
+
+	// Two orderings of the (small) live overlay: by ID for history
+	// merges and lookups, by rank for the top-k view.
+	liveByID := append([]*Event(nil), live...)
+	slices.SortFunc(liveByID, byIDAsc)
+	slices.SortFunc(live, func(a, b *Event) int {
+		if a.Rank != b.Rank {
+			if a.Rank > b.Rank {
+				return -1
+			}
+			return 1
+		}
+		return byIDAsc(a, b)
+	})
+
+	// Inverted index over the live reported events' current keywords.
+	keyword := make(map[string][]uint64)
+	for _, ev := range live {
+		if !ev.Reported {
+			continue
+		}
+		for _, kw := range ev.Keywords {
+			keyword[kw] = append(keyword[kw], ev.ID)
+		}
+	}
+	for kw := range keyword {
+		slices.Sort(keyword[kw])
+	}
+
+	s := &Snapshot{
+		Quantum:   d.akg.Quantum(),
+		Processed: d.processed,
+		Trimmed:   d.trimmed,
+		AKGNodes:  d.akg.NodeCount(),
+		AKGEdges:  d.akg.EdgeCount(),
+		finSorted: d.snapFinSorted,
+		live:      live,
+		liveByID:  liveByID,
+		related:   d.RelatedEvents(0),
+		keyword:   keyword,
+	}
+	if res != nil {
+		s.Born = res.Born
+		s.Ended = res.Ended
+		s.Merged = res.Merged
+	}
+	return s
+}

@@ -9,7 +9,31 @@
 // serialises updates per quantum.
 package dygraph
 
-import "sort"
+import "slices"
+
+// SortNodes sorts node IDs ascending without the per-call closure and
+// reflection allocations of sort.Slice — node and edge listings sit on
+// the snapshot/checkpoint hot path.
+func SortNodes(ns []NodeID) { slices.Sort(ns) }
+
+// SortEdges sorts edges by (U,V) ascending.
+func SortEdges(es []Edge) {
+	slices.SortFunc(es, func(a, b Edge) int {
+		if a.U != b.U {
+			if a.U < b.U {
+				return -1
+			}
+			return 1
+		}
+		if a.V < b.V {
+			return -1
+		}
+		if a.V > b.V {
+			return 1
+		}
+		return 0
+	})
+}
 
 // Graph is a dynamic undirected graph with float64 edge weights.
 // The zero value is not usable; call New.
@@ -140,7 +164,7 @@ func (g *Graph) NeighborSlice(n NodeID) []NodeID {
 	for m := range nbrs {
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	SortNodes(out)
 	return out
 }
 
@@ -160,12 +184,25 @@ func (g *Graph) CommonNeighbors(a, b NodeID, fn func(c NodeID)) {
 
 // Nodes returns all node IDs sorted ascending.
 func (g *Graph) Nodes() []NodeID {
-	out := make([]NodeID, 0, len(g.adj))
-	for n := range g.adj {
-		out = append(out, n)
+	return g.AppendNodes(make([]NodeID, 0, len(g.adj)))
+}
+
+// AppendNodes appends every node ID (sorted ascending) to dst, reusing
+// its capacity, and returns the extended slice. Snapshot/checkpoint
+// callers (see AppendState) pass a reused buffer (dst[:0]) to amortise
+// the allocation across calls; it grows exactly once when too small.
+func (g *Graph) AppendNodes(dst []NodeID) []NodeID {
+	start := len(dst)
+	if need := start + len(g.adj); cap(dst) < need {
+		grown := make([]NodeID, start, need)
+		copy(grown, dst)
+		dst = grown
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	for n := range g.adj {
+		dst = append(dst, n)
+	}
+	SortNodes(dst[start:])
+	return dst
 }
 
 // ForEachNode calls fn for every node in unspecified order.
@@ -177,21 +214,28 @@ func (g *Graph) ForEachNode(fn func(n NodeID)) {
 
 // Edges returns all edges in canonical orientation, sorted by (U,V).
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, g.edgeCount)
+	return g.AppendEdges(make([]Edge, 0, g.edgeCount))
+}
+
+// AppendEdges appends every edge (canonical orientation, sorted by
+// (U,V)) to dst, reusing its capacity, and returns the extended slice;
+// like AppendNodes it lets snapshot/checkpoint callers reuse one buffer.
+func (g *Graph) AppendEdges(dst []Edge) []Edge {
+	start := len(dst)
+	if need := start + g.edgeCount; cap(dst) < need {
+		grown := make([]Edge, start, need)
+		copy(grown, dst)
+		dst = grown
+	}
 	for a, nbrs := range g.adj {
 		for b := range nbrs {
 			if a < b {
-				out = append(out, Edge{U: a, V: b})
+				dst = append(dst, Edge{U: a, V: b})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
-	return out
+	SortEdges(dst[start:])
+	return dst
 }
 
 // ForEachEdge calls fn for every edge exactly once (canonical orientation),

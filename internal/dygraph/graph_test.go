@@ -293,3 +293,38 @@ func TestEdgeCanonicalQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAppendReuse(t *testing.T) {
+	g := New()
+	g.AddEdge(3, 1, 0.5)
+	g.AddEdge(2, 3, 0.25)
+
+	nodes := make([]NodeID, 0, 8)
+	nodes = g.AppendNodes(nodes[:0])
+	if len(nodes) != 3 || nodes[0] != 1 || nodes[2] != 3 {
+		t.Fatalf("AppendNodes = %v", nodes)
+	}
+	// Reuse must not grow the buffer when capacity suffices.
+	before := cap(nodes)
+	nodes = g.AppendNodes(nodes[:0])
+	if cap(nodes) != before {
+		t.Fatalf("AppendNodes reallocated: cap %d -> %d", before, cap(nodes))
+	}
+
+	edges := g.AppendEdges(nil)
+	if len(edges) != 2 || edges[0] != (Edge{U: 1, V: 3}) || edges[1] != (Edge{U: 2, V: 3}) {
+		t.Fatalf("AppendEdges = %v", edges)
+	}
+
+	s := g.State()
+	s2 := g.AppendState(s)
+	if len(s2.Nodes) != 3 || len(s2.Edges) != 2 || len(s2.Weights) != 2 {
+		t.Fatalf("AppendState = %+v", s2)
+	}
+	if &s2.Edges[0] != &s.Edges[0] {
+		t.Fatal("AppendState did not reuse the edge buffer")
+	}
+	if s2.Weights[0] != 0.5 || s2.Weights[1] != 0.25 {
+		t.Fatalf("weights = %v", s2.Weights)
+	}
+}

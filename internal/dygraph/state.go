@@ -10,14 +10,28 @@ type State struct {
 }
 
 // State captures the graph. Nodes and edges are emitted in sorted order so
-// snapshots of equal graphs are byte-identical.
+// snapshots of equal graphs are byte-identical. AppendState is the
+// buffer-reusing variant for periodic checkpointing.
 func (g *Graph) State() State {
-	s := State{Nodes: g.Nodes()}
-	s.Edges = g.Edges()
-	s.Weights = make([]float64, len(s.Edges))
-	for i, e := range s.Edges {
+	return g.AppendState(State{})
+}
+
+// AppendState fills buf's slices (reusing their capacity) with the
+// graph's current state and returns it. Callers that checkpoint on a
+// cadence — the WAL snapshot path — pass the previous State with its
+// slices truncated to amortise the three allocations across snapshots.
+func (g *Graph) AppendState(buf State) State {
+	s := State{
+		Nodes:   g.AppendNodes(buf.Nodes[:0]),
+		Edges:   g.AppendEdges(buf.Edges[:0]),
+		Weights: buf.Weights[:0],
+	}
+	if cap(s.Weights) < len(s.Edges) {
+		s.Weights = make([]float64, 0, len(s.Edges))
+	}
+	for _, e := range s.Edges {
 		w, _ := g.Weight(e.U, e.V)
-		s.Weights[i] = w
+		s.Weights = append(s.Weights, w)
 	}
 	return s
 }

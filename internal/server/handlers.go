@@ -19,10 +19,12 @@ const maxBodyBytes = 64 << 20
 //
 //	POST /v1/{tenant}/messages   ingest a JSON array (or NDJSON) of messages
 //	POST /v1/{tenant}/flush      process the buffered partial quantum
-//	GET  /v1/{tenant}/events     live reported events (?k= top-k, ?all=1 history)
+//	GET  /v1/{tenant}/events     live reported events (?k= top-k, ?all=1
+//	                             history, ?keyword= inverted-index filter)
 //	GET  /v1/{tenant}/events/{id} one event by ID
 //	GET  /v1/{tenant}/related    correlated same-event pairs (?min= overlap)
 //	GET  /v1/{tenant}/stream     SSE push of per-quantum reports + lifecycle
+//	                             (?catchup=1 replays the newest quantum first)
 //	GET  /v1/{tenant}/archive    evicted-event history (?from= ?to= quanta,
 //	                             ?keyword=, ?limit=) with data-skipping stats
 //	GET  /v1/tenants             tenant names
@@ -61,9 +63,22 @@ func NewHandler(p *Pool) http.Handler {
 			k = v
 		}
 		all := q.Get("all") == "1" || q.Get("all") == "true"
+		keyword := q.Get("keyword")
+		var events []EventView
+		switch {
+		case keyword != "" && all:
+			httpError(w, http.StatusBadRequest, "keyword filter applies to live events; drop all=1")
+			return
+		case keyword != "":
+			// Resolved through the epoch snapshot's keyword→event
+			// inverted index; rank order, like the unfiltered view.
+			events = t.EventsKeyword(k, keyword)
+		default:
+			events = t.Events(k, all)
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"tenant": t.Name(),
-			"events": t.Events(k, all),
+			"events": events,
 		})
 	})
 	mux.HandleFunc("GET /v1/{tenant}/events/{id}", func(w http.ResponseWriter, r *http.Request) {

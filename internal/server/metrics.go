@@ -57,9 +57,7 @@ func (t *Tenant) Metrics() TenantMetrics {
 		m.WALLastSeq = wl.LastSeq()
 		m.WALSnapshotSeq = wl.SnapshotSeq()
 		m.WALErrors = t.storage.walErrs.Load()
-		t.mu.Lock()
-		m.SnapshotAgeQuanta = m.Quanta - t.lastSnapQuantum
-		t.mu.Unlock()
+		m.SnapshotAgeQuanta = m.Quanta - int(t.lastSnapQuantum.Load())
 	}
 	if ar := t.archLog(); ar != nil {
 		m.ArchiveEnabled = true

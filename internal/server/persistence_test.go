@@ -148,10 +148,10 @@ func TestCrashRecoveryBitIdentical(t *testing.T) {
 	if err := tn.Enqueue(batches[cut]); err != nil {
 		t.Fatal(err)
 	}
-	// Wait until the worker has taken the frozen batch off the channel,
-	// then abandon pool1 wholesale: no Shutdown, no snapshot, exactly
-	// what kill -9 leaves behind.
-	for i := 0; len(tn.queue) != 0; i++ {
+	// Wait until a scheduler worker has popped the frozen batch off the
+	// queue, then abandon pool1 wholesale: no Shutdown, no snapshot,
+	// exactly what kill -9 leaves behind.
+	for i := 0; tn.queueLen() != 0; i++ {
 		if i > 5000 {
 			t.Fatal("worker never picked up the frozen batch")
 		}

@@ -88,6 +88,17 @@ type PoolConfig struct {
 	// (default 512); ArchiveBucketQuanta by time span (default 1024).
 	ArchiveSegmentEvents int
 	ArchiveBucketQuanta  int
+
+	// Workers sizes the shared scheduler's worker pool — the fixed set
+	// of goroutines that apply every tenant's ingest batches, replacing
+	// the old goroutine-per-tenant design. Zero selects GOMAXPROCS.
+	Workers int
+	// SnapshotRankHistory caps the rank-history entries carried into
+	// each published epoch snapshot (newest kept). Zero keeps the full
+	// history — bit-identical query responses, but snapshots of a
+	// long-lived tenant copy O(quanta) floats per epoch; bound it for
+	// unbounded streams.
+	SnapshotRankHistory int
 }
 
 func (c PoolConfig) withDefaults() PoolConfig {
@@ -135,8 +146,10 @@ type TenantStats struct {
 	MsgsPerSec    float64 `json:"msgs_per_sec"`
 }
 
-// EventView is the immutable JSON projection of a detect.Event, safe to
-// hand out after the detector lock is released.
+// EventView is the immutable JSON projection of a detect.Event. Its
+// slices alias the source event's, so callers must pass events that are
+// themselves immutable — epoch-snapshot views, or a detector that will
+// not be mutated again (test references).
 type EventView struct {
 	ID            uint64    `json:"id"`
 	State         string    `json:"state"`
@@ -160,10 +173,10 @@ func viewOf(ev *detect.Event) EventView {
 	return EventView{
 		ID:            ev.ID,
 		State:         ev.State.String(),
-		Keywords:      append([]string(nil), ev.Keywords...),
+		Keywords:      ev.Keywords,
 		Rank:          ev.Rank,
 		PeakRank:      ev.PeakRank,
-		RankHistory:   append([]float64(nil), ev.RankHistory...),
+		RankHistory:   ev.RankHistory,
 		BornQuantum:   ev.BornQuantum,
 		LastQuantum:   ev.LastQuantum,
 		Evolved:       ev.Evolved,
@@ -251,18 +264,37 @@ func archiveRecord(seq uint64, ev *detect.Event) archive.Record {
 	}
 }
 
-// Tenant is one isolated detector: a bounded ingest queue drained by a
-// dedicated goroutine, the (single-threaded) detector it feeds, and an
-// SSE broker for push notification. Queries copy state under the
-// detector lock; they never touch live detector internals afterwards.
+// Tenant is one isolated detector: a bounded ingest queue drained by the
+// pool's shared scheduler, the (single-threaded) detector it feeds, and
+// an SSE broker for push notification.
+//
+// Reads are wait-free: after every quantum the apply step publishes an
+// immutable epoch snapshot (detect.Snapshot) through an atomic pointer,
+// and every query endpoint resolves against the latest snapshot without
+// touching t.mu. The mutex has shrunk to the APPLY lock — it serialises
+// batch application, WAL snapshot capture and shutdown checkpointing
+// against each other, never against queries.
 type Tenant struct {
 	name   string
 	broker *broker
+	sched  *scheduler
 
-	qmu     sync.Mutex // guards queue close vs. enqueue (and WAL appends)
-	queue   chan walBatch
-	closed  bool
-	drained chan struct{} // closed when the worker has exited
+	// qmu guards the pending-batch queue, the closed flag, and WAL
+	// appends (so WAL record order is queue order). It is never held
+	// while a batch is applying, and is always acquired before the
+	// scheduler's lock, never after. One deliberate exception to
+	// "pointer work only": with WALSyncEvery ≥ 1 an Enqueue holds qmu
+	// across its fsync, which can briefly delay this tenant's pop (and
+	// the one scheduler worker turn that wanted it) — the price of
+	// keeping the append-order/queue-order identity that replay needs.
+	qmu       sync.Mutex
+	pending   []walBatch // FIFO; pendHead is the ring start
+	pendHead  int
+	maxDepth  int  // accepted-but-unapplied batch bound
+	scheduled bool // t is in the scheduler's runnable queue or mid-apply
+	closed    bool
+	drainDone bool
+	drained   chan struct{} // closed when closed and fully drained
 
 	// accepted counts batches admitted to the queue, applied counts
 	// batches fully ingested; equal means the tenant is idle. queuedMsgs
@@ -276,24 +308,33 @@ type Tenant struct {
 
 	// Durability. lastApplied is the WAL seq of the last fully applied
 	// batch — the only safe snapshot position. snapEvery is the snapshot
-	// cadence in quanta; lastSnapQuantum (under mu) tracks the quantum of
-	// the newest snapshot for cadence and the snapshot-age metric.
+	// cadence in quanta; lastSnapQuantum tracks the quantum of the
+	// newest snapshot for cadence and the snapshot-age metric (written
+	// only by the apply step, read by /metrics).
 	storage         *tenantStorage
 	lastApplied     atomic.Uint64
 	snapEvery       int
-	lastSnapQuantum int
+	lastSnapQuantum atomic.Int64
 
-	mu      sync.Mutex // guards det, elapsed counters, archive access
-	det     *detect.Detector
-	elapsed time.Duration // detector time spent this process
-	since   uint64        // messages ingested this process
+	// Wait-free read state. snap is the latest epoch snapshot; lastEvent
+	// the newest SSE payload (for catch-up); msgs mirrors det.Processed()
+	// per applied message; elapsed/since feed the throughput stats.
+	snap      atomic.Pointer[detect.Snapshot]
+	lastEvent atomic.Pointer[StreamEvent]
+	msgs      atomic.Uint64
+	elapsed   atomic.Int64 // ns of detector time spent this process
+	since     atomic.Uint64
+
+	mu  sync.Mutex // the apply lock: guards det during apply/checkpoint
+	det *detect.Detector
 }
 
-func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage) *Tenant {
+func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage, sched *scheduler) *Tenant {
 	t := &Tenant{
 		name:          name,
 		broker:        newBroker(),
-		queue:         make(chan walBatch, cfg.QueueDepth),
+		sched:         sched,
+		maxDepth:      cfg.QueueDepth,
 		drained:       make(chan struct{}),
 		det:           det,
 		maxQueuedMsgs: int64(cfg.QueueMessages),
@@ -302,9 +343,14 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 		snapEvery:     cfg.SnapshotEvery,
 	}
 	st.attachEvict(det)
+	det.SetSnapshotRankHistory(cfg.SnapshotRankHistory)
 	det.SetOnQuantum(func(res *detect.QuantumResult) {
-		t.elapsed += res.Elapsed
-		t.broker.publish(&StreamEvent{
+		t.elapsed.Add(int64(res.Elapsed))
+		// Publish the epoch snapshot before announcing the quantum over
+		// SSE: a subscriber that reacts to the notification with a query
+		// must observe at least this quantum.
+		t.snap.Store(det.Snapshot(res))
+		ev := &StreamEvent{
 			Tenant:   name,
 			Quantum:  res.Quantum,
 			Reports:  res.Reports,
@@ -313,10 +359,55 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 			Merged:   res.Merged,
 			AKGNodes: res.AKGNodes,
 			AKGEdges: res.AKGEdges,
-		})
+		}
+		t.lastEvent.Store(ev)
+		t.broker.publish(ev)
 	})
-	go t.work()
+	t.msgs.Store(det.Processed())
+	// Queries may arrive before the first quantum (or right after a
+	// restart): seed the snapshot from the detector's recovered state.
+	t.snap.Store(det.Snapshot(nil))
 	return t
+}
+
+// queueLenLocked returns the accepted-but-unapplied batch count; qmu held.
+func (t *Tenant) queueLenLocked() int { return len(t.pending) - t.pendHead }
+
+// queueLen is queueLenLocked for callers not holding qmu.
+func (t *Tenant) queueLen() int {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	return t.queueLenLocked()
+}
+
+// pushLocked appends a batch and marks the tenant runnable; qmu held.
+func (t *Tenant) pushLocked(b walBatch) {
+	t.pending = append(t.pending, b)
+	if !t.scheduled {
+		t.scheduled = true
+		t.sched.submit(t)
+	}
+}
+
+// popLocked removes and returns the head batch; qmu held, queue non-empty.
+func (t *Tenant) popLocked() walBatch {
+	b := t.pending[t.pendHead]
+	t.pending[t.pendHead] = walBatch{} // release the msgs for GC
+	t.pendHead++
+	if t.pendHead == len(t.pending) {
+		t.pending = t.pending[:0]
+		t.pendHead = 0
+	}
+	return b
+}
+
+// finishDrainLocked closes drained once the tenant is closed, idle and
+// empty; qmu held. Safe to call any number of times.
+func (t *Tenant) finishDrainLocked() {
+	if t.closed && !t.scheduled && t.queueLenLocked() == 0 && !t.drainDone {
+		t.drainDone = true
+		close(t.drained)
+	}
 }
 
 // walLog / archLog are nil-safe storage accessors.
@@ -334,37 +425,73 @@ func (t *Tenant) archLog() *archive.Log {
 	return t.storage.arch
 }
 
-// work drains the ingest queue until it is closed. Messages are applied
-// strictly in arrival order; the detector's own push hook notifies the
-// broker at every quantum boundary. The lock is taken per message, not
-// per batch, so query endpoints interleave with ingest instead of
-// stalling behind a large batch.
-func (t *Tenant) work() {
-	defer close(t.drained)
-	for batch := range t.queue {
-		if batch.flush {
-			t.mu.Lock()
-			t.det.Flush()
-			t.mu.Unlock()
-		}
-		for _, m := range batch.msgs {
-			t.mu.Lock()
-			t.det.IngestAll(m)
-			t.since++
-			t.mu.Unlock()
-		}
-		if !batch.flush && t.retain > 0 {
-			t.mu.Lock()
-			t.det.TrimFinished(t.retain)
-			t.mu.Unlock()
-		}
-		if batch.seq > 0 {
-			t.lastApplied.Store(batch.seq)
-		}
-		t.maybeSnapshot()
-		t.queuedMsgs.Add(-int64(len(batch.msgs)))
-		t.applied.Add(1)
+// runOne applies the tenant's next pending batch. Called by exactly one
+// scheduler worker at a time (the scheduled flag guarantees it), so
+// batches apply strictly in arrival order — which is WAL append order;
+// replay depends on that. After the batch the tenant requeues itself at
+// the scheduler's tail if more work is pending: one batch per turn is
+// the round-robin fairness unit.
+func (t *Tenant) runOne() {
+	t.qmu.Lock()
+	if t.queueLenLocked() == 0 {
+		t.scheduled = false
+		t.finishDrainLocked()
+		t.qmu.Unlock()
+		return
 	}
+	batch := t.popLocked()
+	t.qmu.Unlock()
+
+	t.apply(batch)
+
+	t.qmu.Lock()
+	if t.queueLenLocked() > 0 {
+		t.sched.submit(t) // back of the line: other tenants go first
+	} else {
+		t.scheduled = false
+		t.finishDrainLocked()
+	}
+	t.qmu.Unlock()
+}
+
+// apply ingests one batch (or flush marker) into the detector. The apply
+// lock is taken per message, not per batch, so checkpointing never waits
+// behind a large batch; queries don't take it at all — they read the
+// epoch snapshot the quantum hook publishes.
+func (t *Tenant) apply(batch walBatch) {
+	if batch.flush {
+		t.mu.Lock()
+		t.det.Flush()
+		t.mu.Unlock()
+	}
+	for _, m := range batch.msgs {
+		t.mu.Lock()
+		t.det.IngestAll(m)
+		t.msgs.Store(t.det.Processed())
+		t.mu.Unlock()
+		t.since.Add(1)
+	}
+	if !batch.flush && t.retain > 0 {
+		t.mu.Lock()
+		if t.det.TrimFinished(t.retain) > 0 {
+			// Trimming changed the retained history; republish so reads
+			// observe it before the next quantum boundary. The quantum
+			// has not advanced, so carry the previous epoch's lifecycle
+			// deltas forward instead of wiping them.
+			next := t.det.Snapshot(nil)
+			if prev := t.snap.Load(); prev != nil && prev.Quantum == next.Quantum {
+				next.Born, next.Ended, next.Merged = prev.Born, prev.Ended, prev.Merged
+			}
+			t.snap.Store(next)
+		}
+		t.mu.Unlock()
+	}
+	if batch.seq > 0 {
+		t.lastApplied.Store(batch.seq)
+	}
+	t.maybeSnapshot()
+	t.queuedMsgs.Add(-int64(len(batch.msgs)))
+	t.applied.Add(1)
 }
 
 // maybeSnapshot checkpoints the detector into the WAL once enough quanta
@@ -383,7 +510,7 @@ func (t *Tenant) maybeSnapshot() {
 	}
 	t.mu.Lock()
 	q := t.det.AKG().Quantum()
-	if q-t.lastSnapQuantum < t.snapEvery {
+	if q-int(t.lastSnapQuantum.Load()) < t.snapEvery {
 		t.mu.Unlock()
 		return
 	}
@@ -398,11 +525,9 @@ func (t *Tenant) maybeSnapshot() {
 		}
 		return
 	}
-	t.mu.Lock()
-	if q > t.lastSnapQuantum {
-		t.lastSnapQuantum = q
+	if q > int(t.lastSnapQuantum.Load()) {
+		t.lastSnapQuantum.Store(int64(q))
 	}
-	t.mu.Unlock()
 }
 
 // Name returns the tenant name.
@@ -431,9 +556,9 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	}
 	// Admission must be decided before the WAL append: a batch logged
 	// but then rejected would reappear at recovery as data the client
-	// was told to retry. Only the worker removes from the queue, so a
-	// free slot observed here (under qmu) stays free until our send.
-	if len(t.queue) == cap(t.queue) {
+	// was told to retry. Only a scheduler worker pops, and only under
+	// qmu, so a free slot observed here stays free until our push.
+	if t.queueLenLocked() >= t.maxDepth {
 		return ErrQueueFull
 	}
 	var seq uint64
@@ -443,7 +568,7 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 			return fmt.Errorf("server: tenant %s: %w", t.name, err)
 		}
 	}
-	t.queue <- walBatch{seq: seq, msgs: msgs}
+	t.pushLocked(walBatch{seq: seq, msgs: msgs})
 	t.queuedMsgs.Add(int64(len(msgs)))
 	t.accepted.Add(1)
 	return nil
@@ -478,7 +603,7 @@ func (t *Tenant) Flush(ctx context.Context) error {
 			t.qmu.Unlock()
 			return ErrClosed
 		}
-		if len(t.queue) < cap(t.queue) {
+		if t.queueLenLocked() < t.maxDepth {
 			var seq uint64
 			if wl := t.walLog(); wl != nil {
 				s, err := wl.AppendFlush()
@@ -488,14 +613,14 @@ func (t *Tenant) Flush(ctx context.Context) error {
 				}
 				seq = s
 			}
-			t.queue <- walBatch{seq: seq, flush: true}
+			t.pushLocked(walBatch{seq: seq, flush: true})
 			t.accepted.Add(1)
 			target = t.accepted.Load()
 			t.qmu.Unlock()
 			break
 		}
 		t.qmu.Unlock()
-		// Queue full: wait for the worker to make room rather than
+		// Queue full: wait for the apply step to make room rather than
 		// failing — Flush's contract is to block until done.
 		select {
 		case <-ctx.Done():
@@ -513,23 +638,31 @@ func (t *Tenant) Flush(ctx context.Context) error {
 	return nil
 }
 
+// Snapshot returns the tenant's latest published epoch snapshot. Reads
+// against it are wait-free; the contents are immutable.
+func (t *Tenant) Snapshot() *detect.Snapshot { return t.snap.Load() }
+
 // Events returns the tenant's events: the top-k live reported events by
 // rank (k ≤ 0 means all) or, when all is set, every event ever tracked in
-// birth order.
+// birth order. Wait-free: resolved against the latest epoch snapshot.
 func (t *Tenant) Events(k int, all bool) []EventView {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	snap := t.snap.Load()
 	if all {
-		return viewsOf(t.det.AllEvents())
+		return viewsOf(snap.AllEvents())
 	}
-	return viewsOf(t.det.TopK(k))
+	return viewsOf(snap.TopK(k))
+}
+
+// EventsKeyword returns the top-k live reported events whose current
+// keyword set contains kw, resolved through the snapshot's inverted
+// index.
+func (t *Tenant) EventsKeyword(k int, kw string) []EventView {
+	return viewsOf(t.snap.Load().TopKKeyword(k, kw))
 }
 
 // Event returns one event by ID.
 func (t *Tenant) Event(id uint64) (EventView, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if ev := t.det.FindEvent(id); ev != nil {
+	if ev := t.snap.Load().Find(id); ev != nil {
 		return viewOf(ev), true
 	}
 	return EventView{}, false
@@ -537,44 +670,43 @@ func (t *Tenant) Event(id uint64) (EventView, bool) {
 
 // Related returns live event pairs whose user communities overlap by at
 // least minOverlap (the paper's same-event correlation post-processing).
-// Never nil, so the API serves [] rather than null.
+// The pairwise overlaps were computed when the epoch snapshot was
+// published, so this is a wait-free filter. Never nil, so the API serves
+// [] rather than null.
 func (t *Tenant) Related(minOverlap float64) []detect.RelatedPair {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return append([]detect.RelatedPair{}, t.det.RelatedEvents(minOverlap)...)
+	return t.snap.Load().Related(minOverlap)
 }
 
-// Stats returns the tenant's monitoring snapshot.
+// Stats returns the tenant's monitoring snapshot, assembled from the
+// epoch snapshot and atomic counters — no lock shared with ingest.
 func (t *Tenant) Stats() TenantStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	snap := t.snap.Load()
 	s := TenantStats{
 		Tenant:         t.name,
-		Messages:       t.det.Processed(),
-		LiveEvents:     t.det.LiveCount(),
-		TotalEvents:    t.det.TotalCount(),
-		AKGNodes:       t.det.AKG().NodeCount(),
-		AKGEdges:       t.det.AKG().EdgeCount(),
-		QueueDepth:     len(t.queue),
+		Messages:       t.msgs.Load(),
+		LiveEvents:     snap.LiveCount(),
+		TotalEvents:    snap.TotalCount(),
+		AKGNodes:       snap.AKGNodes,
+		AKGEdges:       snap.AKGEdges,
+		QueueDepth:     t.queueLen(),
 		QueuedMessages: t.queuedMsgs.Load(),
-		QueueCap:       cap(t.queue),
-		Quanta:         t.det.AKG().Quantum(),
-		ProcessMillis:  float64(t.elapsed) / float64(time.Millisecond),
+		QueueCap:       t.maxDepth,
+		Quanta:         snap.Quantum,
+		ProcessMillis:  float64(t.elapsed.Load()) / float64(time.Millisecond),
 	}
-	if t.elapsed > 0 {
-		s.MsgsPerSec = float64(t.since) / t.elapsed.Seconds()
+	if e := time.Duration(t.elapsed.Load()); e > 0 {
+		s.MsgsPerSec = float64(t.since.Load()) / e.Seconds()
 	}
 	return s
 }
 
-// shutdown stops ingest, waits (bounded by ctx) for the worker to drain,
-// and closes the broker. Safe to call once.
+// shutdown stops ingest, waits (bounded by ctx) for the scheduler to
+// drain the tenant's pending batches, and closes the broker. Safe to
+// call more than once.
 func (t *Tenant) shutdown(ctx context.Context) error {
 	t.qmu.Lock()
-	if !t.closed {
-		t.closed = true
-		close(t.queue)
-	}
+	t.closed = true
+	t.finishDrainLocked()
 	t.qmu.Unlock()
 	var err error
 	select {
@@ -588,8 +720,9 @@ func (t *Tenant) shutdown(ctx context.Context) error {
 
 // Pool manages the tenants of one serving process.
 type Pool struct {
-	cfg  PoolConfig
-	ckpt *checkpointStore // nil when persistence is disabled
+	cfg   PoolConfig
+	ckpt  *checkpointStore // nil when persistence is disabled
+	sched *scheduler       // shared worker pool applying every tenant's batches
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -614,15 +747,17 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	cfg = cfg.withDefaults()
 	p := &Pool{
 		cfg:          cfg,
+		sched:        newScheduler(cfg.Workers),
 		tenants:      make(map[string]*Tenant),
 		creating:     make(map[string]chan struct{}),
 		shutdownDone: make(chan struct{}),
 	}
 	abandon := func() {
-		// Don't leak the workers of tenants already restored.
+		// Don't leak scheduler workers or tenants already restored.
 		for _, t := range p.tenants {
 			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
 		}
+		p.sched.stop(true)
 	}
 	if cfg.CheckpointDir != "" {
 		store, err := newCheckpointStore(cfg.CheckpointDir)
@@ -693,11 +828,11 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 						return nil, err
 					}
 				}
-				t := newTenant(name, det, cfg, st)
+				t := newTenant(name, det, cfg, st, p.sched)
 				if st.wal != nil {
 					t.lastApplied.Store(st.wal.LastSeq())
 				}
-				t.lastSnapQuantum = det.AKG().Quantum()
+				t.lastSnapQuantum.Store(int64(det.AKG().Quantum()))
 				p.tenants[name] = t
 				continue
 			}
@@ -726,9 +861,9 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 					return nil, err
 				}
 			}
-			t := newTenant(name, det, cfg, st)
+			t := newTenant(name, det, cfg, st, p.sched)
 			t.lastApplied.Store(0)
-			t.lastSnapQuantum = det.AKG().Quantum()
+			t.lastSnapQuantum.Store(int64(det.AKG().Quantum()))
 			p.tenants[name] = t
 		}
 	}
@@ -824,11 +959,9 @@ func (p *Pool) recoverTenant(name string) (*Tenant, error) {
 	}); err != nil {
 		return fail(err)
 	}
-	t := newTenant(name, det, p.cfg, st)
+	t := newTenant(name, det, p.cfg, st, p.sched)
 	t.lastApplied.Store(st.wal.LastSeq())
-	t.mu.Lock()
-	t.lastSnapQuantum = baseQuantum
-	t.mu.Unlock()
+	t.lastSnapQuantum.Store(int64(baseQuantum))
 	// If the tail replay crossed a snapshot cadence, snapshot now so a
 	// crash loop cannot make recovery cost grow without bound.
 	t.maybeSnapshot()
@@ -945,7 +1078,7 @@ func (p *Pool) buildTenant(name string) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st), nil
+	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st, p.sched), nil
 }
 
 // Names returns the tenant names, sorted.
@@ -1014,10 +1147,14 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		defer close(p.shutdownDone)
 		tenants := p.BeginShutdown()
 		var first error
+		drainFailed := false
 		for _, t := range tenants {
 			derr := t.shutdown(ctx)
-			if derr != nil && first == nil {
-				first = derr
+			if derr != nil {
+				drainFailed = true
+				if first == nil {
+					first = derr
+				}
 			}
 			if p.ckpt != nil {
 				t.mu.Lock()
@@ -1054,6 +1191,11 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 				}
 			}
 		}
+		// Every tenant is closed, so the runnable queue stays empty; stop
+		// the shared workers. If a drain timed out, a worker may be wedged
+		// inside its apply step — don't wait on it, exactly as the old
+		// per-tenant goroutine was abandoned in that case.
+		p.sched.stop(!drainFailed)
 		p.shutdownErr = first
 	})
 	// Completed-shutdown fast path first: with both channels ready the

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+)
+
+// scheduler is the pool's shared worker engine: a fixed-size set of
+// goroutines round-robinning runnable tenants. It replaces the
+// goroutine-per-tenant design, which stopped scaling past a few
+// thousand tenants (stacks, scheduler pressure) even though almost all
+// of them are idle at any instant.
+//
+// Fairness and ordering come from two invariants:
+//
+//   - A tenant appears in the runnable queue at most once (the
+//     Tenant.scheduled flag), so exactly one worker applies a given
+//     tenant's batches at a time — per-tenant batch order is the WAL
+//     append order, exactly as with the dedicated goroutine.
+//   - A worker applies ONE batch per turn and then requeues the tenant
+//     at the tail, so a hot tenant with a deep backlog advances one
+//     batch per cycle while every other runnable tenant gets its turn
+//     in between — one tenant cannot starve the rest.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Tenant // FIFO of runnable tenants; head is the ring start
+	head   int
+	closed bool
+	wg     sync.WaitGroup
+
+	// onBatch, when set (tests only, before any tenant exists), observes
+	// every applied batch in global application order.
+	onBatch func(tenant string)
+}
+
+// newScheduler starts a scheduler with the given number of workers
+// (≤ 0 selects GOMAXPROCS — one worker per core the runtime will use).
+func newScheduler(workers int) *scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.run()
+	}
+	return s
+}
+
+// submit marks t runnable, queuing it at the tail. Callers guarantee the
+// at-most-once invariant via Tenant.scheduled (held under the tenant's
+// queue lock, which is always acquired before s.mu — never the reverse).
+func (s *scheduler) submit(t *Tenant) {
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// pop removes the head of the runnable queue, blocking until a tenant is
+// available or the scheduler is stopped (ok=false).
+func (s *scheduler) pop() (t *Tenant, hook func(string), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.head == len(s.queue) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.head == len(s.queue) {
+		return nil, nil, false
+	}
+	t = s.queue[s.head]
+	s.queue[s.head] = nil
+	s.head++
+	// Compact once the consumed prefix dominates, so the backing array
+	// doesn't grow without bound under sustained load.
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	} else if s.head >= 1024 && s.head*2 >= len(s.queue) {
+		n := copy(s.queue, s.queue[s.head:])
+		s.queue = s.queue[:n]
+		s.head = 0
+	}
+	return t, s.onBatch, true
+}
+
+// run is one worker: pop a runnable tenant, apply one batch, repeat.
+func (s *scheduler) run() {
+	defer s.wg.Done()
+	for {
+		t, hook, ok := s.pop()
+		if !ok {
+			return
+		}
+		t.runOne()
+		if hook != nil {
+			hook(t.name)
+		}
+	}
+}
+
+// stop shuts the workers down. Callers must have drained every tenant
+// first (the runnable queue empties and stays empty). When wait is set,
+// stop blocks until every worker has exited; pass false when a tenant
+// failed to drain in time — one of the workers may be wedged inside its
+// apply step, and the pool's shutdown must not hang behind it.
+func (s *scheduler) stop(wait bool) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if wait {
+		s.wg.Wait()
+	}
+}

@@ -447,8 +447,8 @@ func TestBackpressure(t *testing.T) {
 	if err := tn.Enqueue(batch); err != nil {
 		t.Fatal(err)
 	}
-	// Wait until the worker has taken the batch off the channel.
-	for i := 0; len(tn.queue) != 0; i++ {
+	// Wait until a scheduler worker has popped the batch off the queue.
+	for i := 0; tn.queueLen() != 0; i++ {
 		if i > 5000 {
 			t.Fatal("worker never picked up batch")
 		}

@@ -25,9 +25,11 @@ type StreamEvent struct {
 }
 
 // subBuffer is the per-subscriber channel depth. A subscriber that falls
-// further behind than this has events dropped (never the publisher
-// blocked): the detector goroutine must keep pace with the stream, not
-// with the slowest client.
+// further behind than this is dropped entirely (never the publisher
+// blocked): the apply step must keep pace with the stream, not with the
+// slowest client. A dropped client's channel is closed, so its SSE
+// handler returns and the client can reconnect (with ?catchup=1 to
+// resync from the latest epoch) instead of silently missing quanta.
 const subBuffer = 16
 
 // broker fans quantum notifications out to SSE subscribers of one tenant.
@@ -69,9 +71,12 @@ func (b *broker) subscribe() (<-chan []byte, func()) {
 }
 
 // publish marshals ev once and offers it to every subscriber without
-// blocking; subscribers whose buffers are full miss this event. With no
-// subscribers it returns before marshaling — this runs on the ingest
-// path under the detector lock, so idle-broker cost must be nil.
+// blocking. Drop-slowest-client policy: a subscriber whose buffer is
+// full has stalled for subBuffer quanta — it is unsubscribed and its
+// channel closed (ending its SSE handler) rather than allowed to shed
+// events silently or, worse, stall the publisher. With no subscribers
+// publish returns before marshaling — this runs on the apply path under
+// the detector lock, so idle-broker cost must be nil.
 func (b *broker) publish(ev *StreamEvent) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -86,6 +91,8 @@ func (b *broker) publish(ev *StreamEvent) {
 		select {
 		case ch <- payload:
 		default:
+			delete(b.subs, ch)
+			close(ch)
 		}
 	}
 }
@@ -104,7 +111,11 @@ func (b *broker) close() {
 }
 
 // serveSSE streams quantum events for one tenant until the client
-// disconnects or the tenant shuts down.
+// disconnects, falls irrecoverably behind (drop-slowest policy), or the
+// tenant shuts down. With ?catchup=1 the newest quantum event is
+// replayed first — resolved from the tenant's wait-free epoch state, so
+// catch-up never touches the apply lock. Catch-up is at-least-once: the
+// replayed quantum may also arrive through the live subscription.
 func serveSSE(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -130,6 +141,13 @@ func serveSSE(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	w.WriteHeader(http.StatusOK)
 	// Initial comment line so proxies and clients see bytes immediately.
 	fmt.Fprintf(w, ": stream %s\n\n", t.name)
+	if q := r.URL.Query().Get("catchup"); q == "1" || q == "true" {
+		if ev := t.lastEvent.Load(); ev != nil {
+			if payload, err := json.Marshal(ev); err == nil {
+				fmt.Fprintf(w, "event: quantum\ndata: %s\n\n", payload)
+			}
+		}
+	}
 	fl.Flush()
 
 	for {

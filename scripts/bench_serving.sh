@@ -1,0 +1,48 @@
+#!/usr/bin/env sh
+# Runs the serving benchmarks (query latency under full-rate ingest,
+# ingest throughput) and writes the results as JSON to BENCH_serving.json
+# at the repo root. The headline metric is p99-ns on
+# BenchmarkQueryUnderIngest: query tail latency while one tenant ingests
+# at full rate.
+# Usage: scripts/bench_serving.sh [benchtime]   (default 2s)
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_serving.json"
+
+RAW="$(go test -bench 'QueryUnderIngest|IngestThroughput' -run xxx -benchmem \
+	-benchtime "$BENCHTIME" ./internal/server)"
+
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+	n = 0
+	print "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"benchmarks\": ["
+}
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	print ""
+	print "  ],"
+	printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n", goos, goarch, cpu
+	print "}"
+}' >"$OUT"
+
+echo "wrote $OUT"
