@@ -1,5 +1,5 @@
 # Developer entry points. CI runs the same four checks as `make check`.
-.PHONY: build test check bench bench-serving
+.PHONY: build test check bench bench-serving bench-ingest bench-smoke
 
 build:
 	go build ./...
@@ -20,6 +20,18 @@ bench:
 	./scripts/bench_persistence.sh $(BENCHTIME)
 
 # Serving benchmarks (query p50/p99 under full-rate ingest, ingest
-# throughput); emits BENCH_serving.json.
+# throughput, durable-ingest ack latency); emits BENCH_serving.json.
 bench-serving:
 	./scripts/bench_serving.sh $(BENCHTIME)
+
+# Write-path-only subset of bench-serving for fast iteration on ingest
+# work: runs the ingest throughput + durable-ack benchmarks and rewrites
+# BENCH_serving.json with those numbers (run bench-serving for the full
+# suite before committing the file).
+bench-ingest:
+	./scripts/bench_serving.sh $(BENCHTIME) 'IngestThroughput|IngestDurable'
+
+# One-iteration pass over every benchmark in the repo, so bench-only
+# files cannot rot uncompiled (CI runs this on every PR).
+bench-smoke:
+	go test -run xxx -bench . -benchtime 1x ./...

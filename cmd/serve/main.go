@@ -42,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,10 +69,18 @@ func main() {
 		walDir  = flag.String("wal-dir", "", "write-ahead log directory (empty disables crash durability)")
 		walSeg  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
 		walSync = flag.Int("wal-sync", 0, "fsync the WAL every N appends (0 = rely on the page cache)")
+		walGC   = flag.Duration("wal-group-commit-interval", 0,
+			"cross-tenant WAL group commit flush interval (0 disables; e.g. 2ms). "+
+				"Acks wait for the shared flush+fsync: power-safe durability at a "+
+				"fraction of the per-append fsync cost; overrides -wal-sync")
 		snapEvr = flag.Int("snapshot-every", 256, "WAL snapshot cadence in quanta")
 		archDir = flag.String("archive-dir", "", "evicted-event archive directory (empty discards evicted events)")
 		archSeg = flag.Int("archive-segment-events", 512, "archive segment rotation by record count")
 		archBkt = flag.Int("archive-bucket-quanta", 1024, "archive segment rotation by quantum span")
+
+		pprofAddr = flag.String("pprof-addr", "",
+			"listen address for net/http/pprof diagnostics (empty disables; "+
+				"e.g. localhost:6060 — keep it off public interfaces)")
 
 		delta = flag.Int("delta", 160, "quantum size Δ in messages")
 		qtime = flag.Int64("qtime", 0, "time-based quantum length (0 = message count)")
@@ -97,13 +107,14 @@ func main() {
 			Workers:             *workers,
 			SnapshotRankHistory: *snapRH,
 
-			WALDir:               *walDir,
-			WALSegmentBytes:      *walSeg,
-			WALSyncEvery:         *walSync,
-			SnapshotEvery:        *snapEvr,
-			ArchiveDir:           *archDir,
-			ArchiveSegmentEvents: *archSeg,
-			ArchiveBucketQuanta:  *archBkt,
+			WALDir:                 *walDir,
+			WALSegmentBytes:        *walSeg,
+			WALSyncEvery:           *walSync,
+			WALGroupCommitInterval: *walGC,
+			SnapshotEvery:          *snapEvr,
+			ArchiveDir:             *archDir,
+			ArchiveSegmentEvents:   *archSeg,
+			ArchiveBucketQuanta:    *archBkt,
 		},
 	})
 	if err != nil {
@@ -112,6 +123,17 @@ func main() {
 	}
 	if tenants := srv.Pool.Names(); len(tenants) > 0 {
 		log.Printf("restored %d tenant(s): %v", len(tenants), tenants)
+	}
+	if *pprofAddr != "" {
+		// The pprof import registers on http.DefaultServeMux, which the
+		// API server does not use — the diagnostics surface stays on its
+		// own listener, off by default.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

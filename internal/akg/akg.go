@@ -25,7 +25,8 @@
 package akg
 
 import (
-	"sort"
+	"math"
+	"slices"
 
 	"repro/internal/ckg"
 	"repro/internal/core"
@@ -89,13 +90,97 @@ type QuantumStats struct {
 	EdgesUpdated  int // weight refreshes on surviving edges
 	NodesAdded    int
 	NodesRemoved  int // stale + isolated removals
+	// DirtyNodes is the number of vertices whose windowed user support
+	// changed this quantum — the vertex set downstream incremental
+	// maintenance (event reconciliation) revisits instead of rescanning
+	// the whole graph.
+	DirtyNodes int
 }
 
 type idSet struct {
 	counts map[uint64]int // user -> observations inside the window
+	// sorted caches the distinct users ascending. Membership changes —
+	// a user first observed (userAdded) or expired off the window
+	// (userRemoved) — accumulate as deltas, and sortedUsers folds them
+	// in with a linear merge instead of re-sorting the whole set: the
+	// pairwise-Jaccard path needs ordered lists, and rebuilding them
+	// with pdqsort every quantum was the hottest code in the system.
+	// sketchStale gates the keyword's cached Min-Hash sketch (held in
+	// AKG.sketches), which only needs set membership, not order.
+	sorted      []uint64
+	added       []uint64 // joined since sorted was built (unsorted)
+	removed     []uint64 // left since sorted was built (unsorted)
+	sketchStale bool
 }
 
 func (s *idSet) size() int { return len(s.counts) }
+
+// userAdded records that u entered the distinct-user set. sorted == nil
+// means a full rebuild is already pending — no deltas needed.
+func (s *idSet) userAdded(u uint64) {
+	s.sketchStale = true
+	if s.sorted == nil {
+		return
+	}
+	// A user expiring and reappearing within one delta window must
+	// cancel out, or the merge would both exclude and re-include it.
+	// Deltas are small (recent churn), so a linear scan beats an index;
+	// the scanned list is the opposite delta, which is almost always
+	// empty (expiry happens before observation within a quantum).
+	for i, r := range s.removed {
+		if r == u {
+			s.removed[i] = s.removed[len(s.removed)-1]
+			s.removed = s.removed[:len(s.removed)-1]
+			return // still present in sorted
+		}
+	}
+	s.added = append(s.added, u)
+	s.maybeDegrade()
+}
+
+// userRemoved records that u left the distinct-user set.
+func (s *idSet) userRemoved(u uint64) {
+	s.sketchStale = true
+	if s.sorted == nil {
+		return
+	}
+	for i, r := range s.added {
+		if r == u {
+			s.added[i] = s.added[len(s.added)-1]
+			s.added = s.added[:len(s.added)-1]
+			return // never made it into sorted
+		}
+	}
+	s.removed = append(s.removed, u)
+	s.maybeDegrade()
+}
+
+// maybeDegrade abandons delta tracking once the accumulated churn
+// rivals the set size (a keyword nobody Jaccard-compared for many
+// quanta) — at that point one full rebuild is cheaper than carrying
+// and scanning the deltas.
+func (s *idSet) maybeDegrade() {
+	if d := len(s.added) + len(s.removed); d > 64 && d*2 > len(s.counts) {
+		s.sorted = nil
+		s.added = s.added[:0]
+		s.removed = s.removed[:0]
+	}
+}
+
+// quantumObs is one quantum's observations in columnar form: distinct
+// keywords ascending, each key's distinct users (ascending) in one
+// shared slice addressed by prefix offsets. Three allocations per
+// quantum retained in the ring, where the old keyword→users map cost
+// one per keyword — and the window slide walks it in expiry order for
+// free.
+type quantumObs struct {
+	keys  []dygraph.NodeID
+	off   []int32 // len(keys)+1 prefix offsets into users
+	users []uint64
+}
+
+// usersOf returns the distinct users of keys[i], ascending.
+func (q *quantumObs) usersOf(i int) []uint64 { return q.users[q.off[i]:q.off[i+1]] }
 
 // AKG is the active keyword graph plus the cluster engine it drives.
 type AKG struct {
@@ -103,13 +188,36 @@ type AKG struct {
 	eng     *core.Engine
 	quantum int
 
-	ring    []map[dygraph.NodeID][]uint64 // per live quantum: keyword -> users
+	ring    []quantumObs // per live quantum, oldest first
 	idsets  map[dygraph.NodeID]*idSet
 	present map[dygraph.NodeID]bool // keyword currently in AKG
 
+	// dirty is the set of vertices whose windowed support changed this
+	// quantum (new user observed, or a user expired off the window).
+	// Together with the engine's touched-cluster set it tells the
+	// detector which clusters need their rank recomputed.
+	dirty dygraph.DirtySet
+
 	// scratch reused across quanta
-	sketches map[dygraph.NodeID]*minhash.Sketch
+	sketches   map[dygraph.NodeID]*minhash.Sketch
+	keyScratch []dygraph.NodeID
+	curScratch []int32
+	set1       []dygraph.NodeID
+	set2       []dygraph.NodeID
+	refresh    []dygraph.NodeID // set2 ++ set1 concatenation for refreshEdges
+	nbrs       []dygraph.NodeID // sorted-neighbor scratch
+	visited    map[dygraph.Edge]struct{}
+	drop       []edgeRef
+	keep       []edgeRef
+	weights    []float64
+	high       map[dygraph.NodeID]bool
+
+	// union-support scratch (single-threaded use under the apply lock).
+	mergeScratch []uint64
+	listScratch  [][]uint64
 }
+
+type edgeRef struct{ a, b dygraph.NodeID }
 
 // New returns an AKG layer driving a fresh cluster engine whose lifecycle
 // callbacks go to hooks.
@@ -121,6 +229,8 @@ func New(cfg Config, hooks core.Hooks) *AKG {
 		idsets:   make(map[dygraph.NodeID]*idSet),
 		present:  make(map[dygraph.NodeID]bool),
 		sketches: make(map[dygraph.NodeID]*minhash.Sketch),
+		visited:  make(map[dygraph.Edge]struct{}),
+		high:     make(map[dygraph.NodeID]bool),
 	}
 }
 
@@ -145,17 +255,54 @@ func (a *AKG) Support(k dygraph.NodeID) int {
 
 // UnionSupport returns the number of distinct users associated with any of
 // the given keywords inside the window — the cluster support measure of
-// the ranking function (Section 6).
+// the ranking function (Section 6). Computed as a k-way distinct count
+// over the cached sorted user lists (k is a cluster's node count, a
+// handful), replacing the per-call union map the apply path used to
+// build for every dirty cluster every quantum. Single-threaded use.
 func (a *AKG) UnionSupport(ks []dygraph.NodeID) int {
-	users := make(map[uint64]struct{})
+	lists := a.listScratch[:0]
 	for _, k := range ks {
-		if set, ok := a.idsets[k]; ok {
-			for u := range set.counts {
-				users[u] = struct{}{}
+		if u := a.sortedUsers(k); len(u) > 0 {
+			lists = append(lists, u)
+		}
+	}
+	a.listScratch = lists[:0]
+	return countDistinct(lists)
+}
+
+// countDistinct counts the distinct values across sorted ascending
+// lists (duplicate-free individually) by advancing k cursors in step.
+func countDistinct(lists [][]uint64) int {
+	switch len(lists) {
+	case 0:
+		return 0
+	case 1:
+		return len(lists[0])
+	}
+	distinct := 0
+	for {
+		var (
+			min   uint64
+			found bool
+		)
+		for _, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if !found || l[0] < min {
+				min, found = l[0], true
+			}
+		}
+		if !found {
+			return distinct
+		}
+		distinct++
+		for i, l := range lists {
+			if len(l) > 0 && l[0] == min {
+				lists[i] = l[1:]
 			}
 		}
 	}
-	return len(users)
 }
 
 // UserJaccard returns the Jaccard coefficient between the windowed user
@@ -194,6 +341,14 @@ func (a *AKG) unionUsers(ks []dygraph.NodeID) map[uint64]struct{} {
 	}
 	return users
 }
+
+// DirtyNodes returns the vertices whose windowed user support changed
+// during the last ProcessQuantum, in mark order. Valid until the next
+// ProcessQuantum. Structural changes (edges added/removed/reweighted,
+// nodes added/removed) are tracked separately by the engine's
+// touched-cluster set; together the two describe every cluster whose
+// rank inputs could have moved.
+func (a *AKG) DirtyNodes() []dygraph.NodeID { return a.dirty.Nodes() }
 
 // InAKG reports whether keyword k is currently an AKG node.
 func (a *AKG) InAKG(k dygraph.NodeID) bool { return a.present[k] }
@@ -235,29 +390,81 @@ func (a *AKG) Jaccard(k1, k2 dygraph.NodeID) float64 {
 func (a *AKG) ProcessQuantum(batch []ckg.UserKeywords) QuantumStats {
 	a.quantum++
 	st := QuantumStats{Quantum: a.quantum}
+	a.eng.BeginQuantum()
+	a.dirty.Reset()
 
 	a.slideWindow(&st)
 
-	// Observe this quantum: per-keyword distinct user lists + id sets.
-	obs := make(map[dygraph.NodeID][]uint64)
+	// Observe this quantum: group the batch's (keyword, user) pairs by
+	// keyword into the columnar ring entry — in expiry order, with no
+	// per-keyword map. Keys are sorted with the specialised ordered
+	// sort (duplicates included), then each user is placed into its
+	// key's slot range by binary search; users ascend across the batch,
+	// so every group comes out user-ascending.
+	keysAll := a.keyScratch[:0]
+	for _, uk := range batch {
+		keysAll = append(keysAll, uk.Keywords...)
+	}
+	a.keyScratch = keysAll
+	slices.Sort(keysAll)
+	distinct := 0
+	for i := 0; i < len(keysAll); {
+		j := i + 1
+		for j < len(keysAll) && keysAll[j] == keysAll[i] {
+			j++
+		}
+		distinct++
+		i = j
+	}
+	obs := quantumObs{
+		keys:  make([]dygraph.NodeID, 0, distinct),
+		off:   make([]int32, 1, distinct+1),
+		users: make([]uint64, len(keysAll)),
+	}
+	for i := 0; i < len(keysAll); {
+		j := i + 1
+		for j < len(keysAll) && keysAll[j] == keysAll[i] {
+			j++
+		}
+		obs.keys = append(obs.keys, keysAll[i])
+		obs.off = append(obs.off, int32(j))
+		i = j
+	}
+	cur := a.curScratch[:0]
+	cur = append(cur, obs.off[:len(obs.keys)]...)
+	a.curScratch = cur
 	for _, uk := range batch {
 		for _, k := range uk.Keywords {
-			obs[k] = append(obs[k], uk.User)
-			set, ok := a.idsets[k]
-			if !ok {
-				set = &idSet{counts: make(map[uint64]int, 4)}
-				a.idsets[k] = set
+			ki, _ := slices.BinarySearch(obs.keys, k)
+			obs.users[cur[ki]] = uk.User
+			cur[ki]++
+		}
+	}
+	for ki, k := range obs.keys {
+		users := obs.usersOf(ki)
+		set, ok := a.idsets[k]
+		if !ok {
+			set = &idSet{counts: make(map[uint64]int, len(users))}
+			a.idsets[k] = set
+		}
+		// A keyword whose distinct-user set grew is support-dirty: its
+		// node weight in the ranking function changed.
+		for _, u := range users {
+			if set.counts[u] == 0 {
+				a.dirty.Mark(k)
+				set.userAdded(u)
 			}
-			set.counts[uk.User]++
+			set.counts[u]++
 		}
 	}
 	a.ring = append(a.ring, obs)
-	st.Keywords = len(obs)
+	st.Keywords = len(obs.keys)
 
 	// Classify: set1 = bursty this quantum; set2 = in AKG and observed.
-	var set1, set2 []dygraph.NodeID
-	for k, users := range obs {
-		if len(users) >= a.cfg.Tau {
+	// Keys are already ascending, so both lists come out sorted.
+	set1, set2 := a.set1[:0], a.set2[:0]
+	for i, k := range obs.keys {
+		if int(obs.off[i+1]-obs.off[i]) >= a.cfg.Tau {
 			set1 = append(set1, k)
 		} else if a.present[k] {
 			set2 = append(set2, k)
@@ -265,8 +472,7 @@ func (a *AKG) ProcessQuantum(batch []ckg.UserKeywords) QuantumStats {
 	}
 	// Bursty AKG members count for both roles; set2 handling below walks
 	// set1 members' existing neighbors too, so keep the lists disjoint.
-	sortNodes(set1)
-	sortNodes(set2)
+	a.set1, a.set2 = set1, set2
 	st.HighState = len(set1)
 	st.Refreshed = len(set2)
 
@@ -281,24 +487,27 @@ func (a *AKG) ProcessQuantum(batch []ckg.UserKeywords) QuantumStats {
 
 	// Lazy correlation refresh for observed AKG keywords and bursty
 	// keywords that already have neighbors.
-	a.refreshEdges(append(append([]dygraph.NodeID{}, set2...), set1...), &st)
+	a.refresh = append(append(a.refresh[:0], set2...), set1...)
+	a.refreshEdges(a.refresh, &st)
 
 	// New edges among set-1 pairs.
 	a.connectBursty(set1, &st)
 
 	// Isolated, non-bursty keywords leave the AKG (they are in no
 	// cluster by construction).
-	high := make(map[dygraph.NodeID]bool, len(set1))
+	clear(a.high)
 	for _, k := range set1 {
-		high[k] = true
+		a.high[k] = true
 	}
-	for _, k := range append(append([]dygraph.NodeID{}, set1...), set2...) {
-		if a.present[k] && !high[k] && a.eng.Graph().Degree(k) == 0 {
+	a.refresh = append(append(a.refresh[:0], set1...), set2...)
+	for _, k := range a.refresh {
+		if a.present[k] && !a.high[k] && a.eng.Graph().Degree(k) == 0 {
 			a.eng.RemoveNode(k)
 			delete(a.present, k)
 			st.NodesRemoved++
 		}
 	}
+	st.DirtyNodes = a.dirty.Len()
 	return st
 }
 
@@ -311,24 +520,27 @@ func (a *AKG) slideWindow(st *QuantumStats) {
 	oldest := a.ring[0]
 	copy(a.ring, a.ring[1:])
 	a.ring = a.ring[:len(a.ring)-1]
-	// Sorted expiry: node removals reach the engine, where split
-	// identities must be reproducible across runs.
-	keys := make([]dygraph.NodeID, 0, len(oldest))
-	for k := range oldest {
-		keys = append(keys, k)
-	}
-	sortNodes(keys)
-	for _, k := range keys {
-		users := oldest[k]
+	// Keys are stored ascending, so expiry is naturally sorted: node
+	// removals reach the engine, where split identities must be
+	// reproducible across runs.
+	for ki, k := range oldest.keys {
 		set, ok := a.idsets[k]
 		if !ok {
 			continue
 		}
-		for _, u := range users {
+		shrank := false
+		for _, u := range oldest.usersOf(ki) {
 			set.counts[u]--
 			if set.counts[u] <= 0 {
 				delete(set.counts, u)
+				set.userRemoved(u)
+				shrank = true
 			}
+		}
+		if shrank {
+			// Support shrank without any engine mutation; clusters
+			// containing k must still be re-ranked.
+			a.dirty.Mark(k)
 		}
 		if set.size() == 0 {
 			delete(a.idsets, k)
@@ -345,22 +557,21 @@ func (a *AKG) slideWindow(st *QuantumStats) {
 // keywords (each edge once), removing edges under threshold and updating
 // surviving weights — Section 3.1's lazy update principle.
 func (a *AKG) refreshEdges(keys []dygraph.NodeID, st *QuantumStats) {
-	type edgeRef struct{ a, b dygraph.NodeID }
-	visited := make(map[dygraph.Edge]struct{})
-	var drop, keep []edgeRef
-	var weights []float64
+	clear(a.visited)
+	drop, keep, weights := a.drop[:0], a.keep[:0], a.weights[:0]
 	for _, k := range keys {
 		if !a.present[k] {
 			continue
 		}
 		// Sorted neighbor iteration: removal order reaches the engine,
 		// where split identities must be reproducible across runs.
-		for _, m := range a.eng.Graph().NeighborSlice(k) {
+		a.nbrs = a.eng.Graph().AppendNeighbors(a.nbrs[:0], k)
+		for _, m := range a.nbrs {
 			e := dygraph.NewEdge(k, m)
-			if _, ok := visited[e]; ok {
+			if _, ok := a.visited[e]; ok {
 				continue
 			}
-			visited[e] = struct{}{}
+			a.visited[e] = struct{}{}
 			j := a.correlation(k, m)
 			if j < a.cfg.Beta {
 				drop = append(drop, edgeRef{k, m})
@@ -370,6 +581,7 @@ func (a *AKG) refreshEdges(keys []dygraph.NodeID, st *QuantumStats) {
 			}
 		}
 	}
+	a.drop, a.keep, a.weights = drop, keep, weights
 	for _, e := range drop {
 		a.eng.RemoveEdge(e.a, e.b)
 		st.EdgesRemoved++
@@ -409,7 +621,7 @@ func (a *AKG) connectBursty(set1 []dygraph.NodeID, st *QuantumStats) {
 				}
 			case a.cfg.NoMinHashScreen:
 				st.PairsPassed++
-				w = a.Jaccard(k1, k2)
+				w = a.jaccardCached(k1, k2)
 				if w < a.cfg.Beta {
 					continue
 				}
@@ -418,7 +630,7 @@ func (a *AKG) connectBursty(set1 []dygraph.NodeID, st *QuantumStats) {
 					continue
 				}
 				st.PairsPassed++
-				w = a.Jaccard(k1, k2)
+				w = a.jaccardCached(k1, k2)
 				if w < a.cfg.Beta {
 					continue
 				}
@@ -427,6 +639,182 @@ func (a *AKG) connectBursty(set1 []dygraph.NodeID, st *QuantumStats) {
 			st.EdgesAdded++
 		}
 	}
+}
+
+// sortedUsers returns keyword k's distinct windowed users as a sorted
+// slice. The list is maintained incrementally: membership deltas since
+// the last call are folded in with one linear merge (the deltas
+// themselves are tiny and sorted in O(d log d)), so the per-quantum
+// cost scales with churn instead of set size — re-sorting every hot
+// keyword's full window community each quantum was the hottest code in
+// the system. Returns nil for an unknown keyword; the slice is owned
+// by the id set and valid until its next membership change.
+func (a *AKG) sortedUsers(k dygraph.NodeID) []uint64 {
+	set, ok := a.idsets[k]
+	if !ok {
+		return nil
+	}
+	if set.sorted == nil {
+		// Full (re)build: fresh keyword, restored checkpoint, or delta
+		// tracking degraded under churn.
+		set.sorted = make([]uint64, 0, len(set.counts))
+		for u := range set.counts {
+			set.sorted = append(set.sorted, u)
+		}
+		slices.Sort(set.sorted)
+		set.added = set.added[:0]
+		set.removed = set.removed[:0]
+		return set.sorted
+	}
+	if len(set.added) == 0 && len(set.removed) == 0 {
+		return set.sorted
+	}
+	slices.Sort(set.added)
+	slices.Sort(set.removed)
+	// Merge old ∖ removed with added. The cancellation in
+	// userAdded/userRemoved guarantees added ∩ old = ∅ and
+	// removed ⊆ old, so a plain two-way merge with a skip cursor is
+	// exact.
+	out := a.mergeScratch[:0]
+	old, add, rem := set.sorted, set.added, set.removed
+	i, j, r := 0, 0, 0
+	for i < len(old) || j < len(add) {
+		if i < len(old) && (j == len(add) || old[i] < add[j]) {
+			if r < len(rem) && old[i] == rem[r] {
+				i++
+				r++
+				continue
+			}
+			out = append(out, old[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	a.mergeScratch = out
+	set.sorted = append(set.sorted[:0], out...)
+	set.added = set.added[:0]
+	set.removed = set.removed[:0]
+	return set.sorted
+}
+
+// jaccardCached is the exact Jaccard of Jaccard, computed as a linear
+// merge of the cached sorted user lists. Contract: for values ≥ β the
+// result is exact (callers store it as the edge weight); below β
+// callers only compare against β and discard, so a provable sub-β pair
+// may return 0 without the merge — J ≤ min/max, giving an O(1)
+// rejection for size-skewed pairs.
+func (a *AKG) jaccardCached(k1, k2 dygraph.NodeID) float64 {
+	u1 := a.sortedUsers(k1)
+	u2 := a.sortedUsers(k2)
+	if len(u1) == 0 || len(u2) == 0 {
+		return 0
+	}
+	lo, hi := len(u1), len(u2)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if float64(lo) < a.cfg.Beta*float64(hi) {
+		return 0 // J ≤ lo/hi < β: unobservable below the threshold
+	}
+	// needInter is the intersection size below which J < β is certain
+	// (J ≥ β ⇔ inter ≥ β(n1+n2)/(1+β)); the merge bails as soon as even
+	// a perfect remaining overlap cannot reach it. The 0.25 margin
+	// absorbs the float rounding of needInter: intersections are
+	// integers, so a pair at exactly β can never be misclassified. The
+	// bound is folded into one integer per comparison so the hot merge
+	// loop pays a single subtract-and-compare.
+	needInter := int(math.Ceil(a.cfg.Beta*float64(len(u1)+len(u2))/(1+a.cfg.Beta) - 0.25))
+	inter := 0
+	i, j := 0, 0
+	for i < len(u1) && j < len(u2) {
+		rem := len(u1) - i
+		if r2 := len(u2) - j; r2 < rem {
+			rem = r2
+		}
+		if inter+rem < needInter {
+			return 0 // cannot reach β anymore
+		}
+		switch {
+		case u1[i] == u2[j]:
+			inter++
+			i++
+			j++
+		case u1[i] < u2[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(u1) + len(u2) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// AppendUnionUsers appends the distinct users supporting any of ks
+// (sorted ascending) to dst, reusing its capacity — the same k-way walk
+// as UnionSupport, emitting the values. Single-threaded use only.
+func (a *AKG) AppendUnionUsers(dst []uint64, ks []dygraph.NodeID) []uint64 {
+	lists := a.listScratch[:0]
+	for _, k := range ks {
+		if u := a.sortedUsers(k); len(u) > 0 {
+			lists = append(lists, u)
+		}
+	}
+	defer func() { a.listScratch = lists[:0] }()
+	if len(lists) == 1 {
+		return append(dst, lists[0]...)
+	}
+	for {
+		var (
+			min   uint64
+			found bool
+		)
+		for _, l := range lists {
+			if len(l) == 0 {
+				continue
+			}
+			if !found || l[0] < min {
+				min, found = l[0], true
+			}
+		}
+		if !found {
+			return dst
+		}
+		dst = append(dst, min)
+		for i, l := range lists {
+			if len(l) > 0 && l[0] == min {
+				lists[i] = l[1:]
+			}
+		}
+	}
+}
+
+// JaccardSorted returns |A∩B| / |A∪B| of two sorted duplicate-free user
+// lists — the merge-based form of UserJaccard for callers that hold the
+// union lists already (0 when either is empty, like UserJaccard).
+func JaccardSorted(u1, u2 []uint64) float64 {
+	if len(u1) == 0 || len(u2) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(u1) && j < len(u2) {
+		switch {
+		case u1[i] == u2[j]:
+			inter++
+			i++
+			j++
+		case u1[i] < u2[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(u1)+len(u2)-inter)
 }
 
 // correlation returns the EC used for edge decisions, honouring the
@@ -439,13 +827,16 @@ func (a *AKG) correlation(k1, k2 dygraph.NodeID) float64 {
 		}
 		return minhash.EstimateJaccard(a.sketches[k1], a.sketches[k2])
 	}
-	return a.Jaccard(k1, k2)
+	return a.jaccardCached(k1, k2)
 }
 
-// buildSketches (re)computes window sketches for the given keywords from
-// their id sets. Sketches cannot subtract expired users, so they are
-// rebuilt per quantum for exactly the keywords that need screening — this
-// mirrors the paper's per-quantum p-Min-Hash computation.
+// buildSketches ensures window sketches for the given keywords are
+// current. Sketches cannot subtract expired users, so a keyword's
+// sketch is rebuilt from its id set — but only when the set's
+// membership actually changed since the last build (the sketch is a
+// pure function of the membership set, insertion-order independent),
+// which preserves the paper's per-quantum p-Min-Hash semantics at a
+// fraction of the hashing cost.
 func (a *AKG) buildSketches(keys []dygraph.NodeID) {
 	for _, k := range keys {
 		sk, ok := a.sketches[k]
@@ -453,15 +844,23 @@ func (a *AKG) buildSketches(keys []dygraph.NodeID) {
 			sk = minhash.New(a.cfg.P, a.cfg.Seed)
 			a.sketches[k] = sk
 		}
-		sk.Reset()
-		if set, ok := a.idsets[k]; ok {
-			for u := range set.counts {
-				sk.Add(u)
-			}
+		set := a.idsets[k]
+		if set == nil {
+			sk.Reset()
+			continue
 		}
+		if ok && !set.sketchStale {
+			continue
+		}
+		sk.Reset()
+		// The bottom-p sketch is a pure function of the membership set
+		// (insertion-order independent); feeding it the incrementally
+		// maintained sorted list costs a delta fold that the pairwise
+		// Jaccard path would pay anyway for these same keywords, and
+		// beats iterating the counts map.
+		for _, u := range a.sortedUsers(k) {
+			sk.Add(u)
+		}
+		set.sketchStale = false
 	}
-}
-
-func sortNodes(ns []dygraph.NodeID) {
-	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 }

@@ -35,15 +35,11 @@ func (a *AKG) State() State {
 		Engine:  a.eng.State(),
 	}
 	for _, obs := range a.ring {
-		q := QuantumObs{}
-		for k := range obs {
-			q.Keywords = append(q.Keywords, k)
-		}
-		sort.Slice(q.Keywords, func(i, j int) bool { return q.Keywords[i] < q.Keywords[j] })
-		for _, k := range q.Keywords {
-			users := append([]uint64(nil), obs[k]...)
-			sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-			q.Users = append(q.Users, users)
+		// The runtime ring is already keyword-ascending with users
+		// ascending per keyword — exactly the snapshot shape.
+		q := QuantumObs{Keywords: append([]dygraph.NodeID(nil), obs.keys...)}
+		for i := range obs.keys {
+			q.Users = append(q.Users, append([]uint64(nil), obs.usersOf(i)...))
 		}
 		s.Ring = append(s.Ring, q)
 	}
@@ -71,16 +67,24 @@ func FromState(s State, hooks core.Hooks) (*AKG, error) {
 		if len(q.Keywords) != len(q.Users) {
 			return nil, fmt.Errorf("akg: ring entry has %d keywords, %d user lists", len(q.Keywords), len(q.Users))
 		}
-		obs := make(map[dygraph.NodeID][]uint64, len(q.Keywords))
+		total := 0
+		for _, users := range q.Users {
+			total += len(users)
+		}
+		obs := quantumObs{
+			keys:  append([]dygraph.NodeID(nil), q.Keywords...),
+			off:   make([]int32, 1, len(q.Keywords)+1),
+			users: make([]uint64, 0, total),
+		}
 		for i, k := range q.Keywords {
-			users := append([]uint64(nil), q.Users[i]...)
-			obs[k] = users
+			obs.users = append(obs.users, q.Users[i]...)
+			obs.off = append(obs.off, int32(len(obs.users)))
 			set, ok := a.idsets[k]
 			if !ok {
-				set = &idSet{counts: make(map[uint64]int, len(users))}
+				set = &idSet{counts: make(map[uint64]int, len(q.Users[i]))}
 				a.idsets[k] = set
 			}
-			for _, u := range users {
+			for _, u := range q.Users[i] {
 				set.counts[u]++
 			}
 		}

@@ -112,6 +112,29 @@ func (c *Cluster) Edges() []dygraph.Edge {
 	return out
 }
 
+// AppendNodes appends the member nodes (sorted ascending) to dst,
+// reusing its capacity — the allocation-amortised companion of Nodes
+// for per-quantum consumers.
+func (c *Cluster) AppendNodes(dst []dygraph.NodeID) []dygraph.NodeID {
+	start := len(dst)
+	for n := range c.nodes {
+		dst = append(dst, n)
+	}
+	dygraph.SortNodes(dst[start:])
+	return dst
+}
+
+// AppendEdges appends the member edges (canonical orientation, sorted
+// by (U,V)) to dst, reusing its capacity.
+func (c *Cluster) AppendEdges(dst []dygraph.Edge) []dygraph.Edge {
+	start := len(dst)
+	for e := range c.edges {
+		dst = append(dst, e)
+	}
+	sortEdges(dst[start:])
+	return dst
+}
+
 // ForEachNode calls fn for every member node in unspecified order.
 func (c *Cluster) ForEachNode(fn func(n dygraph.NodeID)) {
 	for n := range c.nodes {

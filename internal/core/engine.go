@@ -23,6 +23,15 @@ type Engine struct {
 	ops          uint64
 	hooks        Hooks
 
+	// touched collects the IDs of clusters whose node set, edge set or
+	// any edge weight changed since the last BeginQuantum — the exact
+	// set a downstream consumer must revisit (rank, support and keyword
+	// listings of an untouched cluster cannot have changed through the
+	// engine). IDs of clusters that were merged away or dissolved may
+	// linger in the set; consumers iterate live clusters and use touched
+	// as a membership filter, so stale IDs are harmless.
+	touched map[ClusterID]struct{}
+
 	// stats for the harness (Section 7.4).
 	statCycleChecks int64
 	statMerges      int64
@@ -43,6 +52,49 @@ func NewEngine(hooks Hooks) *Engine {
 // Graph exposes the underlying graph for read-only use. Mutating it
 // directly corrupts the clustering.
 func (en *Engine) Graph() *dygraph.Graph { return en.g }
+
+// BeginQuantum resets the touched-cluster set. The AKG layer calls it
+// at the top of every ProcessQuantum so TouchedClusters describes
+// exactly one quantum's structural churn.
+func (en *Engine) BeginQuantum() { clear(en.touched) }
+
+// TouchedClusters returns the set of cluster IDs mutated since the
+// last BeginQuantum (see the touched field for the exact contract).
+// The map is owned by the engine and valid until the next
+// BeginQuantum; callers may add IDs of their own (the set is cleared
+// wholesale) but must not delete.
+func (en *Engine) TouchedClusters() map[ClusterID]struct{} {
+	if en.touched == nil {
+		en.touched = make(map[ClusterID]struct{})
+	}
+	return en.touched
+}
+
+func (en *Engine) markTouched(id ClusterID) {
+	if en.touched == nil {
+		en.touched = make(map[ClusterID]struct{})
+	}
+	en.touched[id] = struct{}{}
+}
+
+// ForEachClusterOf calls fn with the ID of every cluster containing n,
+// in unspecified order — the allocation-free companion of
+// ClustersOfNode for dirty-set consumers.
+func (en *Engine) ForEachClusterOf(n dygraph.NodeID, fn func(id ClusterID)) {
+	for id := range en.nodeClusters[n] {
+		fn(id)
+	}
+}
+
+// AppendClusterIDs appends every live cluster ID to dst (unsorted),
+// reusing its capacity — the allocation-amortised companion of
+// Clusters for per-quantum iteration.
+func (en *Engine) AppendClusterIDs(dst []ClusterID) []ClusterID {
+	for id := range en.clusters {
+		dst = append(dst, id)
+	}
+	return dst
+}
 
 // Ops returns the number of mutating operations performed so far. Cluster
 // birth times are expressed in this sequence.
@@ -129,6 +181,7 @@ func (en *Engine) AddEdge(a, b dygraph.NodeID, w float64) *Cluster {
 	if !en.g.AddEdge(a, b, w) {
 		// Weight refresh only; clustering is threshold-free at this layer.
 		if id, ok := en.edgeCluster[e]; ok {
+			en.markTouched(id) // the owning cluster's rank inputs changed
 			return en.clusters[id]
 		}
 		return nil
@@ -160,7 +213,13 @@ func (en *Engine) AddNodeWithEdges(n dygraph.NodeID, nbrs []dygraph.NodeID, weig
 
 // SetWeight updates an edge weight without touching the clustering.
 func (en *Engine) SetWeight(a, b dygraph.NodeID, w float64) bool {
-	return en.g.SetWeight(a, b, w)
+	if !en.g.SetWeight(a, b, w) {
+		return false
+	}
+	if id, ok := en.edgeCluster[dygraph.NewEdge(a, b)]; ok {
+		en.markTouched(id) // rank depends on cluster edge weights
+	}
+	return true
 }
 
 // RemoveEdge deletes the edge (a,b) and repairs the owning cluster, if any
@@ -178,6 +237,7 @@ func (en *Engine) RemoveEdge(a, b dygraph.NodeID) bool {
 	}
 	delete(en.edgeCluster, e)
 	c := en.clusters[id]
+	en.markTouched(id)
 	for _, n := range c.removeEdge(e) {
 		en.dropMembership(n, id)
 	}
@@ -204,6 +264,7 @@ func (en *Engine) RemoveNode(n dygraph.NodeID) bool {
 		}
 		delete(en.edgeCluster, e)
 		c := en.clusters[id]
+		en.markTouched(id)
 		for _, gone := range c.removeEdge(e) {
 			en.dropMembership(gone, id)
 		}
@@ -322,6 +383,7 @@ func (en *Engine) absorb(seeds []dygraph.Edge) *Cluster {
 	} else if grew {
 		en.hooks.updated(target)
 	}
+	en.markTouched(target.id)
 	return target
 }
 

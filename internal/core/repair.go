@@ -148,6 +148,12 @@ func (en *Engine) repair(c *Cluster) {
 		if i > 0 {
 			target = en.newCluster()
 		}
+		// Every part changed shape — the original identity lost nodes or
+		// edges, fresh parts are new. Dirty-set consumers must revisit
+		// them all even when a part contains no vertex the caller marked
+		// (an expelled edge can strand a part that holds neither endpoint
+		// of the deleted element).
+		en.markTouched(target.id)
 		for _, e := range comp {
 			target.addEdge(e)
 			en.edgeCluster[e] = target.id

@@ -6,7 +6,9 @@
 package detect
 
 import (
+	"bytes"
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -214,6 +216,29 @@ type Detector struct {
 	snapFinSorted  []*Event
 	snapFinTrimmed uint64
 	snapMaxHist    int
+
+	// reconcileMode pins the dirty-set reconciliation path for the
+	// equivalence tests: 0 auto (dirty path with full-pass fallback when
+	// most clusters are dirty), 1 always full, 2 always dirty. Both
+	// paths produce bit-identical results; the mode only moves work.
+	reconcileMode int
+
+	// Ingest-pipeline scratch, reused across quanta: the serial path's
+	// prepared quantum (RunParallel workers carry their own), and the
+	// interned per-user keyword arena.
+	prep       prepared
+	kwArena    []dygraph.NodeID
+	uksScratch []ckg.UserKeywords
+
+	// Reconciliation scratch, reused across quanta.
+	retiredScratch []core.ClusterID
+	cidScratch     []core.ClusterID
+	nodeScratch    []dygraph.NodeID
+	edgeScratch    []dygraph.Edge
+	kwScratch      []string
+	degScratch     map[dygraph.NodeID]int
+	rankWeight     rank.Weights
+	rankCorr       rank.Correlations
 }
 
 // New returns a Detector with the given configuration.
@@ -354,93 +379,157 @@ func (d *Detector) Run(src stream.Source, onQuantum func(*QuantumResult)) error 
 	return nil
 }
 
-// preparedUser is one user's tokenized, synonym-folded, deduplicated
-// quantum vocabulary, before interning. Computing it needs no detector
-// state beyond the (read-only) synonym table, so preparation can run on
-// worker goroutines (RunParallel).
-type preparedUser struct {
-	user    uint64
-	words   []string // sorted distinct canonical keywords
-	nounish []bool   // parallel to words: ever seen in noun shape
+// prepared is one quantum's tokenized, synonym-folded, per-user grouped
+// vocabulary, before interning: every canonical keyword's bytes live in
+// one arena and users reference them by offset, so the whole structure
+// is reused across quanta without per-message slice/string churn.
+// Computing it needs no detector state beyond the (read-only) synonym
+// table, so preparation can run on worker goroutines (RunParallel),
+// each with its own prepared scratch.
+type prepared struct {
+	tk     textproc.Tokenizer
+	arena  []byte // canonical keyword bytes for the whole quantum
+	users  []prepUser
+	byUser map[uint64]int32
+	synBuf []byte // canonical form of the current token, when substituted
 }
 
-// prepareQuantum tokenizes a quantum and groups keywords per user. Pure
-// with respect to detector state (Synonyms is read-only), deterministic.
-func (d *Detector) prepareQuantum(batch []stream.Message) []preparedUser {
-	type wordInfo struct{ nounish bool }
-	perUser := make(map[uint64]map[string]*wordInfo)
+// prepUser is one user's distinct canonical keywords (arena offsets),
+// sorted lexicographically after prepare.
+type prepUser struct {
+	user uint64
+	refs []wordRef
+}
+
+type wordRef struct {
+	off, end int32
+	nounish  bool // ever seen in noun shape this quantum (any message)
+}
+
+// prepareQuantumInto tokenizes a quantum and groups keywords per user
+// into p, reusing all of p's storage. Pure with respect to detector
+// state (Synonyms is read-only), deterministic: users ascending, each
+// user's distinct keywords sorted lexicographically — exactly the
+// interning order of the original string-based pipeline.
+func (d *Detector) prepareQuantumInto(p *prepared, batch []stream.Message) {
+	p.arena = p.arena[:0]
+	p.users = p.users[:0]
+	if p.byUser == nil {
+		p.byUser = make(map[uint64]int32)
+	} else {
+		clear(p.byUser)
+	}
 	for _, m := range batch {
-		toks := textproc.Tokenize(m.Text)
+		toks := p.tk.Tokenize(m.Text)
 		if len(toks) == 0 {
 			continue
 		}
-		set, ok := perUser[m.User]
+		ui, ok := p.byUser[m.User]
 		if !ok {
-			set = make(map[string]*wordInfo, len(toks))
-			perUser[m.User] = set
+			if len(p.users) < cap(p.users) {
+				p.users = p.users[:len(p.users)+1] // revive the old element's refs capacity
+			} else {
+				p.users = append(p.users, prepUser{})
+			}
+			ui = int32(len(p.users) - 1)
+			pu := &p.users[ui]
+			pu.user = m.User
+			pu.refs = pu.refs[:0]
+			p.byUser[m.User] = ui
 		}
+		pu := &p.users[ui]
 		for _, t := range toks {
-			if canon, ok := d.cfg.Synonyms[t.Text]; ok {
-				t.Text = canon
+			text := t.Text
+			if canon, ok := d.cfg.Synonyms[string(text)]; ok {
+				p.synBuf = append(p.synBuf[:0], canon...)
+				text = p.synBuf
 			}
-			info, ok := set[t.Text]
-			if !ok {
-				info = &wordInfo{}
-				set[t.Text] = info
+			// Noun shape is judged on the canonical text with the
+			// original occurrence's flags, and OR-ed across this user's
+			// occurrences — both as before.
+			nounish := textproc.LikelyNounRaw(textproc.RawToken{
+				Text:        text,
+				Capitalized: t.Capitalized,
+				Hashtag:     t.Hashtag,
+				Numeric:     t.Numeric,
+			})
+			dup := false
+			for ri := range pu.refs {
+				rf := &pu.refs[ri]
+				if bytes.Equal(p.arena[rf.off:rf.end], text) {
+					if nounish {
+						rf.nounish = true
+					}
+					dup = true
+					break
+				}
 			}
-			if !info.nounish && textproc.LikelyNoun(t) {
-				info.nounish = true
+			if dup {
+				continue
 			}
+			off := int32(len(p.arena))
+			p.arena = append(p.arena, text...)
+			pu.refs = append(pu.refs, wordRef{off: off, end: int32(len(p.arena)), nounish: nounish})
 		}
 	}
-	users := make([]uint64, 0, len(perUser))
-	for u := range perUser {
-		users = append(users, u)
-	}
-	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
-	out := make([]preparedUser, 0, len(users))
-	for _, u := range users {
-		set := perUser[u]
-		pu := preparedUser{user: u, words: make([]string, 0, len(set))}
-		for w := range set {
-			pu.words = append(pu.words, w)
+	slices.SortFunc(p.users, func(a, b prepUser) int {
+		switch {
+		case a.user < b.user:
+			return -1
+		case a.user > b.user:
+			return 1
 		}
-		sort.Strings(pu.words)
-		pu.nounish = make([]bool, len(pu.words))
-		for i, w := range pu.words {
-			pu.nounish[i] = set[w].nounish
-		}
-		out = append(out, pu)
+		return 0
+	})
+	arena := p.arena
+	for ui := range p.users {
+		pu := &p.users[ui]
+		slices.SortFunc(pu.refs, func(a, b wordRef) int {
+			return bytes.Compare(arena[a.off:a.end], arena[b.off:b.end])
+		})
 	}
-	return out
 }
 
-// processQuantum runs both pipeline stages serially.
+// processQuantum runs both pipeline stages serially, on the detector's
+// own prepared scratch.
 func (d *Detector) processQuantum(batch []stream.Message) QuantumResult {
-	return d.applyQuantum(d.prepareQuantum(batch))
+	d.prepareQuantumInto(&d.prep, batch)
+	return d.applyQuantum(&d.prep)
 }
 
 // applyQuantum interns the prepared vocabulary, updates the graph layers
 // and reconciles the event registry. Single-threaded (detector state).
-func (d *Detector) applyQuantum(prep []preparedUser) QuantumResult {
+// The interner makes the only retained allocations (first-sight words);
+// the per-user keyword lists are carved from a reused arena.
+func (d *Detector) applyQuantum(prep *prepared) QuantumResult {
 	started := time.Now()
-	uks := make([]ckg.UserKeywords, 0, len(prep))
-	for _, pu := range prep {
-		kws := make([]dygraph.NodeID, 0, len(pu.words))
-		seen := make(map[dygraph.NodeID]struct{}, len(pu.words))
-		for i, w := range pu.words {
-			id := d.interner.Intern(w)
-			if !d.nounSeen[id] && pu.nounish[i] {
+	total := 0
+	for ui := range prep.users {
+		total += len(prep.users[ui].refs)
+	}
+	if cap(d.kwArena) < total {
+		d.kwArena = make([]dygraph.NodeID, 0, total)
+	}
+	kwArena := d.kwArena[:0]
+	uks := d.uksScratch[:0]
+	for ui := range prep.users {
+		pu := &prep.users[ui]
+		start := len(kwArena)
+		for _, rf := range pu.refs {
+			id := d.interner.InternBytes(prep.arena[rf.off:rf.end])
+			if rf.nounish && !d.nounSeen[id] {
 				d.nounSeen[id] = true
 			}
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
-				kws = append(kws, id)
-			}
+			kwArena = append(kwArena, id)
 		}
-		sort.Slice(kws, func(i, j int) bool { return kws[i] < kws[j] })
+		// Distinct canonical words intern to distinct IDs, so the refs
+		// are already duplicate-free; sort by ID for the graph layers.
+		kws := kwArena[start:len(kwArena):len(kwArena)]
+		dygraph.SortNodes(kws)
 		uks = append(uks, ckg.UserKeywords{User: pu.user, Keywords: kws})
 	}
+	d.kwArena = kwArena
+	d.uksScratch = uks
 
 	if d.ckg != nil {
 		d.ckg.AddQuantum(uks)
@@ -465,26 +554,58 @@ func (d *Detector) applyQuantum(prep []preparedUser) QuantumResult {
 	return res
 }
 
+// Reconciliation path selectors (reconcileMode); tests force one path
+// to prove both produce bit-identical output.
+const (
+	reconcileAuto = iota
+	reconcileForceFull
+	reconcileForceDirty
+)
+
 // reconcileEvents aligns the event registry with the engine's live
 // clusters after a quantum, filling res.Reports (the reportable snapshot,
 // rank-descending) and the lifecycle deltas.
+//
+// Maintenance is incremental: only dirty clusters — those the engine
+// structurally touched this quantum plus those containing a vertex
+// whose windowed support changed — have their rank, keywords, support
+// and MQC status recomputed. A clean cluster's inputs are untouched by
+// construction (supports frozen, edge weights frozen, membership
+// frozen), so its event carries the previous values forward: same
+// rank appended to the history, same reportability decision. When the
+// dirty fraction exceeds half the live clusters the loop degrades to
+// the full pass, which skips the per-cluster set probe; both paths are
+// bit-identical (tested), the fallback only moves work.
 func (d *Detector) reconcileEvents(res *QuantumResult) {
 	quantum := res.Quantum
 	eng := d.akg.Engine()
-	live := make(map[core.ClusterID]*core.Cluster)
-	eng.ForEachCluster(func(c *core.Cluster) { live[c.ID()] = c })
+
+	// Dirty clusters: structural churn (engine touched set) ∪ clusters
+	// of support-dirty vertices (AKG window slide + observations).
+	dirty := eng.TouchedClusters()
+	for _, n := range d.akg.DirtyNodes() {
+		eng.ForEachClusterOf(n, func(id core.ClusterID) { dirty[id] = struct{}{} })
+	}
+	full := len(dirty)*2 >= eng.ClusterCount()
+	switch d.reconcileMode {
+	case reconcileForceFull:
+		full = true
+	case reconcileForceDirty:
+		full = false
+	}
 
 	// Retire events whose cluster no longer exists, in cluster-ID order:
 	// the order events enter d.finished is the order TrimFinished later
 	// evicts them, and WAL replay needs that order to be identical run to
 	// run (map iteration order is not).
-	var retired []core.ClusterID
+	retired := d.retiredScratch[:0]
 	for cid := range d.events {
-		if _, ok := live[cid]; !ok {
+		if eng.Cluster(cid) == nil {
 			retired = append(retired, cid)
 		}
 	}
-	sort.Slice(retired, func(i, j int) bool { return retired[i] < retired[j] })
+	slices.Sort(retired)
+	d.retiredScratch = retired
 	for _, cid := range retired {
 		ev := d.events[cid]
 		if into, merged := d.mergedInto[cid]; merged {
@@ -511,30 +632,81 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 	}
 	// Deltas carry event IDs, not cluster IDs; sort them so the wire
 	// shape is deterministic run to run.
-	sort.Slice(res.Ended, func(i, j int) bool { return res.Ended[i] < res.Ended[j] })
-	sort.Slice(res.Merged, func(i, j int) bool { return res.Merged[i].Event < res.Merged[j].Event })
+	slices.Sort(res.Ended)
+	slices.SortFunc(res.Merged, func(a, b MergeNote) int {
+		switch {
+		case a.Event < b.Event:
+			return -1
+		case a.Event > b.Event:
+			return 1
+		}
+		return 0
+	})
+
+	if d.rankWeight == nil {
+		d.rankWeight = func(n dygraph.NodeID) float64 { return float64(d.akg.Support(n)) }
+		d.rankCorr = func(a, b dygraph.NodeID) float64 {
+			w, _ := d.akg.Engine().Graph().Weight(a, b)
+			return w
+		}
+	}
+	if d.degScratch == nil {
+		d.degScratch = make(map[dygraph.NodeID]int)
+	}
 
 	// Create or update events for live clusters, in cluster-ID order so
 	// fresh event IDs are assigned deterministically (cluster IDs are
 	// themselves deterministic; see the engine's absorb/repair rules).
-	liveIDs := make([]core.ClusterID, 0, len(live))
-	for cid := range live {
-		liveIDs = append(liveIDs, cid)
-	}
-	sort.Slice(liveIDs, func(i, j int) bool { return liveIDs[i] < liveIDs[j] })
-	res.Reports = make([]Report, 0, len(live))
+	liveIDs := eng.AppendClusterIDs(d.cidScratch[:0])
+	slices.Sort(liveIDs)
+	d.cidScratch = liveIDs
+	res.Reports = make([]Report, 0, len(liveIDs))
 	for _, cid := range liveIDs {
-		c := live[cid]
+		c := eng.Cluster(cid)
 		ev, ok := d.events[cid]
-		keywords := d.interner.Words(c.Nodes())
-		sort.Strings(keywords)
+		if ok && !full {
+			if _, isDirty := dirty[cid]; !isDirty {
+				// Clean cluster: every rank input is frozen, so the event
+				// repeats last quantum's values. Only the per-quantum
+				// bookkeeping runs; reportability is re-derived from the
+				// same inputs (cheap — a rank compare and a noun scan) so
+				// no cached decision needs to survive checkpoints.
+				ev.RankHistory = append(ev.RankHistory, ev.Rank)
+				ev.LastQuantum = quantum
+				if d.reportable(ev, c) {
+					if !ev.Reported {
+						ev.Reported = true
+						ev.FirstReported = quantum
+					}
+					res.Reports = append(res.Reports, Report{
+						EventID:  ev.ID,
+						Quantum:  quantum,
+						Keywords: ev.Keywords,
+						Rank:     ev.Rank,
+						Size:     ev.Size,
+						Support:  ev.Support,
+						Born:     ev.BornQuantum,
+						Evolved:  ev.Evolved,
+					})
+				}
+				continue
+			}
+		}
+		nodes := c.AppendNodes(d.nodeScratch[:0])
+		d.nodeScratch = nodes
+		keywords := d.kwScratch[:0]
+		for _, n := range nodes {
+			keywords = append(keywords, d.interner.Word(n))
+		}
+		slices.Sort(keywords)
+		d.kwScratch = keywords
 		if !ok {
 			d.nextEvent++
 			ev = &Event{
 				ID:          d.nextEvent,
 				ClusterID:   cid,
 				BornQuantum: quantum,
-				Keywords:    keywords,
+				Keywords:    append([]string(nil), keywords...),
 				AllKeywords: make(map[string]struct{}, len(keywords)),
 			}
 			if from, ok := d.splitFrom[cid]; ok {
@@ -544,19 +716,19 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 			}
 			d.events[cid] = ev
 			res.Born = append(res.Born, ev.ID)
+			for _, kw := range ev.Keywords {
+				ev.AllKeywords[kw] = struct{}{}
+			}
 		} else if !sameStrings(ev.Keywords, keywords) {
 			ev.Evolved = true
-			ev.Keywords = keywords
+			ev.Keywords = append([]string(nil), keywords...)
+			for _, kw := range ev.Keywords {
+				ev.AllKeywords[kw] = struct{}{}
+			}
 		}
-		for _, kw := range keywords {
-			ev.AllKeywords[kw] = struct{}{}
-		}
-		score := rank.Score(c,
-			func(n dygraph.NodeID) float64 { return float64(d.akg.Support(n)) },
-			func(a, b dygraph.NodeID) float64 {
-				w, _ := eng.Graph().Weight(a, b)
-				return w
-			})
+		edges := c.AppendEdges(d.edgeScratch[:0])
+		d.edgeScratch = edges
+		score := rank.ScoreParts(nodes, edges, d.rankWeight, d.rankCorr)
 		ev.Rank = score
 		ev.RankHistory = append(ev.RankHistory, score)
 		if score > ev.PeakRank {
@@ -564,8 +736,8 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 		}
 		ev.LastQuantum = quantum
 		ev.Size = c.NodeCount()
-		ev.Support = d.akg.UnionSupport(c.Nodes())
-		ev.ExactMQC = quasi.FromEdges(c.Edges()).IsMQC()
+		ev.Support = d.akg.UnionSupport(nodes)
+		ev.ExactMQC = quasi.IsMQCEdges(edges, d.degScratch)
 
 		if d.reportable(ev, c) {
 			if !ev.Reported {
@@ -584,16 +756,23 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 			})
 		}
 	}
-	sort.Slice(res.Reports, func(i, j int) bool {
-		if res.Reports[i].Rank != res.Reports[j].Rank {
-			return res.Reports[i].Rank > res.Reports[j].Rank
+	slices.SortFunc(res.Reports, func(a, b Report) int {
+		switch {
+		case a.Rank > b.Rank:
+			return -1
+		case a.Rank < b.Rank:
+			return 1
+		case a.EventID < b.EventID:
+			return -1
+		case a.EventID > b.EventID:
+			return 1
 		}
-		return res.Reports[i].EventID < res.Reports[j].EventID
+		return 0
 	})
 
 	// Lifecycle notes were consumed; reset for the next quantum.
-	d.mergedInto = make(map[core.ClusterID]core.ClusterID)
-	d.splitFrom = make(map[core.ClusterID]core.ClusterID)
+	clear(d.mergedInto)
+	clear(d.splitFrom)
 }
 
 // reportable applies the Section 7.2.2 reporting filters.

@@ -32,9 +32,13 @@ func (d *Detector) RunParallel(src stream.Source, workers int, onQuantum func(*Q
 	}
 	type done struct {
 		seq  int
-		prep []preparedUser
+		prep *prepared
 	}
 
+	// Each worker draws a per-worker scratch arena from the pool,
+	// prepares into it, and hands it to the applier, which returns it
+	// after consumption — steady state recycles a fixed set of arenas.
+	prepPool := sync.Pool{New: func() any { return new(prepared) }}
 	jobs := make(chan job, workers)
 	results := make(chan done, workers)
 	var wg sync.WaitGroup
@@ -43,7 +47,9 @@ func (d *Detector) RunParallel(src stream.Source, workers int, onQuantum func(*Q
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				results <- done{seq: j.seq, prep: d.prepareQuantum(j.batch)}
+				p := prepPool.Get().(*prepared)
+				d.prepareQuantumInto(p, j.batch)
+				results <- done{seq: j.seq, prep: p}
 			}
 		}()
 	}
@@ -59,7 +65,7 @@ func (d *Detector) RunParallel(src stream.Source, workers int, onQuantum func(*Q
 	applied.Add(1)
 	go func() {
 		defer applied.Done()
-		pending := make(map[int][]preparedUser)
+		pending := make(map[int]*prepared)
 		next := 0
 		for r := range results {
 			pending[r.seq] = r.prep
@@ -70,6 +76,7 @@ func (d *Detector) RunParallel(src stream.Source, workers int, onQuantum func(*Q
 				}
 				delete(pending, next)
 				res := d.applyQuantum(prep)
+				prepPool.Put(prep)
 				if onQuantum != nil {
 					onQuantum(&res)
 				}

@@ -3,6 +3,7 @@ package detect
 import (
 	"sort"
 
+	"repro/internal/akg"
 	"repro/internal/dygraph"
 )
 
@@ -28,11 +29,19 @@ type RelatedPair struct {
 // merging same-event clusters; it is O(live²) on the handful of live
 // events, never on the graph.
 func (d *Detector) RelatedEvents(minOverlap float64) []RelatedPair {
+	// Each event's distinct windowed user community is materialised once
+	// (sorted, in a shared arena) and every pair is a linear merge —
+	// building per-pair union maps made this O(live²) map churn on the
+	// apply path, where it runs every quantum for the epoch snapshot.
 	type liveEv struct {
-		id    uint64
-		nodes []dygraph.NodeID
+		id       uint64
+		off, end int
 	}
-	var live []liveEv
+	var (
+		live  []liveEv
+		arena []uint64
+		nodes []dygraph.NodeID
+	)
 	eng := d.akg.Engine()
 	for cid, ev := range d.events {
 		if !ev.Reported {
@@ -42,13 +51,16 @@ func (d *Detector) RelatedEvents(minOverlap float64) []RelatedPair {
 		if c == nil {
 			continue
 		}
-		live = append(live, liveEv{id: ev.ID, nodes: c.Nodes()})
+		nodes = c.AppendNodes(nodes[:0])
+		off := len(arena)
+		arena = d.akg.AppendUnionUsers(arena, nodes)
+		live = append(live, liveEv{id: ev.ID, off: off, end: len(arena)})
 	}
 	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
 	var out []RelatedPair
 	for i := 0; i < len(live); i++ {
 		for j := i + 1; j < len(live); j++ {
-			jac := d.akg.UserJaccard(live[i].nodes, live[j].nodes)
+			jac := akg.JaccardSorted(arena[live[i].off:live[i].end], arena[live[j].off:live[j].end])
 			if jac >= minOverlap {
 				out = append(out, RelatedPair{
 					A: live[i].id, B: live[j].id, UserJaccard: jac,

@@ -15,6 +15,7 @@ package detect
 import (
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -52,11 +53,18 @@ type Snapshot struct {
 	Ended  []uint64
 	Merged []MergeNote
 
-	finSorted []*Event            // finished events, ID ascending (shared across epochs)
-	live      []*Event            // live events, rank-descending (ties: ID)
-	liveByID  []*Event            // the same live views, ID ascending
-	related   []RelatedPair       // live reported pairs, overlap-descending
-	keyword   map[string][]uint64 // keyword → live reported event IDs, ascending
+	finSorted []*Event      // finished events, ID ascending (shared across epochs)
+	live      []*Event      // live events, rank-descending (ties: ID)
+	liveByID  []*Event      // the same live views, ID ascending
+	related   []RelatedPair // live reported pairs, overlap-descending
+
+	// keyword → live reported event IDs (ascending), built lazily on
+	// the first keyword-filtered query: it is derivable from the
+	// immutable live views alone, so deferring it keeps the per-quantum
+	// publish step (which runs on the apply path for every epoch,
+	// queried or not) free of the index build.
+	keywordOnce sync.Once
+	keyword     map[string][]uint64
 }
 
 // AllEvents returns every retained event in birth (ID) order, merged on
@@ -134,16 +142,37 @@ func (s *Snapshot) Related(minOverlap float64) []RelatedPair {
 	return out
 }
 
+// keywordIndex builds (once, thread-safely) and returns the inverted
+// index over the live reported events' current keywords.
+func (s *Snapshot) keywordIndex() map[string][]uint64 {
+	s.keywordOnce.Do(func() {
+		keyword := make(map[string][]uint64)
+		for _, ev := range s.live {
+			if !ev.Reported {
+				continue
+			}
+			for _, kw := range ev.Keywords {
+				keyword[kw] = append(keyword[kw], ev.ID)
+			}
+		}
+		for kw := range keyword {
+			slices.Sort(keyword[kw])
+		}
+		s.keyword = keyword
+	})
+	return s.keyword
+}
+
 // KeywordEventIDs returns the IDs (ascending) of live reported events
 // whose current keyword set contains kw — the inverted-index lookup
 // behind keyword-filtered event queries. The slice is shared with the
 // snapshot: read-only.
-func (s *Snapshot) KeywordEventIDs(kw string) []uint64 { return s.keyword[kw] }
+func (s *Snapshot) KeywordEventIDs(kw string) []uint64 { return s.keywordIndex()[kw] }
 
 // TopKKeyword is TopK restricted to events whose current keyword set
 // contains kw, resolved through the inverted index.
 func (s *Snapshot) TopKKeyword(k int, kw string) []*Event {
-	ids := s.keyword[kw]
+	ids := s.keywordIndex()[kw]
 	if len(ids) == 0 {
 		return []*Event{}
 	}
@@ -256,20 +285,6 @@ func (d *Detector) Snapshot(res *QuantumResult) *Snapshot {
 		return byIDAsc(a, b)
 	})
 
-	// Inverted index over the live reported events' current keywords.
-	keyword := make(map[string][]uint64)
-	for _, ev := range live {
-		if !ev.Reported {
-			continue
-		}
-		for _, kw := range ev.Keywords {
-			keyword[kw] = append(keyword[kw], ev.ID)
-		}
-	}
-	for kw := range keyword {
-		slices.Sort(keyword[kw])
-	}
-
 	s := &Snapshot{
 		Quantum:   d.akg.Quantum(),
 		Processed: d.processed,
@@ -280,7 +295,6 @@ func (d *Detector) Snapshot(res *QuantumResult) *Snapshot {
 		live:      live,
 		liveByID:  liveByID,
 		related:   d.RelatedEvents(0),
-		keyword:   keyword,
 	}
 	if res != nil {
 		s.Born = res.Born

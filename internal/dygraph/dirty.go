@@ -1,0 +1,46 @@
+package dygraph
+
+// DirtySet accumulates the vertices touched within one maintenance
+// quantum — the basis for incremental graph upkeep: downstream passes
+// (correlation refresh, event reconciliation) visit only dirty vertices
+// and their clusters instead of rescanning the whole graph. The zero
+// value is ready to use; Reset reuses all storage, so a set that lives
+// on a long-running layer allocates only while the high-water mark
+// grows.
+type DirtySet struct {
+	set   map[NodeID]struct{}
+	nodes []NodeID
+}
+
+// Mark records n as touched this quantum. Duplicate marks are cheap
+// no-ops.
+func (d *DirtySet) Mark(n NodeID) {
+	if d.set == nil {
+		d.set = make(map[NodeID]struct{})
+	}
+	if _, ok := d.set[n]; ok {
+		return
+	}
+	d.set[n] = struct{}{}
+	d.nodes = append(d.nodes, n)
+}
+
+// Contains reports whether n was marked since the last Reset.
+func (d *DirtySet) Contains(n NodeID) bool {
+	_, ok := d.set[n]
+	return ok
+}
+
+// Len returns the number of distinct marked vertices.
+func (d *DirtySet) Len() int { return len(d.nodes) }
+
+// Nodes returns the marked vertices in mark order. The slice is owned
+// by the set and valid only until the next Reset.
+func (d *DirtySet) Nodes() []NodeID { return d.nodes }
+
+// Reset clears the set for the next quantum, keeping the backing
+// storage.
+func (d *DirtySet) Reset() {
+	clear(d.set)
+	d.nodes = d.nodes[:0]
+}

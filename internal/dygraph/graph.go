@@ -168,6 +168,18 @@ func (g *Graph) NeighborSlice(n NodeID) []NodeID {
 	return out
 }
 
+// AppendNeighbors appends the neighbors of n (sorted ascending) to dst,
+// reusing its capacity — the allocation-amortised companion of
+// NeighborSlice for per-quantum iteration.
+func (g *Graph) AppendNeighbors(dst []NodeID, n NodeID) []NodeID {
+	start := len(dst)
+	for m := range g.adj[n] {
+		dst = append(dst, m)
+	}
+	SortNodes(dst[start:])
+	return dst
+}
+
 // CommonNeighbors calls fn for every node adjacent to both a and b.
 // It iterates the smaller adjacency set.
 func (g *Graph) CommonNeighbors(a, b NodeID, fn func(c NodeID)) {

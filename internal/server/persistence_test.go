@@ -100,19 +100,30 @@ func asJSON(t *testing.T, v any) string {
 // not yet applied, the worker frozen mid-pipeline — and a fresh pool on
 // the same directories must (a) recover the detector bit-identically,
 // (b) produce byte-identical per-quantum reports for the rest of the
-// stream, and (c) still serve events archived before the crash.
+// stream, and (c) still serve events archived before the crash. It runs
+// once with synchronous WAL appends and once under cross-tenant group
+// commit: the durability contract (acked ⇒ recovered) must hold
+// identically for both.
 func TestCrashRecoveryBitIdentical(t *testing.T) {
+	t.Run("sync", func(t *testing.T) { testCrashRecoveryBitIdentical(t, 0) })
+	t.Run("group-commit", func(t *testing.T) {
+		testCrashRecoveryBitIdentical(t, 200*time.Microsecond)
+	})
+}
+
+func testCrashRecoveryBitIdentical(t *testing.T, groupCommit time.Duration) {
 	cfg := persistCfg()
 	const retain = 1
 	dir := t.TempDir()
 	pcfg := PoolConfig{
-		Detector:             cfg,
-		RetainEvents:         retain,
-		WALDir:               filepath.Join(dir, "wal"),
-		WALSegmentBytes:      2048, // force rotation
-		SnapshotEvery:        3,    // force several snapshots + compactions
-		ArchiveDir:           filepath.Join(dir, "archive"),
-		ArchiveSegmentEvents: 1, // every archived event seals a segment
+		Detector:               cfg,
+		RetainEvents:           retain,
+		WALDir:                 filepath.Join(dir, "wal"),
+		WALSegmentBytes:        2048, // force rotation
+		SnapshotEvery:          3,    // force several snapshots + compactions
+		WALGroupCommitInterval: groupCommit,
+		ArchiveDir:             filepath.Join(dir, "archive"),
+		ArchiveSegmentEvents:   1, // every archived event seals a segment
 	}
 	batches := burstBatches()
 	ref := referenceRun(cfg, batches, retain)
@@ -340,11 +351,23 @@ func TestCleanShutdownWALRestart(t *testing.T) {
 // TestFlushSurvivesCrash pins flush durability: POST /flush forces the
 // buffered partial quantum through — mutating quantum boundaries — so
 // it must be WAL-logged and replayed in order, or a crash after a
-// mid-stream flush would recover onto differently-cut quanta.
+// mid-stream flush would recover onto differently-cut quanta. Runs in
+// both durability modes like TestCrashRecoveryBitIdentical.
 func TestFlushSurvivesCrash(t *testing.T) {
+	t.Run("sync", func(t *testing.T) { testFlushSurvivesCrash(t, 0) })
+	t.Run("group-commit", func(t *testing.T) {
+		testFlushSurvivesCrash(t, 200*time.Microsecond)
+	})
+}
+
+func testFlushSurvivesCrash(t *testing.T, groupCommit time.Duration) {
 	cfg := persistCfg()
 	dir := t.TempDir()
-	pcfg := PoolConfig{Detector: cfg, WALDir: filepath.Join(dir, "wal")}
+	pcfg := PoolConfig{
+		Detector:               cfg,
+		WALDir:                 filepath.Join(dir, "wal"),
+		WALGroupCommitInterval: groupCommit,
+	}
 
 	// 12 messages (1.5 quanta at Δ=8), a flush cutting the half-full
 	// quantum, then 12 more.

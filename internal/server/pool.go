@@ -74,7 +74,16 @@ type PoolConfig struct {
 	WALSegmentBytes int64
 	// WALSyncEvery fsyncs the WAL after every N appends; 0 never fsyncs
 	// explicitly (kill-safe via the page cache, not power-safe).
+	// Ignored when WALGroupCommitInterval is set.
 	WALSyncEvery int
+	// WALGroupCommitInterval, when positive, switches WAL durability to
+	// cross-tenant group commit: appends from every tenant buffer in
+	// memory and a single committer goroutine flushes + fsyncs each
+	// dirty log once per interval; Enqueue acknowledges only after the
+	// flush covering its batch. Acked batches are then power-safe (not
+	// just kill-safe), and the fsync cost is shared across all batches
+	// of an interval instead of paid per Enqueue.
+	WALGroupCommitInterval time.Duration
 	// SnapshotEvery is the WAL snapshot cadence in quanta (default 256).
 	// Smaller = faster recovery, more snapshot IO.
 	SnapshotEvery int
@@ -287,6 +296,9 @@ type Tenant struct {
 	// across its fsync, which can briefly delay this tenant's pop (and
 	// the one scheduler worker turn that wanted it) — the price of
 	// keeping the append-order/queue-order identity that replay needs.
+	// Group commit removes that exception: the append under qmu is a
+	// memory copy, and the durability wait (Log.Commit) happens after
+	// qmu is released.
 	qmu       sync.Mutex
 	pending   []walBatch // FIFO; pendHead is the ring start
 	pendHead  int
@@ -459,6 +471,23 @@ func (t *Tenant) runOne() {
 // behind a large batch; queries don't take it at all — they read the
 // epoch snapshot the quantum hook publishes.
 func (t *Tenant) apply(batch walBatch) {
+	if batch.seq > 0 {
+		// Never apply a batch before its WAL record is durable. The
+		// synchronous append path guarantees this by construction; under
+		// group commit the record may still be in the in-process buffer,
+		// and applying early would let side effects of the batch (archive
+		// writes keyed by eviction ordinal, snapshots) reach disk for a
+		// record a crash can still lose — recovery would then disagree
+		// with the on-disk artifacts. If the commit failed (log
+		// fail-stopped), the batch was never acknowledged: drop it
+		// without touching the detector, keeping memory consistent with
+		// what recovery will rebuild.
+		if err := t.walLog().Commit(batch.seq); err != nil {
+			t.queuedMsgs.Add(-int64(len(batch.msgs)))
+			t.applied.Add(1)
+			return
+		}
+	}
 	if batch.flush {
 		t.mu.Lock()
 		t.det.Flush()
@@ -533,25 +562,32 @@ func (t *Tenant) maybeSnapshot() {
 // Name returns the tenant name.
 func (t *Tenant) Name() string { return t.name }
 
-// Enqueue hands a batch to the tenant's worker. It never blocks: a full
-// queue returns ErrQueueFull (the client should retry), a batch that
-// could never fit even in an empty queue returns ErrBatchTooLarge
-// (retrying is futile — the client must split it), and a shut-down
-// tenant returns ErrClosed. With the WAL enabled the batch is on disk
-// before Enqueue returns: an accepted batch survives any crash.
+// Enqueue hands a batch to the tenant's worker. It never blocks on
+// other tenants: a full queue returns ErrQueueFull (the client should
+// retry), a batch that could never fit even in an empty queue returns
+// ErrBatchTooLarge (retrying is futile — the client must split it), and
+// a shut-down tenant returns ErrClosed. With the WAL enabled the batch
+// is durable before Enqueue returns: synchronously appended, or — under
+// group commit — buffered and then awaited past the committer's next
+// flush+fsync, which many concurrent Enqueues share. A group-commit
+// flush failure fail-stops the tenant's log and the failed batch is
+// dropped unapplied (see Tenant.apply), so a client retry can never
+// double-log or double-apply it.
 func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
 	t.qmu.Lock()
-	defer t.qmu.Unlock()
 	if t.closed {
+		t.qmu.Unlock()
 		return ErrClosed
 	}
 	if int64(len(msgs)) > t.maxQueuedMsgs {
+		t.qmu.Unlock()
 		return ErrBatchTooLarge
 	}
 	if t.queuedMsgs.Load()+int64(len(msgs)) > t.maxQueuedMsgs {
+		t.qmu.Unlock()
 		return ErrQueueFull
 	}
 	// Admission must be decided before the WAL append: a batch logged
@@ -559,18 +595,30 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	// was told to retry. Only a scheduler worker pops, and only under
 	// qmu, so a free slot observed here stays free until our push.
 	if t.queueLenLocked() >= t.maxDepth {
+		t.qmu.Unlock()
 		return ErrQueueFull
 	}
 	var seq uint64
-	if wl := t.walLog(); wl != nil {
+	wl := t.walLog()
+	if wl != nil {
 		var err error
 		if seq, err = wl.Append(msgs); err != nil {
+			t.qmu.Unlock()
 			return fmt.Errorf("server: tenant %s: %w", t.name, err)
 		}
 	}
 	t.pushLocked(walBatch{seq: seq, msgs: msgs})
 	t.queuedMsgs.Add(int64(len(msgs)))
 	t.accepted.Add(1)
+	t.qmu.Unlock()
+	// The durability wait happens outside qmu: it must not delay other
+	// producers or this tenant's scheduler pop, and under group commit
+	// the whole point is that many Enqueues wait on one fsync together.
+	if wl != nil {
+		if err := wl.Commit(seq); err != nil {
+			return fmt.Errorf("server: tenant %s: %w", t.name, err)
+		}
+	}
 	return nil
 }
 
@@ -605,7 +653,8 @@ func (t *Tenant) Flush(ctx context.Context) error {
 		}
 		if t.queueLenLocked() < t.maxDepth {
 			var seq uint64
-			if wl := t.walLog(); wl != nil {
+			wl := t.walLog()
+			if wl != nil {
 				s, err := wl.AppendFlush()
 				if err != nil {
 					t.qmu.Unlock()
@@ -617,6 +666,12 @@ func (t *Tenant) Flush(ctx context.Context) error {
 			t.accepted.Add(1)
 			target = t.accepted.Load()
 			t.qmu.Unlock()
+			if wl != nil {
+				// Same durability contract as Enqueue under group commit.
+				if err := wl.Commit(seq); err != nil {
+					return fmt.Errorf("server: tenant %s: %w", t.name, err)
+				}
+			}
 			break
 		}
 		t.qmu.Unlock()
@@ -721,8 +776,9 @@ func (t *Tenant) shutdown(ctx context.Context) error {
 // Pool manages the tenants of one serving process.
 type Pool struct {
 	cfg   PoolConfig
-	ckpt  *checkpointStore // nil when persistence is disabled
-	sched *scheduler       // shared worker pool applying every tenant's batches
+	ckpt  *checkpointStore    // nil when persistence is disabled
+	sched *scheduler          // shared worker pool applying every tenant's batches
+	gc    *wal.GroupCommitter // nil unless WALGroupCommitInterval is set
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -752,12 +808,17 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		creating:     make(map[string]chan struct{}),
 		shutdownDone: make(chan struct{}),
 	}
+	if cfg.WALDir != "" && cfg.WALGroupCommitInterval > 0 {
+		p.gc = wal.NewGroupCommitter(cfg.WALGroupCommitInterval)
+	}
 	abandon := func() {
-		// Don't leak scheduler workers or tenants already restored.
+		// Don't leak scheduler workers, the group committer, or tenants
+		// already restored.
 		for _, t := range p.tenants {
 			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
 		}
 		p.sched.stop(true)
+		p.gc.Stop()
 	}
 	if cfg.CheckpointDir != "" {
 		store, err := newCheckpointStore(cfg.CheckpointDir)
@@ -878,6 +939,7 @@ func (p *Pool) openStorage(name string) (*tenantStorage, error) {
 		wl, err := wal.Open(filepath.Join(p.cfg.WALDir, name), wal.Options{
 			SegmentBytes: p.cfg.WALSegmentBytes,
 			SyncEvery:    p.cfg.WALSyncEvery,
+			GroupCommit:  p.gc,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -1194,8 +1256,11 @@ func (p *Pool) Shutdown(ctx context.Context) error {
 		// Every tenant is closed, so the runnable queue stays empty; stop
 		// the shared workers. If a drain timed out, a worker may be wedged
 		// inside its apply step — don't wait on it, exactly as the old
-		// per-tenant goroutine was abandoned in that case.
+		// per-tenant goroutine was abandoned in that case. The group
+		// committer stops last: every log was flushed on Close above, and
+		// a straggler append after Stop degrades to a synchronous flush.
 		p.sched.stop(!drainFailed)
+		p.gc.Stop()
 		p.shutdownErr = first
 	})
 	// Completed-shutdown fast path first: with both channels ready the

@@ -30,7 +30,11 @@ type StreamEvent struct {
 // slowest client. A dropped client's channel is closed, so its SSE
 // handler returns and the client can reconnect (with ?catchup=1 to
 // resync from the latest epoch) instead of silently missing quanta.
-const subBuffer = 16
+// Sized for the ingest-overhaul apply rate (~1ms/quantum full-tilt): a
+// client must be able to stall for a burst of a few hundred quanta —
+// a few hundred milliseconds — before the drop policy concludes it is
+// dead, at a cost of one pointer per slot.
+const subBuffer = 256
 
 // broker fans quantum notifications out to SSE subscribers of one tenant.
 type broker struct {

@@ -31,6 +31,21 @@ func (in *Interner) Intern(word string) dygraph.NodeID {
 	return id
 }
 
+// InternBytes is Intern for a byte-slice keyword: the lookup is
+// allocation-free (the compiler elides the map-key conversion), and the
+// string copy is made only on first sight — the single retained
+// allocation of the steady-state ingest pipeline.
+func (in *Interner) InternBytes(word []byte) dygraph.NodeID {
+	if id, ok := in.ids[string(word)]; ok {
+		return id
+	}
+	w := string(word)
+	id := dygraph.NodeID(len(in.words))
+	in.ids[w] = id
+	in.words = append(in.words, w)
+	return id
+}
+
 // Lookup returns the ID for word without assigning, and whether it exists.
 func (in *Interner) Lookup(word string) (dygraph.NodeID, bool) {
 	id, ok := in.ids[word]

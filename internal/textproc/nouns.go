@@ -24,6 +24,14 @@ var nonNounSuffixes = []string{
 	"ly", "ing", "ed", "est", "ous", "ive", "able", "ible", "ful",
 }
 
+// Suffix tables indexed by the word's final byte, so the hot path
+// checks only the handful of suffixes that could possibly match instead
+// of scanning both lists for every token.
+var (
+	nounSufByLast    [256][]string
+	nonNounSufByLast [256][]string
+)
+
 // verbish lists frequent microblog verbs/adjectives that the suffix rules
 // miss. The set only needs to cover common words; rare words default to
 // noun, which matches how proper nouns and fresh event terms behave.
@@ -43,6 +51,14 @@ func init() {
 	} {
 		verbish[w] = struct{}{}
 	}
+	for _, suf := range nounSuffixes {
+		last := suf[len(suf)-1]
+		nounSufByLast[last] = append(nounSufByLast[last], suf)
+	}
+	for _, suf := range nonNounSuffixes {
+		last := suf[len(suf)-1]
+		nonNounSufByLast[last] = append(nonNounSufByLast[last], suf)
+	}
 }
 
 // LikelyNoun reports whether the token is probably a noun. Decision order:
@@ -60,17 +76,54 @@ func LikelyNoun(t Token) bool {
 	if _, ok := verbish[t.Text]; ok {
 		return false
 	}
-	for _, suf := range nounSuffixes {
+	if len(t.Text) == 0 {
+		return false
+	}
+	last := t.Text[len(t.Text)-1]
+	for _, suf := range nounSufByLast[last] {
 		if strings.HasSuffix(t.Text, suf) && len(t.Text) > len(suf) {
 			return true
 		}
 	}
-	for _, suf := range nonNounSuffixes {
+	for _, suf := range nonNounSufByLast[last] {
 		if strings.HasSuffix(t.Text, suf) && len(t.Text) > len(suf)+1 {
 			return false
 		}
 	}
 	return len(t.Text) >= 3
+}
+
+// LikelyNounRaw is LikelyNoun for the zero-alloc tokenizer output; it
+// must match LikelyNoun on the same text and flags exactly (tested).
+func LikelyNounRaw(t RawToken) bool {
+	if t.Numeric {
+		return false
+	}
+	if t.Capitalized || t.Hashtag {
+		return true
+	}
+	if _, ok := verbish[string(t.Text)]; ok { // non-allocating map probe
+		return false
+	}
+	if len(t.Text) == 0 {
+		return false
+	}
+	last := t.Text[len(t.Text)-1]
+	for _, suf := range nounSufByLast[last] {
+		if hasSuffixBytes(t.Text, suf) && len(t.Text) > len(suf) {
+			return true
+		}
+	}
+	for _, suf := range nonNounSufByLast[last] {
+		if hasSuffixBytes(t.Text, suf) && len(t.Text) > len(suf)+1 {
+			return false
+		}
+	}
+	return len(t.Text) >= 3
+}
+
+func hasSuffixBytes(b []byte, suf string) bool {
+	return len(b) >= len(suf) && string(b[len(b)-len(suf):]) == suf
 }
 
 // HasNoun reports whether any token in the slice is a likely noun — the

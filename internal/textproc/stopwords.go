@@ -58,5 +58,12 @@ func IsStopWord(w string) bool {
 	return ok
 }
 
+// IsStopWordBytes is IsStopWord without the string conversion (the
+// compiler elides the allocation for a direct map probe).
+func IsStopWordBytes(w []byte) bool {
+	_, ok := stopWords[string(w)]
+	return ok
+}
+
 // StopWordCount returns the size of the stop word list (for sanity tests).
 func StopWordCount() int { return len(stopWords) }

@@ -182,3 +182,63 @@ func TestInterner(t *testing.T) {
 		t.Fatalf("Words = %v", ws)
 	}
 }
+
+// TestTokenizerMatchesTokenize pins the zero-alloc tokenizer to the
+// allocating reference form (they share the implementation, but the
+// RawToken→Token projection and buffer reuse must not drift).
+func TestTokenizerMatchesTokenize(t *testing.T) {
+	msgs := []string{
+		"Massive 5.9 earthquake struck eastern Turkey #quake http://x.co @user",
+		"ünïcödé Wörds ßtraße 日本語 テスト!!",
+		"rick's earthquake,struck (parenthetical) #tags #tags dup dup",
+		"", "   ", "a b c",
+	}
+	var tk Tokenizer
+	for _, msg := range msgs {
+		want := Tokenize(msg)
+		raw := tk.Tokenize(msg)
+		if len(raw) != len(want) {
+			t.Fatalf("%q: %d raw tokens, want %d", msg, len(raw), len(want))
+		}
+		for i, r := range raw {
+			got := Token{Text: string(r.Text), Capitalized: r.Capitalized, Hashtag: r.Hashtag, Numeric: r.Numeric}
+			if got != want[i] {
+				t.Fatalf("%q token %d = %+v, want %+v", msg, i, got, want[i])
+			}
+			if LikelyNounRaw(r) != LikelyNoun(want[i]) {
+				t.Fatalf("%q token %d: LikelyNounRaw diverges from LikelyNoun", msg, i)
+			}
+		}
+	}
+}
+
+// TestTokenizeSteadyStateAllocs pins the ingest pipeline's zero-alloc
+// claim: once the vocabulary is interned, tokenizing a message and
+// interning every token allocates nothing.
+func TestTokenizeSteadyStateAllocs(t *testing.T) {
+	msgs := []string{
+		"Massive 5.9 earthquake struck eastern Turkey #quake",
+		"flood river rising rapidly tonight",
+		"storm warning coast evacuation ordered",
+	}
+	var tk Tokenizer
+	in := NewInterner()
+	for _, msg := range msgs { // warm: intern the vocabulary, size buffers
+		for _, tok := range tk.Tokenize(msg) {
+			in.InternBytes(tok.Text)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, msg := range msgs {
+			for _, tok := range tk.Tokenize(msg) {
+				if !LikelyNounRaw(tok) && IsStopWordBytes(tok.Text) {
+					t.Fatal("unreachable; defeats dead-code elimination")
+				}
+				in.InternBytes(tok.Text)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state tokenize+intern allocates %.1f times per message set, want 0", allocs)
+	}
+}

@@ -1,0 +1,216 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// TestGroupCommitRoundTrip: appends on two logs sharing one committer
+// are acknowledged by Commit, durable across reopen, and replay in
+// order — the synchronous contract, group-committed.
+func TestGroupCommitRoundTrip(t *testing.T) {
+	gc := NewGroupCommitter(500 * time.Microsecond)
+	defer gc.Stop()
+	dirs := []string{t.TempDir(), t.TempDir()}
+	logs := make([]*Log, 2)
+	for i, dir := range dirs {
+		l, err := Open(dir, Options{GroupCommit: gc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = l
+	}
+	var wg sync.WaitGroup
+	for i, l := range logs {
+		wg.Add(1)
+		go func(i int, l *Log) {
+			defer wg.Done()
+			for n := 1; n <= 20; n++ {
+				seq, err := l.Append(batch(100*i+n, 2))
+				if err != nil {
+					t.Errorf("log %d append %d: %v", i, n, err)
+					return
+				}
+				if err := l.Commit(seq); err != nil {
+					t.Errorf("log %d commit %d: %v", i, seq, err)
+					return
+				}
+			}
+		}(i, l)
+	}
+	wg.Wait()
+	for i, l := range logs {
+		if l.LastSeq() != 20 {
+			t.Fatalf("log %d LastSeq = %d, want 20", i, l.LastSeq())
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen without the committer: every committed record is there.
+		l2, err := Open(dirs[i], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, l2, 0)
+		if len(got) != 20 {
+			t.Fatalf("log %d replayed %d records, want 20", i, len(got))
+		}
+		if !reflect.DeepEqual(got[3], batch(100*i+3, 2)) {
+			t.Fatalf("log %d record 3 mismatch", i)
+		}
+		l2.Close()
+	}
+}
+
+// TestGroupCommitFlushRecord: flush markers ride group commit too and
+// keep their position relative to batches.
+func TestGroupCommitFlushRecord(t *testing.T) {
+	gc := NewGroupCommitter(500 * time.Microsecond)
+	defer gc.Stop()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupCommit: gc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.AppendFlush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(3); err != nil {
+		t.Fatal(err)
+	}
+	if seq != 2 {
+		t.Fatalf("flush seq = %d, want 2", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var kinds []string
+	if err := l2.Replay(0, func(seq uint64, msgs []stream.Message, flush bool) error {
+		if flush {
+			kinds = append(kinds, "flush")
+		} else {
+			kinds = append(kinds, fmt.Sprintf("batch%d", len(msgs)))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(kinds, []string{"batch2", "flush", "batch2"}) {
+		t.Fatalf("replay order = %v", kinds)
+	}
+}
+
+// TestGroupCommitSnapshotFlushes: taking a snapshot at a seq that is
+// still sitting in the pending buffer must flush it first — a snapshot
+// must never outlive the records it claims to cover.
+func TestGroupCommitSnapshotFlushes(t *testing.T) {
+	gc := NewGroupCommitter(time.Hour) // never fires on its own
+	defer gc.Stop()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupCommit: gc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := l.Append(batch(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.Commit(seq) }()
+	if err := l.Snapshot(seq, func(w io.Writer) error {
+		_, err := w.Write([]byte("state"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit did not observe the snapshot-forced flush")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 1 || l2.SnapshotSeq() != 1 {
+		t.Fatalf("after reopen: last %d snap %d, want 1/1", l2.LastSeq(), l2.SnapshotSeq())
+	}
+}
+
+// TestGroupCommitAfterStopDegradesToSync: once the committer stops,
+// appends flush synchronously instead of stranding records.
+func TestGroupCommitAfterStopDegradesToSync(t *testing.T) {
+	gc := NewGroupCommitter(500 * time.Microsecond)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupCommit: gc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc.Stop()
+	seq, err := l.Append(batch(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); len(got) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+}
+
+// TestAppendSteadyStateAllocs pins the pooled-buffer claim on the whole
+// synchronous append path (encode + frame + write): steady state must
+// not allocate.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentBytes: 1 << 40}) // never rotate
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	msgs := batch(1, 64)
+	if _, err := l.Append(msgs); err != nil { // warm the encode buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := l.Append(msgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Append allocates %.1f times per batch, want 0", allocs)
+	}
+}

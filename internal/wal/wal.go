@@ -63,7 +63,17 @@ type Options struct {
 	// SyncEvery fsyncs the active segment after every N appends; 0 never
 	// fsyncs explicitly (the OS page cache still survives kill -9; only
 	// power loss can lose the unsynced tail). 1 is fully synchronous.
+	// Ignored when GroupCommit is set (every group flush fsyncs).
 	SyncEvery int
+	// GroupCommit, when non-nil, switches the log to group-committed
+	// appends: Append buffers the framed record in memory and returns
+	// immediately; the shared committer goroutine flushes every dirty
+	// log's buffer with one write and one fsync per interval, and
+	// Commit(seq) blocks until the record is durable. Callers that ack
+	// after Commit keep the exact durability contract of synchronous
+	// appends while all concurrent appenders — across every tenant
+	// sharing the committer — split the fsync cost.
+	GroupCommit *GroupCommitter
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +89,7 @@ func (o Options) withDefaults() Options {
 type Log struct {
 	dir string
 	opt Options
+	gc  *GroupCommitter // nil = synchronous appends
 
 	mu       sync.Mutex
 	f        *os.File // active segment
@@ -90,6 +101,24 @@ type Log struct {
 	failed   error    // set when the active segment may hold garbage
 	unsynced int      // appends since the last fsync
 	segCount int      // on-disk segment files (avoids ReadDir per metric read)
+
+	// encBuf is the pooled record-encoding buffer: one frame (header +
+	// kind + JSON batch) is built here per append, then written with a
+	// single Write (or copied to pend under group commit).
+	encBuf []byte
+	// Group-commit state: pend accumulates framed records not yet
+	// written to the segment; committed is the seq of the last record
+	// durably flushed (== seq in synchronous mode); commitCh broadcasts
+	// each flush to Commit waiters.
+	pend      []byte
+	committed uint64
+	commitCh  chan struct{}
+
+	// Replay scratch (guarded by mu like everything else): the frame
+	// payload buffer and decoded batch slice are reused across records,
+	// which is why Replay's callback must not retain its arguments.
+	scanBuf    []byte
+	replayMsgs []stream.Message
 }
 
 // Open opens (creating if needed) the log directory, truncates any torn
@@ -100,7 +129,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt}
+	l := &Log{dir: dir, opt: opt, gc: opt.GroupCommit}
 	// Sweep temp files a crash mid-snapshot left behind — the defer that
 	// would have removed them never ran, and nothing else ever would.
 	if orphans, err := filepath.Glob(filepath.Join(dir, "snap-tmp-*")); err == nil {
@@ -153,22 +182,20 @@ func Open(dir string, opt Options) (*Log, error) {
 		}
 		l.f, l.segStart, l.size = f, active, st.Size()
 	}
+	l.committed = l.seq
 	return l, nil
 }
 
 // Append frames and writes one ingest batch, returning its sequence
-// number (1-based, monotonic). The record is on disk (page cache at
-// least; fsynced per Options.SyncEvery) before Append returns, so a
-// batch acknowledged to a client is never lost to a process kill.
+// number (1-based, monotonic). In synchronous mode (no group
+// committer) the record is on disk (page cache at least; fsynced per
+// Options.SyncEvery) before Append returns, so a batch acknowledged to
+// a client is never lost to a process kill. Under group commit the
+// record is only buffered — callers must Commit(seq) before acking.
 func (l *Log) Append(msgs []stream.Message) (uint64, error) {
-	js, err := json.Marshal(msgs)
-	if err != nil {
-		return 0, fmt.Errorf("wal: encode batch: %w", err)
-	}
-	payload := make([]byte, 1, 1+len(js))
-	payload[0] = recBatch
-	payload = append(payload, js...)
-	return l.appendPayload(payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendRecordLocked(recBatch, msgs)
 }
 
 // AppendFlush logs a stream-flush control record. A flush forces the
@@ -177,33 +204,54 @@ func (l *Log) Append(msgs []stream.Message) (uint64, error) {
 // would cut subsequent quanta at different boundaries than the live
 // run did.
 func (l *Log) AppendFlush() (uint64, error) {
-	return l.appendPayload([]byte{recFlush})
-}
-
-func (l *Log) appendPayload(payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendRecordLocked(recFlush, nil)
+}
+
+// appendRecordLocked encodes one frame into the pooled buffer and either
+// writes it (synchronous mode) or parks it on the pending group-commit
+// buffer.
+func (l *Log) appendRecordLocked(kind byte, msgs []stream.Message) (uint64, error) {
 	if l.failed != nil {
 		return 0, fmt.Errorf("wal: log failed: %w", l.failed)
 	}
+	buf := append(l.encBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0, kind)
+	if kind == recBatch {
+		buf = appendMessagesJSON(buf, msgs)
+	}
+	payload := buf[frameHdr:]
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	l.encBuf = buf
+
+	if l.gc != nil {
+		wasEmpty := len(l.pend) == 0
+		l.pend = append(l.pend, buf...)
+		l.seq++
+		if wasEmpty {
+			if stopped := l.gc.noteDirty(l); stopped {
+				// The committer is gone (shutdown path); degrade to a
+				// synchronous flush so no record can be stranded.
+				if err := l.flushLocked(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return l.seq, nil
+	}
+
 	if l.f == nil {
 		if err := l.rotate(l.seq + 1); err != nil {
 			return 0, err
 		}
 	}
-	var hdr [frameHdr]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
-	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		l.rollback()
-		return 0, fmt.Errorf("wal: append: %w", err)
-	}
-	if _, err := l.f.Write(payload); err != nil {
+	if _, err := l.f.Write(buf); err != nil {
 		l.rollback()
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.seq++
-	l.size += int64(frameHdr + len(payload))
+	l.size += int64(len(buf))
 	l.unsynced++
 	if l.opt.SyncEvery > 0 && l.unsynced >= l.opt.SyncEvery {
 		if err := l.f.Sync(); err != nil {
@@ -211,13 +259,14 @@ func (l *Log) appendPayload(payload []byte) (uint64, error) {
 			// the caller will report failure — roll it back so a client
 			// retry cannot leave two copies for replay to double-apply.
 			l.seq--
-			l.size -= int64(frameHdr + len(payload))
+			l.size -= int64(len(buf))
 			l.unsynced--
 			l.rollback()
 			return 0, fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.unsynced = 0
 	}
+	l.committed = l.seq
 	if l.size >= l.opt.SegmentBytes {
 		// The record is committed; a failed rotation must not fail the
 		// append (the caller would retry and duplicate it). Rotation is
@@ -225,6 +274,100 @@ func (l *Log) appendPayload(payload []byte) (uint64, error) {
 		l.rotate(l.seq + 1) //nolint:errcheck // deferred to next append
 	}
 	return l.seq, nil
+}
+
+// Commit blocks until record seq is durable (flushed and fsynced by the
+// group committer) or the log has failed. In synchronous mode it
+// returns immediately: Append already provided the durability.
+func (l *Log) Commit(seq uint64) error {
+	if l.gc == nil {
+		return nil
+	}
+	l.mu.Lock()
+	for l.committed < seq && l.failed == nil {
+		if l.commitCh == nil {
+			l.commitCh = make(chan struct{})
+		}
+		ch := l.commitCh
+		l.mu.Unlock()
+		<-ch
+		l.mu.Lock()
+	}
+	var err error
+	if l.committed < seq {
+		err = fmt.Errorf("wal: commit: %w", l.failed)
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// flushCommit is the group committer's entry point: flush this log's
+// pending records. Errors are not returned — they fail-stop the log
+// and are surfaced to every Commit waiter.
+func (l *Log) flushCommit() {
+	l.mu.Lock()
+	l.flushLocked() //nolint:errcheck // surfaced via l.failed to Commit waiters
+	l.mu.Unlock()
+}
+
+// flushLocked writes the pending buffer with one Write, fsyncs, and
+// wakes Commit waiters. A write or fsync failure fail-stops the log:
+// the pending records were never acknowledged (their Commit calls
+// return the error), and accepting further appends after a partial
+// flush could tear the segment.
+func (l *Log) flushLocked() error {
+	if l.failed != nil {
+		return l.failed
+	}
+	if len(l.pend) == 0 {
+		return nil
+	}
+	if l.f == nil {
+		if err := l.rotate(l.committed + 1); err != nil {
+			l.fail(err)
+			return err
+		}
+	}
+	if _, err := l.f.Write(l.pend); err != nil {
+		l.rollback() // drop any partially written frame
+		l.fail(fmt.Errorf("wal: group flush: %w", err))
+		return l.failed
+	}
+	if err := l.f.Sync(); err != nil {
+		// The frames are in the file but were never acknowledged (their
+		// Commit waiters get this error). Truncate them away — exactly
+		// like the synchronous path's fsync rollback — or a restart
+		// would replay records whose clients were told to retry,
+		// double-applying on retry. l.size still names the pre-flush
+		// offset here.
+		l.rollback()
+		l.fail(fmt.Errorf("wal: group fsync: %w", err))
+		return l.failed
+	}
+	l.size += int64(len(l.pend))
+	l.pend = l.pend[:0]
+	l.committed = l.seq
+	l.unsynced = 0
+	if l.commitCh != nil {
+		close(l.commitCh)
+		l.commitCh = nil
+	}
+	if l.size >= l.opt.SegmentBytes {
+		l.rotate(l.seq + 1) //nolint:errcheck // reattempted on next flush
+	}
+	return nil
+}
+
+// fail puts the log into fail-stop and wakes Commit waiters so they
+// observe the error instead of blocking forever.
+func (l *Log) fail(err error) {
+	if l.failed == nil {
+		l.failed = err
+	}
+	if l.commitCh != nil {
+		close(l.commitCh)
+		l.commitCh = nil
+	}
 }
 
 // rollback discards a partially-written frame after a failed append by
@@ -280,6 +423,13 @@ func (l *Log) Snapshot(seq uint64, write func(io.Writer) error) error {
 	if l.hasSnap && seq < l.snapSeq {
 		defer l.mu.Unlock()
 		return fmt.Errorf("wal: snapshot seq %d behind existing snapshot %d", seq, l.snapSeq)
+	}
+	// Flush group-committed records first: the snapshot position names
+	// records 1..seq, which must not be outlived by an in-memory buffer
+	// a crash could lose while the snapshot survives.
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
 	}
 	l.mu.Unlock()
 	tmp, err := os.CreateTemp(l.dir, "snap-tmp-*")
@@ -362,10 +512,15 @@ func (l *Log) LatestSnapshot() (io.ReadCloser, uint64, error) {
 // Replay streams every record with sequence number > after, in order,
 // to fn: an ingest batch (flush false) or a stream-flush marker (flush
 // true, msgs nil). Used with after = latest snapshot seq to rebuild
-// the tail.
+// the tail. The msgs slice (and the payloads behind it) is reused
+// across records — fn must finish with it before returning, copying if
+// it needs to retain.
 func (l *Log) Replay(after uint64, fn func(seq uint64, msgs []stream.Message, flush bool) error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return err // group-committed records would be invisible to the scan
+	}
 	segs, _, err := l.scanDir()
 	if err != nil {
 		return err
@@ -389,11 +544,14 @@ func (l *Log) Replay(after uint64, fn func(seq uint64, msgs []stream.Message, fl
 			case recFlush:
 				return fn(seq, nil, true)
 			case recBatch:
-				var msgs []stream.Message
-				if err := json.Unmarshal(payload[1:], &msgs); err != nil {
+				// Decode into the reused batch slice: json.Unmarshal
+				// reuses the backing array capacity, so steady-state
+				// replay allocates only for message texts and growth.
+				l.replayMsgs = l.replayMsgs[:0]
+				if err := json.Unmarshal(payload[1:], &l.replayMsgs); err != nil {
 					return fmt.Errorf("wal: decode record %d: %w", seq, err)
 				}
-				return fn(seq, msgs, false)
+				return fn(seq, l.replayMsgs, false)
 			default:
 				return fmt.Errorf("wal: record %d has unknown kind %q", seq, payload[0])
 			}
@@ -427,10 +585,14 @@ func (l *Log) SegmentCount() int {
 	return l.segCount
 }
 
-// Sync fsyncs the active segment regardless of SyncEvery.
+// Sync flushes any group-committed buffer and fsyncs the active
+// segment regardless of SyncEvery.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
 	if l.f == nil {
 		return nil
 	}
@@ -438,14 +600,17 @@ func (l *Log) Sync() error {
 	return l.f.Sync()
 }
 
-// Close fsyncs and closes the active segment.
+// Close flushes, fsyncs and closes the active segment.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	err := l.flushLocked()
 	if l.f == nil {
-		return nil
+		return err
 	}
-	err := l.f.Sync()
+	if serr := l.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}
@@ -523,7 +688,12 @@ func (l *Log) scanSegment(start uint64, fn func(seq uint64, payload []byte) erro
 		if size > maxRecordBytes {
 			return last, validBytes, fmt.Errorf("implausible record size %d at offset %d", size, validBytes)
 		}
-		payload := make([]byte, size)
+		// Reuse the frame buffer across records (and scans); fn must not
+		// retain the payload.
+		if cap(l.scanBuf) < int(size) {
+			l.scanBuf = make([]byte, size)
+		}
+		payload := l.scanBuf[:size]
 		if _, err := io.ReadFull(r, payload); err != nil {
 			return last, validBytes, fmt.Errorf("torn record at offset %d", validBytes)
 		}

@@ -32,7 +32,8 @@ func collect(t *testing.T, l *Log, after uint64) map[uint64][]stream.Message {
 		if flush {
 			t.Fatalf("unexpected flush record at seq %d", seq)
 		}
-		got[seq] = msgs
+		// Replay reuses the batch slice across records; retain a copy.
+		got[seq] = append([]stream.Message(nil), msgs...)
 		return nil
 	}); err != nil {
 		t.Fatal(err)

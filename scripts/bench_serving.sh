@@ -4,14 +4,18 @@
 # at the repo root. The headline metric is p99-ns on
 # BenchmarkQueryUnderIngest: query tail latency while one tenant ingests
 # at full rate.
-# Usage: scripts/bench_serving.sh [benchtime]   (default 2s)
+# Usage: scripts/bench_serving.sh [benchtime] [benchregex]
+#   benchtime  default 2s
+#   benchregex default runs the full serving suite; `make bench-ingest`
+#              passes an ingest-only filter for fast write-path iteration
 set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-2s}"
+BENCHRE="${2:-QueryUnderIngest|IngestThroughput|IngestDurable}"
 OUT="BENCH_serving.json"
 
-RAW="$(go test -bench 'QueryUnderIngest|IngestThroughput' -run xxx -benchmem \
+RAW="$(go test -bench "$BENCHRE" -run xxx -benchmem \
 	-benchtime "$BENCHTIME" ./internal/server)"
 
 printf '%s\n' "$RAW"
