@@ -1,5 +1,5 @@
-# Developer entry points. CI runs the same four checks as `make check`.
-.PHONY: build test check bench bench-serving bench-ingest bench-smoke
+# Developer entry points. CI runs the same checks as `make check`.
+.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -7,9 +7,14 @@ build:
 test:
 	go test ./...
 
-check:
-	gofmt -l .
+# Static gates: formatting (fails on any unformatted file, matching the
+# CI gate — bare `gofmt -l` exits 0 even when it lists files) and vet.
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs running on:" >&2; echo "$$out" >&2; exit 1; fi
 	go vet ./...
+
+check: lint
 	go build ./...
 	go test ./...
 
@@ -31,7 +36,16 @@ bench-serving:
 bench-ingest:
 	./scripts/bench_serving.sh $(BENCHTIME) 'IngestThroughput|IngestDurable'
 
+# Unified query-engine benchmarks (LIMIT pushdown segment skipping);
+# emits BENCH_query.json.
+bench-query:
+	./scripts/bench_query.sh $(BENCHTIME)
+
 # One-iteration pass over every benchmark in the repo, so bench-only
-# files cannot rot uncompiled (CI runs this on every PR).
-bench-smoke:
+# files cannot rot uncompiled (CI runs this on every PR), plus the fuzz
+# targets' seed corpora so fuzz-only regressions surface immediately.
+bench-smoke: fuzz-smoke
 	go test -run xxx -bench . -benchtime 1x ./...
+
+fuzz-smoke:
+	go test -run 'Fuzz' -count=1 ./internal/server/ ./internal/query/

@@ -31,7 +31,13 @@
 // the same -wal-dir and recovery (snapshot + tail replay) resumes
 // bit-identically. With -archive-dir set, events evicted by -retain are
 // persisted to a queryable on-disk archive (GET /v1/{tenant}/archive)
-// instead of discarded. See docs/PERSISTENCE.md.
+// instead of discarded. See docs/PERSISTENCE.md. GET /v1/{tenant}/query
+// answers one time-travel request across live and archived events with
+// LIMIT pushdown and cursor pagination; see docs/QUERY.md.
+//
+// Flag values are validated at startup; nonsensical settings (zero
+// quantum size, negative fsync cadence, ...) exit with a message
+// naming every offending flag.
 //
 // Tunables mirror Table 2: -delta (quantum size), -tau (high state
 // threshold), -beta (EC threshold), -w (window quanta).
@@ -89,6 +95,41 @@ func main() {
 		w     = flag.Int("w", 30, "window length in quanta")
 	)
 	flag.Parse()
+
+	// Fail fast on nonsensical tunables: a zero quantum size or a
+	// negative fsync cadence would otherwise be silently "corrected" (or
+	// worse, obeyed) deep inside the pool. Every violation is reported,
+	// not just the first.
+	var bad []string
+	req := func(ok bool, msg string) {
+		if !ok {
+			bad = append(bad, msg)
+		}
+	}
+	req(*delta > 0, "-delta must be a positive message count")
+	req(*qtime >= 0, "-qtime must be non-negative (0 = message-count quanta)")
+	req(*tau >= 1, "-tau must be at least 1 user per quantum")
+	req(*beta > 0 && *beta <= 1, "-beta must be in (0,1]")
+	req(*w > 0, "-w must be a positive quantum count")
+	req(*queue > 0, "-queue must be a positive batch count")
+	req(*queueM > 0, "-queue-msgs must be a positive message count")
+	req(*maxT > 0, "-max-tenants must be positive")
+	req(*retain >= 0, "-retain must be non-negative (0 = unlimited)")
+	req(*workers >= 0, "-workers must be non-negative (0 = GOMAXPROCS)")
+	req(*snapRH >= 0, "-snapshot-rank-history must be non-negative (0 = full history)")
+	req(*grace >= 0, "-grace must be non-negative")
+	req(*walSeg > 0, "-wal-segment-bytes must be positive")
+	req(*walSync >= 0, "-wal-sync must be non-negative (0 = page cache)")
+	req(*walGC >= 0, "-wal-group-commit-interval must be non-negative (0 = disabled)")
+	req(*snapEvr > 0, "-snapshot-every must be a positive quantum count")
+	req(*archSeg > 0, "-archive-segment-events must be positive")
+	req(*archBkt > 0, "-archive-bucket-quanta must be positive")
+	if len(bad) > 0 {
+		for _, msg := range bad {
+			fmt.Fprintln(os.Stderr, "serve: invalid flag:", msg)
+		}
+		os.Exit(2)
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:          *addr,

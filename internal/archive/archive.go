@@ -415,68 +415,172 @@ func (l *Log) Close() error {
 }
 
 // QueryStats reports how much data a query skipped — the observable
-// effect of the sidecar metadata.
+// effect of the sidecar metadata. Truncated marks a limit-stopped scan:
+// the counts describe only the work done before the limit hit, and
+// segments (or tail records) that were never considered are NOT in the
+// skip counters — partial stats, flagged rather than silently wrong.
 type QueryStats struct {
-	Segments       int `json:"segments"`         // total segments considered
-	Scanned        int `json:"scanned"`          // segments actually read
-	SkippedByTime  int `json:"skipped_by_time"`  // pruned on quantum range
-	SkippedByBloom int `json:"skipped_by_bloom"` // pruned on keyword Bloom
+	Segments       int  `json:"segments"`         // total segments considered
+	Scanned        int  `json:"scanned"`          // segments actually read
+	SkippedByTime  int  `json:"skipped_by_time"`  // pruned on quantum range
+	SkippedByBloom int  `json:"skipped_by_bloom"` // pruned on keyword Bloom
+	Truncated      bool `json:"truncated"`        // scan stopped at the limit; stats partial
+}
+
+// ErrStop, returned by a SegmentView.Scan callback, stops the scan
+// early without error — the LIMIT-pushdown signal.
+var ErrStop = fmt.Errorf("archive: stop scan")
+
+// SegmentView is a point-in-time handle on one segment: the sidecar
+// bounds for planning (time-range and Bloom data skipping) plus a
+// record iterator. Views are snapshots — records appended to the
+// active segment after Segments() returned are not visible through
+// them, and a view stays readable after the segment it describes
+// rotates (data files are append-only and never renamed).
+type SegmentView struct {
+	// FirstSeq/LastSeq bound the eviction ordinals in the segment.
+	FirstSeq uint64
+	LastSeq  uint64
+	// Count is the number of records the view covers.
+	Count int
+	// MinQuantum is the smallest BornQuantum of any covered record;
+	// MaxQuantum the largest LastQuantum. Every record's sort span
+	// falls inside [MinQuantum, MaxQuantum].
+	MinQuantum int
+	MaxQuantum int
+	// Sealed marks a rotated (immutable, count-exact) segment.
+	Sealed bool
+
+	file uint64
+	bf   bloom
+	l    *Log
+}
+
+// MayContain reports whether the segment's keyword Bloom filter admits
+// kw (false positives possible, false negatives not). A view with no
+// filter admits everything.
+func (v *SegmentView) MayContain(kw string) bool {
+	if len(v.bf) == 0 {
+		return true
+	}
+	return v.bf.mayContain(kw)
+}
+
+// Scan streams the view's records to fn in eviction order. fn returning
+// ErrStop ends the scan early (stopped=true, err=nil); any other error
+// aborts and is returned. seen counts records handed to fn. On a sealed
+// view a complete scan that read fewer records than the sidecar count
+// means mid-file corruption and is reported as an error: silently
+// truncating history would be worse than failing the query. An active
+// view stops after Count records so concurrent appends never leak past
+// the point-in-time the view was taken.
+func (v *SegmentView) Scan(fn func(Record) error) (seen int, stopped bool, err error) {
+	capped := false // hit the view's point-in-time record cap, not a caller stop
+	_, serr := v.l.scanSegment(v.file, func(rec Record) error {
+		// The cap applies only to active views (appends may have landed
+		// after the view was taken); a sealed file holding more records
+		// than its sidecar is corruption, which the count check below
+		// must see rather than have silently truncated away.
+		if !v.Sealed && seen >= v.Count {
+			capped = true
+			return ErrStop
+		}
+		seen++
+		return fn(rec)
+	})
+	switch {
+	case serr == ErrStop && !capped:
+		return seen, true, nil
+	case serr != nil && serr != ErrStop:
+		return seen, false, serr
+	}
+	if v.Sealed && seen != v.Count {
+		return seen, false, fmt.Errorf("archive: segment %d corrupt: %d of %d records readable",
+			v.file, seen, v.Count)
+	}
+	return seen, false, nil
+}
+
+// Segments snapshots the archive's segment metadata (sealed + active)
+// in ascending-FirstSeq order. The metadata is copied under the lock
+// and the data files (append-only) are read without it, so planning and
+// scanning never block concurrent appends.
+func (l *Log) Segments() []SegmentView {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	views := make([]SegmentView, 0, len(l.sealed)+1)
+	for i := range l.sealed {
+		m := &l.sealed[i]
+		if m.bf == nil {
+			m.bf = decodeBloom(m.Bloom) // immutable once sealed: safe to share
+		}
+		views = append(views, SegmentView{
+			FirstSeq:   m.FirstSeq,
+			LastSeq:    m.LastSeq,
+			Count:      m.Count,
+			MinQuantum: m.MinQuantum,
+			MaxQuantum: m.MaxQuantum,
+			Sealed:     true,
+			file:       m.File,
+			bf:         m.bf,
+			l:          l,
+		})
+	}
+	if l.active != nil && l.active.Count > 0 {
+		// The active filter keeps mutating under appends; copy it.
+		views = append(views, SegmentView{
+			FirstSeq:   l.active.FirstSeq,
+			LastSeq:    l.active.LastSeq,
+			Count:      l.active.Count,
+			MinQuantum: l.active.MinQuantum,
+			MaxQuantum: l.active.MaxQuantum,
+			file:       l.active.File,
+			bf:         append(bloom(nil), l.active.bf...),
+			l:          l,
+		})
+	}
+	return views
 }
 
 // Query returns archived events whose [BornQuantum, LastQuantum] span
 // intersects [from, to] (to < 0 means unbounded) and, when keyword is
 // non-empty, whose keyword sets contain it (matched against AllKeywords
 // when present, else Keywords). Results are in eviction order; limit > 0
-// caps them. Records in the active segment are visible immediately.
-// Segment metadata is snapshotted under the lock and the data files
-// (append-only) are scanned without it, so a long history scan never
-// blocks concurrent appends.
+// caps them (stats.Truncated then marks the partial scan); a negative
+// limit is an error — it is always a caller bug, and treating it as
+// "unlimited" silently turned bad input into a full history scan.
+// Records in the active segment are visible immediately. Implemented on
+// the SegmentView iterator, the same scan the unified query engine
+// uses, so a long history scan never blocks concurrent appends.
 func (l *Log) Query(from, to int, keyword string, limit int) ([]Record, QueryStats, error) {
+	var stats QueryStats
+	if limit < 0 {
+		return nil, stats, fmt.Errorf("archive: negative limit %d", limit)
+	}
 	if to < 0 {
 		to = int(^uint(0) >> 1) // MaxInt
 	}
-	type segView struct {
-		meta   segMeta
-		bf     bloom
-		sealed bool
-	}
-	l.mu.Lock()
-	views := make([]segView, 0, len(l.sealed)+1)
-	for i := range l.sealed {
-		m := &l.sealed[i]
-		if m.bf == nil {
-			m.bf = decodeBloom(m.Bloom) // immutable once sealed: safe to share
-		}
-		views = append(views, segView{meta: *m, bf: m.bf, sealed: true})
-	}
-	if l.active != nil && l.active.Count > 0 {
-		// The active filter keeps mutating under appends; copy it.
-		views = append(views, segView{meta: *l.active, bf: append(bloom(nil), l.active.bf...)})
-	}
-	l.mu.Unlock()
-
-	var stats QueryStats
+	views := l.Segments()
 	out := []Record{}
 	stats.Segments = len(views)
-	for _, v := range views {
+	for i := range views {
+		v := &views[i]
 		if limit > 0 && len(out) >= limit {
+			stats.Truncated = true
 			break
 		}
-		if v.meta.MaxQuantum < from || v.meta.MinQuantum > to {
+		if v.MaxQuantum < from || v.MinQuantum > to {
 			stats.SkippedByTime++
 			continue
 		}
-		if keyword != "" && len(v.bf) > 0 && !v.bf.mayContain(keyword) {
+		if keyword != "" && !v.MayContain(keyword) {
 			stats.SkippedByBloom++
 			continue
 		}
 		stats.Scanned++
-		seen, stopped := 0, false
-		_, err := l.scanSegment(v.meta.File, func(rec Record) error {
-			seen++
+		_, stopped, err := v.Scan(func(rec Record) error {
 			if limit > 0 && len(out) >= limit {
-				stopped = true
-				return errStopScan
+				return ErrStop
 			}
 			if rec.LastQuantum < from || rec.BornQuantum > to {
 				return nil
@@ -487,23 +591,15 @@ func (l *Log) Query(from, to int, keyword string, limit int) ([]Record, QuerySta
 			out = append(out, rec)
 			return nil
 		})
-		if err != nil && err != errStopScan {
+		if err != nil {
 			return nil, stats, err
 		}
-		// A sealed segment's sidecar knows exactly how many records it
-		// holds; a short scan means mid-file corruption, which must
-		// surface rather than silently truncate history. (The active
-		// segment may legitimately hold more than its snapshotted count,
-		// and a limit-stopped scan is partial by design.)
-		if v.sealed && !stopped && seen != v.meta.Count {
-			return nil, stats, fmt.Errorf("archive: segment %d corrupt: %d of %d records readable",
-				v.meta.File, seen, v.meta.Count)
+		if stopped {
+			stats.Truncated = true
 		}
 	}
 	return out, stats, nil
 }
-
-var errStopScan = fmt.Errorf("archive: stop scan")
 
 func recordHasKeyword(rec Record, kw string) bool {
 	set := rec.AllKeywords

@@ -1,0 +1,159 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func iterRec(seq uint64, born, last int, kws ...string) Record {
+	return Record{Seq: seq, ID: seq, State: "ended",
+		Keywords: kws, BornQuantum: born, LastQuantum: last}
+}
+
+// TestQueryTruncatedOnLimitStop pins the stats contract: a limit-stopped
+// scan marks its stats partial instead of presenting skip counters that
+// silently exclude never-visited segments.
+func TestQueryTruncatedOnLimitStop(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 6; i++ {
+		if err := l.Append(iterRec(uint64(i), i, i, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, stats, err := l.Query(0, -1, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || !stats.Truncated {
+		t.Fatalf("limit-stopped query: %d recs, stats %+v — want 2 recs, Truncated", len(recs), stats)
+	}
+	recs, stats, err = l.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 || stats.Truncated {
+		t.Fatalf("full query: %d recs, stats %+v — want 6 recs, not Truncated", len(recs), stats)
+	}
+	// Exactly-at-limit is complete, not truncated.
+	if _, stats, err = l.Query(0, -1, "", 6); err != nil || stats.Truncated {
+		t.Fatalf("exact-limit query: stats %+v err %v — want not Truncated", stats, err)
+	}
+}
+
+// TestQueryNegativeLimitRejected: a negative limit used to be silently
+// treated as unlimited; now it is a caller error.
+func TestQueryNegativeLimitRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.Query(0, -1, "", -1); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+// TestSegmentViewPointInTime: a view taken from the active segment must
+// not see records appended after Segments() returned, and a sealed
+// view scans exactly its sidecar count.
+func TestSegmentViewPointInTime(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentEvents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 3; i++ {
+		if err := l.Append(iterRec(uint64(i), i, i, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := l.Segments()
+	if len(views) != 1 || views[0].Sealed || views[0].Count != 3 {
+		t.Fatalf("active view = %+v, want unsealed count 3", views)
+	}
+	// Concurrent-append simulation: two more records land after the view.
+	for i := 4; i <= 5; i++ {
+		if err := l.Append(iterRec(uint64(i), i, i, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen, stopped, err := views[0].Scan(func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 || stopped {
+		t.Fatalf("point-in-time scan saw %d records (stopped=%v), want exactly 3", seen, stopped)
+	}
+}
+
+// TestSealedSegmentOverCountIsCorruption: a sealed data file holding
+// MORE records than its sidecar count is corruption and must surface as
+// an error, not be silently capped at the sidecar count.
+func TestSealedSegmentOverCountIsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentEvents: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := l.Append(iterRec(uint64(i), i, i, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := l.Segments()
+	if len(views) != 1 || !views[0].Sealed {
+		t.Fatalf("want one sealed segment, got %+v", views)
+	}
+	// Corrupt: splice an extra valid record line into the sealed file.
+	f, err := os.OpenFile(filepath.Join(dir, "ev-00000000000000000001.jsonl"),
+		os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"id":3,"state":"ended"}` + "\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := views[0].Scan(func(Record) error { return nil }); err == nil {
+		t.Fatal("over-count sealed segment scanned without error")
+	}
+	if _, _, err := l.Query(0, -1, "", 0); err == nil {
+		t.Fatal("Query over over-count sealed segment succeeded")
+	}
+	l.Close()
+}
+
+// TestSegmentViewScanStop: ErrStop from the callback ends the scan
+// early and is reported as stopped, not as an error.
+func TestSegmentViewScanStop(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{SegmentEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		if err := l.Append(iterRec(uint64(i), i, i, "kw")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	views := l.Segments()
+	if len(views) != 1 || !views[0].Sealed {
+		t.Fatalf("want one sealed segment, got %+v", views)
+	}
+	n := 0
+	seen, stopped, err := views[0].Scan(func(Record) error {
+		n++
+		if n == 2 {
+			return ErrStop
+		}
+		return nil
+	})
+	if err != nil || !stopped || seen != 2 {
+		t.Fatalf("stopped scan = seen %d stopped %v err %v, want 2 true nil", seen, stopped, err)
+	}
+}

@@ -13,6 +13,7 @@
 package detect
 
 import (
+	"maps"
 	"slices"
 	"sort"
 	"sync"
@@ -65,6 +66,18 @@ type Snapshot struct {
 	// queried or not) free of the index build.
 	keywordOnce sync.Once
 	keyword     map[string][]uint64
+
+	// Retained-event indexes for the unified query engine, also built
+	// lazily from the immutable views: byLast orders every retained
+	// event (live + finished) by (LastQuantum, ID) — the engine's
+	// deterministic merge order — and allKw inverts the full keyword
+	// history the same way the archive's Bloom sidecars do, so a query
+	// matches identically whether an event is still retained or already
+	// evicted.
+	rangeOnce sync.Once
+	byLast    []*Event
+	allKwOnce sync.Once
+	allKw     map[string][]*Event
 }
 
 // AllEvents returns every retained event in birth (ID) order, merged on
@@ -169,6 +182,73 @@ func (s *Snapshot) keywordIndex() map[string][]uint64 {
 // snapshot: read-only.
 func (s *Snapshot) KeywordEventIDs(kw string) []uint64 { return s.keywordIndex()[kw] }
 
+// byLastAsc orders snapshot views by (LastQuantum, ID) — the unified
+// query engine's deterministic merge order.
+func byLastAsc(a, b *Event) int {
+	if a.LastQuantum != b.LastQuantum {
+		if a.LastQuantum < b.LastQuantum {
+			return -1
+		}
+		return 1
+	}
+	return byIDAsc(a, b)
+}
+
+// rangeIndex builds (once, thread-safely) the (LastQuantum, ID)-ordered
+// view of every retained event, live and finished alike.
+func (s *Snapshot) rangeIndex() []*Event {
+	s.rangeOnce.Do(func() {
+		all := make([]*Event, 0, len(s.finSorted)+len(s.liveByID))
+		all = append(all, s.finSorted...)
+		all = append(all, s.liveByID...)
+		slices.SortFunc(all, byLastAsc)
+		s.byLast = all
+	})
+	return s.byLast
+}
+
+// EventsSinceQuantum returns every retained event (live + finished)
+// whose LastQuantum is at least from, ordered by (LastQuantum, ID)
+// ascending — the suffix of the retained-event time index a range query
+// starts from. The slice is shared with the snapshot: read-only.
+func (s *Snapshot) EventsSinceQuantum(from int) []*Event {
+	idx := s.rangeIndex()
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].LastQuantum >= from })
+	return idx[i:]
+}
+
+// keywordHistoryIndex builds (once, thread-safely) the inverted index
+// over retained events' full keyword history: AllKeywords when present,
+// else the current Keywords — the same matching rule the archive
+// applies to its records, so unified queries agree across sources.
+func (s *Snapshot) keywordHistoryIndex() map[string][]*Event {
+	s.allKwOnce.Do(func() {
+		m := make(map[string][]*Event)
+		// rangeIndex is (LastQuantum, ID)-ordered, so each keyword's
+		// list inherits that order without a per-list sort.
+		for _, ev := range s.rangeIndex() {
+			if len(ev.AllKeywords) > 0 {
+				for kw := range ev.AllKeywords {
+					m[kw] = append(m[kw], ev)
+				}
+			} else {
+				for _, kw := range ev.Keywords {
+					m[kw] = append(m[kw], ev)
+				}
+			}
+		}
+		s.allKw = m
+	})
+	return s.allKw
+}
+
+// EventsWithKeyword returns the retained events (live + finished) whose
+// keyword history contains kw, ordered by (LastQuantum, ID) ascending.
+// The slice is shared with the snapshot: read-only.
+func (s *Snapshot) EventsWithKeyword(kw string) []*Event {
+	return s.keywordHistoryIndex()[kw]
+}
+
 // TopKKeyword is TopK restricted to events whose current keyword set
 // contains kw, resolved through the inverted index.
 func (s *Snapshot) TopKKeyword(k int, kw string) []*Event {
@@ -203,11 +283,12 @@ func (d *Detector) SetSnapshotRankHistory(n int) { d.snapMaxHist = n }
 
 // cloneEventView deep-copies ev for inclusion in a snapshot, truncating
 // RankHistory to the newest maxHist entries when maxHist > 0.
-// AllKeywords is deliberately left nil in snapshot views: no snapshot
-// consumer reads it (the wire projection carries Keywords only, and the
-// archive reads detector events through the evict hook), and copying a
-// map that grows with the event's lifetime would be per-quantum churn
-// on the apply path.
+// AllKeywords is cloned too: the unified query engine matches keywords
+// against the full history (the archive's rule), so snapshot views must
+// carry it for a query to return the same events before and after
+// eviction. Finished views are cloned exactly once and cached, so the
+// recurring cost is only the (small) live set's keyword maps per
+// quantum.
 func cloneEventView(ev *Event, maxHist int) *Event {
 	cp := *ev
 	cp.Keywords = append([]string(nil), ev.Keywords...)
@@ -216,7 +297,7 @@ func cloneEventView(ev *Event, maxHist int) *Event {
 		hist = hist[len(hist)-maxHist:]
 	}
 	cp.RankHistory = append([]float64(nil), hist...)
-	cp.AllKeywords = nil
+	cp.AllKeywords = maps.Clone(ev.AllKeywords)
 	return &cp
 }
 

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/detect"
+)
+
+// benchArchive builds a 4096-record archive in 256 sealed segments,
+// each spanning 16 quanta, with one rare keyword confined to a handful
+// of segments — enough structure for every planner path (time skip,
+// Bloom skip, limit pushdown) to show up in the numbers.
+func benchArchive(b *testing.B) *archive.Log {
+	b.Helper()
+	l := openArchive(b, 16)
+	seq := uint64(0)
+	for s := 0; s < 256; s++ {
+		for i := 0; i < 16; i++ {
+			seq++
+			q := s*16 + i
+			kws := []string{"common", fmt.Sprintf("seg-%d", s)}
+			if s%64 == 0 && i == 0 {
+				kws = append(kws, "rare")
+			}
+			appendAll(b, l, rec(seq, seq, q, q, kws...))
+		}
+	}
+	return l
+}
+
+// benchSnap is a 64-event live overlay above the archive's quantum
+// range, so the merge path runs in every case.
+func benchSnap() *fakeSnap {
+	evs := make([]*detect.Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		evs = append(evs, view(uint64(10000+i), 4090+i, 4100+i, "common", "live"))
+	}
+	return newFakeSnap(evs...)
+}
+
+// BenchmarkUnifiedQuery measures the executor over a 256-segment
+// archive plus a 64-event live overlay. The headline comparison is
+// limit10 vs fullscan: LIMIT pushdown must scan strictly fewer
+// segments (reported as segscanned/op).
+func BenchmarkUnifiedQuery(b *testing.B) {
+	arch := benchArchive(b)
+	snap := benchSnap()
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"limit10", Request{To: -1, Limit: 10}},
+		{"fullscan", Request{To: -1}},
+		{"keyword-rare", Request{To: -1, Keywords: []string{"rare"}, Limit: 10}},
+		{"timerange", Request{From: 4000, To: 4100, Limit: 100}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var segs, scanned, events float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(snap, arch, c.req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				segs += float64(res.Stats.Segments)
+				scanned += float64(res.Stats.SegmentsScanned)
+				events += float64(len(res.Events))
+			}
+			b.ReportMetric(segs/float64(b.N), "segments/op")
+			b.ReportMetric(scanned/float64(b.N), "segscanned/op")
+			b.ReportMetric(events/float64(b.N), "events/op")
+		})
+	}
+}

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrBadCursor marks a cursor that was not produced by this engine (or
+// was corrupted in transit). Handlers map it to 400.
+var ErrBadCursor = errors.New("query: malformed cursor")
+
+// cursorV1 versions the token so the format can evolve without old
+// clients' cursors being misparsed as garbage keys.
+const cursorV1 = "v1"
+
+// encodeCursor packs a sort key into the opaque page token:
+// base64url("v1:<lastQuantum>:<eventID>"). The encoding hides the
+// structure from clients (it is a resume position, not an API), while
+// staying trivially debuggable server-side.
+func encodeCursor(k key) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("%s:%d:%d", cursorV1, k.q, k.id)))
+}
+
+// decodeCursor reverses encodeCursor. An empty token means "from the
+// start" (ok=false); anything else must round-trip exactly or the
+// request is rejected with ErrBadCursor — a typo'd cursor silently
+// treated as empty would re-serve the whole history.
+func decodeCursor(s string) (k key, ok bool, err error) {
+	if s == "" {
+		return key{}, false, nil
+	}
+	raw, derr := base64.RawURLEncoding.DecodeString(s)
+	if derr != nil {
+		return key{}, false, ErrBadCursor
+	}
+	parts := strings.Split(string(raw), ":")
+	if len(parts) != 3 || parts[0] != cursorV1 {
+		return key{}, false, ErrBadCursor
+	}
+	q, qerr := strconv.Atoi(parts[1])
+	id, iderr := strconv.ParseUint(parts[2], 10, 64)
+	if qerr != nil || iderr != nil || q < 0 {
+		return key{}, false, ErrBadCursor
+	}
+	return key{q: q, id: id}, true, nil
+}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzDecodeCursor: the cursor codec must never panic on adversarial
+// tokens, must reject anything that is not a well-formed v1 token, and
+// every accepted token must re-encode to a canonical form that decodes
+// to the same key.
+func FuzzDecodeCursor(f *testing.F) {
+	f.Add("")
+	f.Add(encodeCursor(key{q: 12, id: 34}))
+	f.Add("djE6MTI6MzQ") // "v1:12:34"
+	f.Add("djE6eDp5")    // "v1:x:y"
+	f.Add("djI6MTI6MzQ") // "v2:12:34" — unknown version
+	f.Add("djE6LTE6MzQ") // "v1:-1:34" — negative quantum
+	f.Add("not base64!!")
+	f.Add("djE6MTI6MzQ6NTY") // extra field
+	f.Fuzz(func(t *testing.T, s string) {
+		k, ok, err := decodeCursor(s)
+		if err != nil {
+			if ok {
+				t.Fatalf("decodeCursor(%q) = ok with error %v", s, err)
+			}
+			return
+		}
+		if !ok {
+			if s != "" {
+				t.Fatalf("decodeCursor(%q) = not-ok without error", s)
+			}
+			return
+		}
+		k2, ok2, err2 := decodeCursor(encodeCursor(k))
+		if err2 != nil || !ok2 || k2 != k {
+			t.Fatalf("accepted cursor %q does not round-trip: %v %v %v", s, k2, ok2, err2)
+		}
+	})
+}

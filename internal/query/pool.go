@@ -1,0 +1,99 @@
+package query
+
+import "slices"
+
+// pool accumulates candidate events. With a positive limit it is a
+// bounded max-heap keyed by the engine's (LastQuantum, ID) order — the
+// "merged heap" of the LIMIT pushdown: it keeps the limit smallest keys
+// seen so far, its root (the worst kept key) is the bar a new candidate
+// must beat once full, and overflowed records that at least one match
+// was displaced, i.e. more matches exist than the page holds. With
+// limit ≤ 0 it is a plain accumulator sorted at the end.
+type pool struct {
+	limit      int
+	cands      []cand // max-heap by key when limit > 0
+	overflowed bool
+}
+
+type cand struct {
+	ev Event
+	k  key
+}
+
+func newPool(limit int) *pool {
+	p := &pool{limit: limit}
+	if limit > 0 {
+		p.cands = make([]cand, 0, limit)
+	}
+	return p
+}
+
+func (p *pool) full() bool { return p.limit > 0 && len(p.cands) >= p.limit }
+
+// worst returns the largest kept key. Only valid when full().
+func (p *pool) worst() key { return p.cands[0].k }
+
+func (p *pool) add(ev Event, k key) {
+	if p.limit <= 0 {
+		p.cands = append(p.cands, cand{ev: ev, k: k})
+		return
+	}
+	if len(p.cands) < p.limit {
+		p.cands = append(p.cands, cand{ev: ev, k: k})
+		p.siftUp(len(p.cands) - 1)
+		return
+	}
+	p.overflowed = true
+	if k.less(p.cands[0].k) {
+		p.cands[0] = cand{ev: ev, k: k}
+		p.siftDown(0)
+	}
+}
+
+func (p *pool) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !p.cands[parent].k.less(p.cands[i].k) {
+			return
+		}
+		p.cands[parent], p.cands[i] = p.cands[i], p.cands[parent]
+		i = parent
+	}
+}
+
+func (p *pool) siftDown(i int) {
+	n := len(p.cands)
+	for {
+		l, r, max := 2*i+1, 2*i+2, i
+		if l < n && p.cands[max].k.less(p.cands[l].k) {
+			max = l
+		}
+		if r < n && p.cands[max].k.less(p.cands[r].k) {
+			max = r
+		}
+		if max == i {
+			return
+		}
+		p.cands[i], p.cands[max] = p.cands[max], p.cands[i]
+		i = max
+	}
+}
+
+// ascending drains the pool into key-ascending order. The pool is
+// consumed; call once.
+func (p *pool) ascending() []Event {
+	slices.SortFunc(p.cands, func(a, b cand) int {
+		switch {
+		case a.k.less(b.k):
+			return -1
+		case b.k.less(a.k):
+			return 1
+		}
+		return 0
+	})
+	out := make([]Event, len(p.cands))
+	for i := range p.cands {
+		out[i] = p.cands[i].ev
+	}
+	return out
+}

@@ -1,0 +1,433 @@
+// Package query is the unified time-travel query engine: one request —
+// a quantum range, keyword(s), a rank floor, a limit and an optional
+// resume cursor — answered over both live state and history. The
+// planner fans the request across the epoch snapshot's keyword/time
+// indexes (events still retained in detector memory) and the archive's
+// segment skip-index (events evicted to disk), and the executor merges
+// the two source streams into one deterministic (LastQuantum, event-ID)
+// ascending order, deduplicating events that appear on both sides of
+// the eviction boundary.
+//
+// LIMIT is pushed down, NeedleTail-style, instead of applied after a
+// full scan: candidates feed a bounded max-heap of the limit best
+// (smallest-key) events, archive segments are visited in ascending
+// MinQuantum order, and the scan stops the moment the heap is full and
+// every unvisited segment's quantum floor proves it cannot hold a
+// better candidate. Per-request Stats report exactly how much work the
+// data skipping and the early exit saved.
+//
+// Pagination is an opaque cursor encoding the last returned sort key;
+// because the order is total and stable across snapshots epochs and
+// segment rotations, a resumed scan continues exactly where the
+// previous page ended even if events were evicted in between.
+package query
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/archive"
+	"repro/internal/detect"
+)
+
+// Snapshot is the live-source interface, implemented by
+// *detect.Snapshot: range and keyword-history index access over the
+// retained (live + finished) events, plus the ID probe the executor
+// uses to deduplicate events that are both retained and archived.
+type Snapshot interface {
+	// EventsSinceQuantum returns retained events with LastQuantum ≥ from
+	// in (LastQuantum, ID) ascending order.
+	EventsSinceQuantum(from int) []*detect.Event
+	// EventsWithKeyword returns retained events whose keyword history
+	// contains kw, in (LastQuantum, ID) ascending order.
+	EventsWithKeyword(kw string) []*detect.Event
+	// Find returns the retained event with the given ID, or nil.
+	Find(id uint64) *detect.Event
+}
+
+// Archive is the history-source interface, implemented by
+// *archive.Log: a point-in-time list of segment views with sidecar
+// bounds for skipping and a record iterator for scanning.
+type Archive interface {
+	Segments() []archive.SegmentView
+}
+
+// Request is one unified query.
+type Request struct {
+	// From and To bound the quantum range (inclusive); an event matches
+	// when its [BornQuantum, LastQuantum] span intersects [From, To].
+	// To < 0 means unbounded.
+	From, To int
+	// Keywords, when non-empty, requires every listed keyword in the
+	// event's keyword history (AllKeywords when recorded, else the
+	// current Keywords) — AND semantics.
+	Keywords []string
+	// MinRank, when positive, keeps only events whose PeakRank reached
+	// at least this value.
+	MinRank float64
+	// Limit caps the page size; 0 means unlimited (callers exposing the
+	// engine over HTTP clamp this server-side). Negative is an error.
+	Limit int
+	// Cursor resumes a previous scan: the opaque Result.Cursor value.
+	Cursor string
+	// ArchiveOnly restricts the scan to the archive source — the
+	// compatibility mode the /archive endpoint runs in (no snapshot
+	// fan-out, no live/archive dedup).
+	ArchiveOnly bool
+}
+
+// Event is the unified result shape: the fields an event carries
+// identically whether it was read from the live snapshot or from the
+// archive, so a result set is byte-stable across eviction. (Archive
+// ordinals and live rank history are deliberately absent — each exists
+// on only one side of the eviction boundary.)
+type Event struct {
+	ID            uint64   `json:"id"`
+	State         string   `json:"state"`
+	Keywords      []string `json:"keywords"`
+	AllKeywords   []string `json:"all_keywords,omitempty"`
+	Rank          float64  `json:"rank"`
+	PeakRank      float64  `json:"peak_rank"`
+	BornQuantum   int      `json:"born_quantum"`
+	LastQuantum   int      `json:"last_quantum"`
+	Evolved       bool     `json:"evolved"`
+	Size          int      `json:"size"`
+	Support       int      `json:"support"`
+	Reported      bool     `json:"reported"`
+	FirstReported int      `json:"first_reported,omitempty"`
+	MergedInto    uint64   `json:"merged_into,omitempty"`
+	SplitFrom     uint64   `json:"split_from,omitempty"`
+	Spurious      bool     `json:"spurious"`
+}
+
+// Stats reports the work one request did and, more importantly, the
+// work it proved it could skip.
+type Stats struct {
+	// SnapshotHits / ArchiveHits count matching events found per source
+	// (before the limit trims the merged page).
+	SnapshotHits int `json:"snapshot_hits"`
+	ArchiveHits  int `json:"archive_hits"`
+	// Deduped counts archive records dropped because the same event was
+	// still retained in the snapshot (it straddled the eviction boundary
+	// between the epoch publish and the scan).
+	Deduped int `json:"deduped,omitempty"`
+	// Segments is the number of archive segments considered;
+	// SegmentsScanned the number actually read. The difference is
+	// itemised by the Skipped* counters.
+	Segments        int `json:"segments"`
+	SegmentsScanned int `json:"segments_scanned"`
+	SkippedByTime   int `json:"skipped_by_time"`
+	SkippedByBloom  int `json:"skipped_by_bloom"`
+	SkippedByCursor int `json:"skipped_by_cursor"`
+	// SkippedByLimit counts segments never visited because the merged
+	// heap held Limit candidates all provably better than anything the
+	// remaining segments could contain — the LIMIT pushdown.
+	SkippedByLimit int `json:"skipped_by_limit"`
+	// RecordsScanned counts archive records decoded.
+	RecordsScanned int `json:"records_scanned"`
+	// Truncated marks a partial scan: matching events beyond this page
+	// may exist (follow Cursor), and the counters above describe only
+	// the work done before the scan stopped.
+	Truncated bool `json:"truncated"`
+	// EarlyExit names why the scan ended before exhausting the sources:
+	// "limit" (pushdown stop), "empty-range", or "" (ran to the end).
+	EarlyExit string `json:"early_exit,omitempty"`
+}
+
+// Result is one page of events in (LastQuantum, ID) ascending order.
+// Cursor, when non-empty, resumes the scan after the last event here.
+type Result struct {
+	Events []Event `json:"events"`
+	Stats  Stats   `json:"stats"`
+	Cursor string  `json:"cursor,omitempty"`
+}
+
+// key is the engine's total order: (LastQuantum, event ID). IDs are
+// unique, so the order is strict and cursor resumption is exact.
+type key struct {
+	q  int
+	id uint64
+}
+
+func (k key) less(o key) bool {
+	return k.q < o.q || (k.q == o.q && k.id < o.id)
+}
+
+// Run executes one unified query. snap and arch may each be nil (the
+// corresponding source is skipped); req.ArchiveOnly skips the snapshot
+// even when present. The only errors are source scan failures and
+// malformed requests (ErrBadCursor, negative limit).
+func Run(snap Snapshot, arch Archive, req Request) (Result, error) {
+	res := Result{Events: []Event{}}
+	if req.Limit < 0 {
+		return res, fmt.Errorf("query: negative limit %d", req.Limit)
+	}
+	cur, hasCur, err := decodeCursor(req.Cursor)
+	if err != nil {
+		return res, err
+	}
+	from, to := req.From, req.To
+	if from < 0 {
+		from = 0
+	}
+	if to < 0 {
+		to = math.MaxInt
+	}
+	if from > to {
+		res.Stats.EarlyExit = "empty-range"
+		return res, nil
+	}
+	// floor is the smallest LastQuantum that can still matter: range
+	// start, tightened by the cursor (sort keys below cur.q are all ≤
+	// the cursor and already served).
+	floor := from
+	if hasCur && cur.q > floor {
+		floor = cur.q
+	}
+
+	p := newPool(req.Limit)
+	trunc := false
+
+	if snap != nil && !req.ArchiveOnly {
+		trunc = scanSnapshot(snap, req, from, to, floor, cur, hasCur, p, &res.Stats) || trunc
+	}
+	if arch != nil {
+		dedup := snap
+		if req.ArchiveOnly {
+			dedup = nil
+		}
+		t, err := scanArchive(arch, dedup, req, from, to, cur, hasCur, p, &res.Stats)
+		if err != nil {
+			return res, err
+		}
+		trunc = t || trunc
+	}
+
+	res.Events = p.ascending()
+	res.Stats.Truncated = trunc || p.overflowed
+	if res.Stats.Truncated && len(res.Events) > 0 {
+		last := res.Events[len(res.Events)-1]
+		res.Cursor = encodeCursor(key{q: last.LastQuantum, id: last.ID})
+	}
+	return res, nil
+}
+
+// scanSnapshot feeds matching retained events into the pool. The
+// candidate lists are (LastQuantum, ID)-ordered, so once the pool is
+// full and the next candidate's key is worse than the pool's worst, no
+// later candidate can improve the page and the scan stops (reported as
+// trunc — more matches exist beyond the page).
+func scanSnapshot(snap Snapshot, req Request, from, to, floor int, cur key, hasCur bool, p *pool, st *Stats) (trunc bool) {
+	base := snapshotCandidates(snap, req, floor)
+	for _, ev := range base {
+		if ev.BornQuantum > to || ev.LastQuantum < from {
+			continue
+		}
+		k := key{q: ev.LastQuantum, id: ev.ID}
+		if hasCur && !cur.less(k) {
+			continue
+		}
+		if req.MinRank > 0 && ev.PeakRank < req.MinRank {
+			continue
+		}
+		if !viewHasKeywords(ev, req.Keywords) {
+			continue
+		}
+		if p.full() && p.worst().less(k) {
+			// Sorted source: every later candidate is worse still.
+			st.EarlyExit = "limit"
+			return true
+		}
+		st.SnapshotHits++
+		p.add(eventOfView(ev), k)
+	}
+	return false
+}
+
+// snapshotCandidates picks the cheapest index for the request: the
+// shortest keyword posting list (the remaining keywords become filter
+// probes) or, with no keywords, the time index suffix. Either list is
+// pre-trimmed to LastQuantum ≥ floor by binary search.
+func snapshotCandidates(snap Snapshot, req Request, floor int) []*detect.Event {
+	var base []*detect.Event
+	if len(req.Keywords) > 0 {
+		for i, kw := range req.Keywords {
+			l := snap.EventsWithKeyword(kw)
+			if i == 0 || len(l) < len(base) {
+				base = l
+			}
+			if len(base) == 0 {
+				return nil
+			}
+		}
+	} else {
+		return snap.EventsSinceQuantum(floor)
+	}
+	i := sort.Search(len(base), func(i int) bool { return base[i].LastQuantum >= floor })
+	return base[i:]
+}
+
+// scanArchive plans over the segment sidecars and scans the survivors
+// in ascending MinQuantum order — the order that lets a full pool prove
+// every remaining segment irrelevant (any record in a segment has
+// LastQuantum ≥ its BornQuantum ≥ the segment's MinQuantum, so the
+// segment's smallest possible sort key is (MinQuantum, 0)).
+func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur key, hasCur bool, p *pool, st *Stats) (trunc bool, err error) {
+	segs := arch.Segments()
+	st.Segments = len(segs)
+	slices.SortStableFunc(segs, func(a, b archive.SegmentView) int {
+		if a.MinQuantum != b.MinQuantum {
+			return a.MinQuantum - b.MinQuantum
+		}
+		switch { // deterministic tie-break on the (unique) ordinal range
+		case a.FirstSeq < b.FirstSeq:
+			return -1
+		case a.FirstSeq > b.FirstSeq:
+			return 1
+		}
+		return 0
+	})
+	for i := range segs {
+		v := &segs[i]
+		if p.full() && p.worst().less(key{q: v.MinQuantum}) {
+			// The pushdown stop: the pool already holds Limit candidates,
+			// all with keys below anything this — or, MinQuantum being
+			// ascending, any later — segment can contain.
+			st.SkippedByLimit += len(segs) - i
+			st.EarlyExit = "limit"
+			return true, nil
+		}
+		if v.MaxQuantum < from || v.MinQuantum > to {
+			st.SkippedByTime++
+			continue
+		}
+		if hasCur && v.MaxQuantum < cur.q {
+			st.SkippedByCursor++
+			continue
+		}
+		if !segMayContainAll(v, req.Keywords) {
+			st.SkippedByBloom++
+			continue
+		}
+		st.SegmentsScanned++
+		_, _, err := v.Scan(func(rec archive.Record) error {
+			st.RecordsScanned++
+			if rec.LastQuantum < from || rec.BornQuantum > to {
+				return nil
+			}
+			k := key{q: rec.LastQuantum, id: rec.ID}
+			if hasCur && !cur.less(k) {
+				return nil
+			}
+			if req.MinRank > 0 && rec.PeakRank < req.MinRank {
+				return nil
+			}
+			if !recordHasKeywords(rec, req.Keywords) {
+				return nil
+			}
+			if dedup != nil && dedup.Find(rec.ID) != nil {
+				// Evicted after the snapshot epoch published: the retained
+				// copy already represents it (identically — only finished,
+				// immutable events are ever evicted).
+				st.Deduped++
+				return nil
+			}
+			st.ArchiveHits++
+			p.add(eventOfRecord(rec), k)
+			return nil
+		})
+		if err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+func segMayContainAll(v *archive.SegmentView, kws []string) bool {
+	for _, kw := range kws {
+		if !v.MayContain(kw) {
+			return false
+		}
+	}
+	return true
+}
+
+// viewHasKeywords applies the engine's keyword rule to a snapshot view:
+// every requested keyword must appear in the event's history
+// (AllKeywords when recorded, else the current set) — exactly the rule
+// recordHasKeywords applies to archived records, so results agree
+// across the eviction boundary.
+func viewHasKeywords(ev *detect.Event, kws []string) bool {
+	for _, kw := range kws {
+		if len(ev.AllKeywords) > 0 {
+			if _, ok := ev.AllKeywords[kw]; !ok {
+				return false
+			}
+		} else if !slices.Contains(ev.Keywords, kw) {
+			return false
+		}
+	}
+	return true
+}
+
+func recordHasKeywords(rec archive.Record, kws []string) bool {
+	for _, kw := range kws {
+		set := rec.AllKeywords
+		if len(set) == 0 {
+			set = rec.Keywords
+		}
+		if !slices.Contains(set, kw) {
+			return false
+		}
+	}
+	return true
+}
+
+func eventOfRecord(rec archive.Record) Event {
+	return Event{
+		ID:            rec.ID,
+		State:         rec.State,
+		Keywords:      rec.Keywords,
+		AllKeywords:   rec.AllKeywords,
+		Rank:          rec.Rank,
+		PeakRank:      rec.PeakRank,
+		BornQuantum:   rec.BornQuantum,
+		LastQuantum:   rec.LastQuantum,
+		Evolved:       rec.Evolved,
+		Size:          rec.Size,
+		Support:       rec.Support,
+		Reported:      rec.Reported,
+		FirstReported: rec.FirstReported,
+		MergedInto:    rec.MergedInto,
+		SplitFrom:     rec.SplitFrom,
+		Spurious:      rec.Spurious,
+	}
+}
+
+func eventOfView(ev *detect.Event) Event {
+	all := make([]string, 0, len(ev.AllKeywords))
+	for kw := range ev.AllKeywords {
+		all = append(all, kw)
+	}
+	slices.Sort(all)
+	return Event{
+		ID:            ev.ID,
+		State:         ev.State.String(),
+		Keywords:      ev.Keywords,
+		AllKeywords:   all,
+		Rank:          ev.Rank,
+		PeakRank:      ev.PeakRank,
+		BornQuantum:   ev.BornQuantum,
+		LastQuantum:   ev.LastQuantum,
+		Evolved:       ev.Evolved,
+		Size:          ev.Size,
+		Support:       ev.Support,
+		Reported:      ev.Reported,
+		FirstReported: ev.FirstReported,
+		MergedInto:    ev.MergedInto,
+		SplitFrom:     ev.SplitFrom,
+		Spurious:      ev.Spurious(),
+	}
+}

@@ -25,8 +25,12 @@ const maxBodyBytes = 64 << 20
 //	GET  /v1/{tenant}/related    correlated same-event pairs (?min= overlap)
 //	GET  /v1/{tenant}/stream     SSE push of per-quantum reports + lifecycle
 //	                             (?catchup=1 replays the newest quantum first)
-//	GET  /v1/{tenant}/archive    evicted-event history (?from= ?to= quanta,
-//	                             ?keyword=, ?limit=) with data-skipping stats
+//	GET  /v1/{tenant}/query      unified time-travel query across live
+//	                             snapshot + archive (?from= ?to= quanta,
+//	                             repeated ?keyword=, ?min_rank=, ?limit=,
+//	                             ?cursor=) with skip/scan stats
+//	GET  /v1/{tenant}/archive    evicted-event history: /query restricted
+//	                             to the archive source (same parameters)
 //	GET  /v1/tenants             tenant names
 //	GET  /healthz                liveness
 //	GET  /statsz                 per-tenant throughput, lag, graph size
@@ -52,18 +56,15 @@ func NewHandler(p *Pool) http.Handler {
 		if !ok {
 			return
 		}
-		q := r.URL.Query()
-		var k int
-		if s := q.Get("k"); s != "" {
-			v, err := strconv.Atoi(s)
-			if err != nil || v < 0 {
-				httpError(w, http.StatusBadRequest, "k must be a non-negative integer")
-				return
-			}
-			k = v
+		k, ok := intParam(w, r, "k", 0)
+		if !ok {
+			return
 		}
-		all := q.Get("all") == "1" || q.Get("all") == "true"
-		keyword := q.Get("keyword")
+		all, ok := boolParam(w, r, "all")
+		if !ok {
+			return
+		}
+		keyword := r.URL.Query().Get("keyword")
 		var events []EventView
 		switch {
 		case keyword != "" && all:
@@ -103,19 +104,21 @@ func NewHandler(p *Pool) http.Handler {
 		if !ok {
 			return
 		}
-		min := 0.1
-		if s := r.URL.Query().Get("min"); s != "" {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil || v < 0 || v > 1 {
-				httpError(w, http.StatusBadRequest, "min must be in [0,1]")
-				return
-			}
-			min = v
+		min, ok := floatParam(w, r, "min", 0.1, 0, 1)
+		if !ok {
+			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"tenant":  t.Name(),
 			"related": t.Related(min),
 		})
+	})
+	mux.HandleFunc("GET /v1/{tenant}/query", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := getTenant(w, r, p)
+		if !ok {
+			return
+		}
+		handleUnifiedQuery(w, r, t)
 	})
 	mux.HandleFunc("GET /v1/{tenant}/archive", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
@@ -147,51 +150,6 @@ func NewHandler(p *Pool) http.Handler {
 		writeJSON(w, http.StatusOK, p.Metrics())
 	})
 	return mux
-}
-
-// handleArchiveQuery serves the evicted-event history. from/to are
-// quantum indices (the archive's time axis); to defaults to unbounded.
-// limit caps the result set (default 1000, 0 = unlimited).
-func handleArchiveQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
-	q := r.URL.Query()
-	parse := func(key string, def int) (int, bool) {
-		s := q.Get(key)
-		if s == "" {
-			return def, true
-		}
-		v, err := strconv.Atoi(s)
-		if err != nil || v < 0 {
-			httpError(w, http.StatusBadRequest, key+" must be a non-negative integer")
-			return 0, false
-		}
-		return v, true
-	}
-	from, ok := parse("from", 0)
-	if !ok {
-		return
-	}
-	to, ok := parse("to", -1)
-	if !ok {
-		return
-	}
-	limit, ok := parse("limit", 1000)
-	if !ok {
-		return
-	}
-	events, stats, err := t.ArchiveQuery(from, to, q.Get("keyword"), limit)
-	if err != nil {
-		if errors.Is(err, ErrNoArchive) {
-			httpError(w, http.StatusNotFound, err.Error())
-		} else {
-			httpError(w, http.StatusInternalServerError, err.Error())
-		}
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"tenant": t.Name(),
-		"events": events,
-		"stats":  stats,
-	})
 }
 
 // handleIngest decodes the body — a JSON array by default, NDJSON when

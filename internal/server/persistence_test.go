@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"repro/internal/akg"
-	"repro/internal/archive"
 	"repro/internal/detect"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/tracegen"
 )
@@ -239,7 +239,24 @@ func testCrashRecoveryBitIdentical(t *testing.T, groupCommit time.Duration) {
 	}
 
 	// The archive holds every eviction — the ones from before the crash
-	// included — in ordinal order, queryable over HTTP.
+	// included — without duplicates or ordinal holes (the programmatic
+	// API keeps eviction ordinals and eviction order).
+	recs, _, err := tn2.ArchiveQuery(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ref.evicted) {
+		t.Fatalf("archived = %d events, want %d", len(recs), len(ref.evicted))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) || rec.ID != ref.evicted[i] {
+			t.Fatalf("archive record %d = seq %d id %d, want seq %d id %d",
+				i, rec.Seq, rec.ID, i+1, ref.evicted[i])
+		}
+	}
+
+	// The HTTP surface routes through the unified query engine: same
+	// record set, re-ordered to the engine's (last_quantum, id) key.
 	resp, err = http.Get(ts.URL + "/v1/t/archive?from=0")
 	if err != nil {
 		t.Fatal(err)
@@ -248,17 +265,29 @@ func testCrashRecoveryBitIdentical(t *testing.T, groupCommit time.Duration) {
 		t.Fatalf("archive status = %d", resp.StatusCode)
 	}
 	var arch struct {
-		Events []archive.Record   `json:"events"`
-		Stats  archive.QueryStats `json:"stats"`
+		Events []query.Event `json:"events"`
+		Stats  query.Stats   `json:"stats"`
 	}
 	decodeBody(t, resp, &arch)
 	if len(arch.Events) != len(ref.evicted) {
-		t.Fatalf("archived = %d events, want %d", len(arch.Events), len(ref.evicted))
+		t.Fatalf("archived = %d events over HTTP, want %d", len(arch.Events), len(ref.evicted))
 	}
-	for i, rec := range arch.Events {
-		if rec.Seq != uint64(i+1) || rec.ID != ref.evicted[i] {
-			t.Fatalf("archive record %d = seq %d id %d, want seq %d id %d",
-				i, rec.Seq, rec.ID, i+1, ref.evicted[i])
+	want := make(map[uint64]bool, len(ref.evicted))
+	for _, id := range ref.evicted {
+		want[id] = true
+	}
+	for i, ev := range arch.Events {
+		if !want[ev.ID] {
+			t.Fatalf("archive served unexpected or duplicate event id %d", ev.ID)
+		}
+		delete(want, ev.ID)
+		if i > 0 {
+			prev := arch.Events[i-1]
+			if ev.LastQuantum < prev.LastQuantum ||
+				(ev.LastQuantum == prev.LastQuantum && ev.ID <= prev.ID) {
+				t.Fatalf("archive order violated at %d: (%d,%d) after (%d,%d)",
+					i, ev.LastQuantum, ev.ID, prev.LastQuantum, prev.ID)
+			}
 		}
 	}
 
@@ -268,22 +297,22 @@ func testCrashRecoveryBitIdentical(t *testing.T, groupCommit time.Duration) {
 		t.Fatal(err)
 	}
 	var kw struct {
-		Events []archive.Record   `json:"events"`
-		Stats  archive.QueryStats `json:"stats"`
+		Events []query.Event `json:"events"`
+		Stats  query.Stats   `json:"stats"`
 	}
 	decodeBody(t, resp, &kw)
 	if len(kw.Events) == 0 {
 		t.Fatal("keyword query found nothing")
 	}
-	for _, rec := range kw.Events {
+	for _, ev := range kw.Events {
 		found := false
-		for _, k := range rec.AllKeywords {
+		for _, k := range ev.AllKeywords {
 			if k == "earthquake" {
 				found = true
 			}
 		}
 		if !found {
-			t.Fatalf("keyword query returned non-matching record %+v", rec)
+			t.Fatalf("keyword query returned non-matching record %+v", ev)
 		}
 	}
 	if len(arch.Events) > 1 && kw.Stats.SkippedByBloom == 0 {

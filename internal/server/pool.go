@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/detect"
+	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/wal"
 )
@@ -632,6 +633,23 @@ func (t *Tenant) ArchiveQuery(from, to int, keyword string, limit int) ([]archiv
 		return nil, archive.QueryStats{}, ErrNoArchive
 	}
 	return arch.Query(from, to, keyword, limit)
+}
+
+// Query runs one unified time-travel query across the tenant's live
+// epoch snapshot and its on-disk archive (when enabled), merged in
+// deterministic (LastQuantum, ID) order with LIMIT pushdown into both
+// sources. Wait-free against ingest on the snapshot side; the archive
+// side snapshots segment metadata under the archive's own lock and
+// scans append-only files without it.
+func (t *Tenant) Query(req query.Request) (query.Result, error) {
+	var arch query.Archive
+	if l := t.archLog(); l != nil {
+		arch = l
+	}
+	if req.ArchiveOnly && arch == nil {
+		return query.Result{}, ErrNoArchive
+	}
+	return query.Run(t.snap.Load(), arch, req)
 }
 
 // Flush forces processing of the tenant's buffered partial quantum (end

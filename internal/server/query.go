@@ -1,0 +1,172 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/query"
+)
+
+// maxQueryLimit is the server-side ceiling on one query page. "No
+// limit" (limit=0) clamps here too: a single request must not be able
+// to buffer an unbounded history in memory — pagination via the cursor
+// is the sanctioned way to read everything.
+const maxQueryLimit = 10000
+
+// defaultQueryLimit / defaultArchiveLimit are the page sizes when the
+// client does not pass ?limit= (the archive default predates the
+// unified engine and is kept for compatibility).
+const (
+	defaultQueryLimit   = 100
+	defaultArchiveLimit = 1000
+)
+
+// intParam parses a non-negative integer query parameter, writing a 400
+// JSON error and reporting ok=false on any malformed value. A missing
+// parameter yields def.
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 0 {
+		httpError(w, http.StatusBadRequest, name+" must be a non-negative integer")
+		return 0, false
+	}
+	return v, true
+}
+
+// floatParam parses a float query parameter in [min, max], writing a
+// 400 JSON error and reporting ok=false on any malformed value.
+func floatParam(w http.ResponseWriter, r *http.Request, name string, def, min, max float64) (float64, bool) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	// NaN parses without error and slides through range comparisons
+	// (every NaN compare is false), which would silently disable the
+	// filter the parameter controls — reject it explicitly.
+	if err != nil || math.IsNaN(v) || v < min || v > max {
+		httpError(w, http.StatusBadRequest,
+			name+" must be a number in ["+strconv.FormatFloat(min, 'g', -1, 64)+","+strconv.FormatFloat(max, 'g', -1, 64)+"]")
+		return 0, false
+	}
+	return v, true
+}
+
+// boolParam parses a boolean query parameter, writing a 400 JSON error
+// on anything outside {"", "0", "1", "true", "false"} — a misspelled
+// ?all=ture silently meaning false is exactly the kind of quiet default
+// this API refuses to serve.
+func boolParam(w http.ResponseWriter, r *http.Request, name string) (bool, bool) {
+	switch r.URL.Query().Get(name) {
+	case "1", "true":
+		return true, true
+	case "", "0", "false":
+		return false, true
+	}
+	httpError(w, http.StatusBadRequest, name+" must be 0, 1, true or false")
+	return false, false
+}
+
+// parseQueryRequest assembles the unified engine request shared by
+// /query and /archive: ?from= / ?to= quantum bounds (to absent =
+// unbounded), repeated ?keyword= (AND), ?min_rank=, ?limit= (0 = server
+// max) and ?cursor=. Reports ok=false after writing the 400 itself.
+func parseQueryRequest(w http.ResponseWriter, r *http.Request, defLimit int) (query.Request, bool) {
+	var req query.Request
+	from, ok := intParam(w, r, "from", 0)
+	if !ok {
+		return req, false
+	}
+	to, ok := intParam(w, r, "to", -1)
+	if !ok {
+		return req, false
+	}
+	limit, ok := intParam(w, r, "limit", defLimit)
+	if !ok {
+		return req, false
+	}
+	if limit == 0 || limit > maxQueryLimit {
+		limit = maxQueryLimit
+	}
+	minRank, ok := floatParam(w, r, "min_rank", 0, 0, 1e18)
+	if !ok {
+		return req, false
+	}
+	q := r.URL.Query()
+	var kws []string
+	for _, kw := range q["keyword"] {
+		if kw != "" {
+			kws = append(kws, kw)
+		}
+	}
+	req.From, req.To, req.Limit = from, to, limit
+	req.MinRank = minRank
+	req.Keywords = kws
+	req.Cursor = q.Get("cursor")
+	return req, true
+}
+
+// handleUnifiedQuery serves GET /v1/{tenant}/query: one time-travel
+// request answered across the live epoch snapshot and the on-disk
+// archive, merged in (last_quantum, id) order with LIMIT pushdown and
+// cursor pagination. The stats object reports the segments skipped /
+// scanned and why the scan stopped.
+func handleUnifiedQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	req, ok := parseQueryRequest(w, r, defaultQueryLimit)
+	if !ok {
+		return
+	}
+	res, err := t.Query(req)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": t.Name(),
+		"events": res.Events,
+		"stats":  res.Stats,
+		"cursor": res.Cursor,
+	})
+}
+
+// handleArchiveQuery serves the evicted-event history. Since the
+// unified engine landed this is a restriction of /query to the archive
+// source (one shared scan implementation): same parameters plus the
+// same deterministic (last_quantum, id) result order — no longer
+// eviction order — same cursor pagination, and stats that mark
+// limit-stopped scans as truncated.
+func handleArchiveQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	req, ok := parseQueryRequest(w, r, defaultArchiveLimit)
+	if !ok {
+		return
+	}
+	req.ArchiveOnly = true
+	res, err := t.Query(req)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": t.Name(),
+		"events": res.Events,
+		"stats":  res.Stats,
+		"cursor": res.Cursor,
+	})
+}
+
+func queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoArchive):
+		httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, query.ErrBadCursor):
+		httpError(w, http.StatusBadRequest, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}

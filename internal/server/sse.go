@@ -121,6 +121,12 @@ func (b *broker) close() {
 // catch-up never touches the apply lock. Catch-up is at-least-once: the
 // replayed quantum may also arrive through the live subscription.
 func serveSSE(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	// Validate before the 200 + stream headers go out: a malformed
+	// catchup value must 400, not silently stream without catch-up.
+	catchup, ok := boolParam(w, r, "catchup")
+	if !ok {
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
@@ -145,7 +151,7 @@ func serveSSE(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	w.WriteHeader(http.StatusOK)
 	// Initial comment line so proxies and clients see bytes immediately.
 	fmt.Fprintf(w, ": stream %s\n\n", t.name)
-	if q := r.URL.Query().Get("catchup"); q == "1" || q == "true" {
+	if catchup {
 		if ev := t.lastEvent.Load(); ev != nil {
 			if payload, err := json.Marshal(ev); err == nil {
 				fmt.Fprintf(w, "event: quantum\ndata: %s\n\n", payload)

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Runs the unified query-engine benchmarks and writes the results as
+# JSON to BENCH_query.json at the repo root. The headline comparison is
+# segscanned/op on BenchmarkUnifiedQuery/limit10 vs /fullscan: LIMIT
+# pushdown must scan strictly fewer archive segments than a full scan
+# of the same archive.
+# Usage: scripts/bench_query.sh [benchtime]
+#   benchtime  default 2s
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-2s}"
+OUT="BENCH_query.json"
+
+RAW="$(go test -bench UnifiedQuery -run xxx -benchmem \
+	-benchtime "$BENCHTIME" ./internal/query)"
+
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+BEGIN {
+	n = 0
+	print "{"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	print "  \"benchmarks\": ["
+}
+/^goos: /   { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+	for (i = 3; i < NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/\//, "_per_", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END {
+	print ""
+	print "  ],"
+	printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\"\n", goos, goarch, cpu
+	print "}"
+}' >"$OUT"
+
+echo "wrote $OUT"
