@@ -1,5 +1,5 @@
 # Developer entry points. CI runs the same checks as `make check`.
-.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-smoke fuzz-smoke
+.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-load bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -40,6 +40,14 @@ bench-ingest:
 # emits BENCH_query.json.
 bench-query:
 	./scripts/bench_query.sh $(BENCHTIME)
+
+# Adversarial load harness (uniform / zipf-hot / flash-flood scenarios
+# against an in-process server with admission control on); emits
+# BENCH_load.json with per-tenant ingest-to-SSE and query percentiles,
+# shed counts, and the reproducible traffic-plan SHA-256. See
+# docs/OPERATIONS.md.
+bench-load:
+	./scripts/bench_load.sh
 
 # One-iteration pass over every benchmark in the repo, so bench-only
 # files cannot rot uncompiled (CI runs this on every PR), plus the fuzz

@@ -1,0 +1,226 @@
+// Command loadharness drives the adversarial load harness: it
+// materializes a deterministic traffic plan per scenario (uniform
+// control, zipf-hot skew, flash-crowd keyword flood), replays it over
+// HTTP against a server — an in-process instance by default, or an
+// external one via -url — and emits per-tenant SLO metrics as JSON:
+// ingest-to-SSE latency percentiles, query latency percentiles, shed
+// and error counts, and the plan SHA-256 that proves two runs sent
+// byte-identical traffic.
+//
+// Usage (in-process, the CI smoke and `make bench-load` path):
+//
+//	loadharness -seed 1 -tenants 8 -batches 512 -admission-frac 0.8 -out BENCH_load.json
+//
+// Against a running server (tune its flags independently):
+//
+//	loadharness -url http://localhost:8080 -scenarios zipf-hot
+//
+// The batch size doubles as the in-process detector's quantum size Δ so
+// each accepted batch is acknowledged by exactly one SSE event; when
+// driving an external server, start it with -delta equal to
+// -batch-size or the ingest-to-SSE pairing (and the harness itself)
+// fails loudly rather than reporting garbage.
+//
+// Exit status: 0 when every hard SLO gate passes (no 5xx under skew,
+// Retry-After on every shed, no lost SSE acknowledgements), 1 on a
+// hard violation — or, with -strict-slo, on a cold-tenant latency
+// violation too (off by default: wall-clock bounds flake on loaded CI
+// runners; the JSON always carries the verdict either way).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/akg"
+	"repro/internal/detect"
+	"repro/internal/loadharness"
+	"repro/internal/server"
+)
+
+type output struct {
+	Seed      int64                            `json:"seed"`
+	Tenants   int                              `json:"tenants"`
+	Batches   int                              `json:"batches"`
+	BatchSize int                              `json:"batch_size"`
+	Runs      []*loadharness.Report            `json:"runs"`
+	SLO       map[string]loadharness.SLOResult `json:"slo,omitempty"`
+	Pass      bool                             `json:"pass"`
+}
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "plan seed: fixes the traffic byte-for-byte")
+		tenants   = flag.Int("tenants", 4, "tenant population per scenario")
+		batches   = flag.Int("batches", 0, "total batch budget per scenario (0 = 64 per tenant)")
+		batchSize = flag.Int("batch-size", 8, "messages per ingest POST; equals the in-process detector's Δ")
+		queryEvr  = flag.Int("query-every", 4, "one GET query per tenant every N batches (-1 disables)")
+		scenarios = flag.String("scenarios", "uniform,zipf-hot,flash-flood",
+			"comma-separated scenario list; slo gates need uniform to run first as the control")
+		outPath = flag.String("out", "", "write the JSON report here (empty = stdout)")
+		urlFlag = flag.String("url", "", "drive an external server at this base URL instead of an in-process one")
+
+		workers  = flag.Int("workers", 1, "in-process pool: scheduler workers (1 makes backlog, and thus shedding, reproducible)")
+		queue    = flag.Int("queue", 16, "in-process pool: per-tenant queue depth in batches")
+		queueM   = flag.Int("queue-msgs", 100000, "in-process pool: per-tenant queue bound in messages")
+		admFrac  = flag.Float64("admission-frac", 0.8, "in-process pool: queue-depth shed threshold (0 disables)")
+		rateLim  = flag.Float64("rate-limit", 0, "in-process pool: per-tenant msgs/sec token bucket (0 disables)")
+		rateBur  = flag.Int("rate-burst", 0, "in-process pool: token bucket burst (0 = one second of rate)")
+		retain   = flag.Int("retain", 0, "in-process pool: finished events retained live (0 = unlimited)")
+		archDir  = flag.String("archive-dir", "", "in-process pool: archive directory (empty disables; give the flood a Bloom sidecar to inflate)")
+		sloFloor = flag.Float64("slo-floor-ms", 250, "cold-tenant p99 bound floor in ms (absorbs sub-ms-baseline noise)")
+		strict   = flag.Bool("strict-slo", false, "exit 1 on cold-tenant latency violations, not just hard gate violations")
+	)
+	flag.Parse()
+
+	list := strings.Split(*scenarios, ",")
+	doc := output{Seed: *seed, Tenants: *tenants, Batches: *batches, BatchSize: *batchSize,
+		SLO: map[string]loadharness.SLOResult{}, Pass: true}
+	var uniform *loadharness.Report
+	hardFail, timingFail := false, false
+
+	for _, name := range list {
+		sc := loadharness.Scenario(strings.TrimSpace(name))
+		plan, err := loadharness.BuildPlan(loadharness.Config{
+			Scenario:  sc,
+			Seed:      *seed,
+			Tenants:   *tenants,
+			Batches:   *batches,
+			BatchSize: *batchSize,
+			QueryEvery: func() int {
+				if *queryEvr < 0 {
+					return -1
+				}
+				return *queryEvr
+			}(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadharness:", err)
+			os.Exit(2)
+		}
+
+		baseURL := *urlFlag
+		var shutdown func()
+		if baseURL == "" {
+			baseURL, shutdown, err = startInProc(server.PoolConfig{
+				Detector: detect.Config{
+					Delta: *batchSize,
+					AKG:   akg.Config{Tau: 3, Beta: 0.2, Window: 5},
+				},
+				Workers:       *workers,
+				QueueDepth:    *queue,
+				QueueMessages: *queueM,
+				AdmissionFrac: *admFrac,
+				RateLimit:     *rateLim,
+				RateBurst:     *rateBur,
+				RetainEvents:  *retain,
+				ArchiveDir:    archiveDirFor(*archDir, string(sc)),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadharness: start server:", err)
+				os.Exit(1)
+			}
+		}
+
+		fmt.Fprintf(os.Stderr, "loadharness: scenario %s: %d tenants, %d batches × %d msgs (plan %.12s…)\n",
+			sc, plan.Config.Tenants, plan.Config.Batches, plan.Config.BatchSize, plan.Digest)
+		rep, err := (&loadharness.Runner{Plan: plan, BaseURL: baseURL}).Run(context.Background())
+		if shutdown != nil {
+			shutdown()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadharness: run:", err)
+			os.Exit(1)
+		}
+		doc.Runs = append(doc.Runs, rep)
+		if sc == loadharness.ScenarioUniform {
+			uniform = rep
+			continue
+		}
+		if uniform == nil {
+			fmt.Fprintf(os.Stderr, "loadharness: %s ran without a uniform control; skipping SLO gates\n", sc)
+			continue
+		}
+		res := loadharness.CheckSLO(rep, uniform, *sloFloor)
+		doc.SLO[string(sc)] = res
+		if !res.Pass {
+			doc.Pass = false
+			for _, v := range res.Violations {
+				fmt.Fprintln(os.Stderr, "loadharness: SLO:", v)
+			}
+		}
+		if rep.Totals.HTTP5xx > 0 || rep.Totals.ShedNoRetryAfter > 0 ||
+			rep.Totals.OtherErrors > 0 || rep.Totals.SSELost > 0 {
+			hardFail = true
+		} else if !res.Pass {
+			timingFail = true
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadharness: encode:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadharness: write:", err)
+		os.Exit(1)
+	} else {
+		fmt.Fprintln(os.Stderr, "loadharness: wrote", *outPath)
+	}
+
+	if hardFail || (timingFail && *strict) {
+		os.Exit(1)
+	}
+}
+
+// startInProc assembles a real pool behind a loopback listener and
+// returns its base URL plus a shutdown function that drains the pool.
+// Each scenario gets a fresh instance so queue state, token buckets and
+// archive contents never leak across runs.
+func startInProc(cfg server.PoolConfig) (string, func(), error) {
+	pool, err := server.NewPool(cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: server.NewHandler(pool)}
+	go srv.Serve(ln) //nolint:errcheck // exits on Close below
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Close() // SSE streams never go idle; a graceful Shutdown would wait them out
+		pool.BeginShutdown()
+		if err := pool.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "loadharness: pool shutdown:", err)
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// archiveDirFor keeps per-scenario archives apart under the given root
+// (empty root = archiving off).
+func archiveDirFor(root, scenario string) string {
+	if root == "" {
+		return ""
+	}
+	dir := root + string(os.PathSeparator) + scenario
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "loadharness: archive dir:", err)
+		os.Exit(1)
+	}
+	return dir
+}

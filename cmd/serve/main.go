@@ -35,6 +35,14 @@
 // answers one time-travel request across live and archived events with
 // LIMIT pushdown and cursor pagination; see docs/QUERY.md.
 //
+// Overload protection: -rate-limit caps each tenant's sustained ingest
+// rate (token bucket, burst via -rate-burst) and -admission-frac sheds
+// ingest once a tenant's backlog crosses that fraction of its queue
+// bounds. Shed requests get 429 + Retry-After before the WAL ever sees
+// the batch; per-tenant shed/accept counters are on GET /metrics. See
+// docs/OPERATIONS.md for tuning and the load harness that validates
+// these limits under adversarial skew.
+//
 // Flag values are validated at startup; nonsensical settings (zero
 // quantum size, negative fsync cadence, ...) exit with a message
 // naming every offending flag.
@@ -69,8 +77,17 @@ func main() {
 		maxT    = flag.Int("max-tenants", 1024, "tenant limit")
 		retain  = flag.Int("retain", 0, "finished events kept per tenant (0 = unlimited)")
 		workers = flag.Int("workers", 0, "shared scheduler worker count (0 = GOMAXPROCS)")
-		snapRH  = flag.Int("snapshot-rank-history", 0, "rank-history entries kept in published epoch snapshots (0 = full history)")
-		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
+		rateLim = flag.Float64("rate-limit", 0,
+			"per-tenant sustained ingest rate limit in messages/second "+
+				"(0 disables; excess is shed with 429 + Retry-After)")
+		rateBur = flag.Int("rate-burst", 0,
+			"per-tenant ingest burst capacity in messages (0 = one second of -rate-limit)")
+		admFrac = flag.Float64("admission-frac", 0,
+			"shed ingest once a tenant's backlog reaches this fraction of its "+
+				"queue bounds, with 429 + Retry-After before the WAL sees the batch "+
+				"(0 disables; e.g. 0.8)")
+		snapRH = flag.Int("snapshot-rank-history", 0, "rank-history entries kept in published epoch snapshots (0 = full history)")
+		grace  = flag.Duration("grace", 30*time.Second, "graceful shutdown budget")
 
 		walDir  = flag.String("wal-dir", "", "write-ahead log directory (empty disables crash durability)")
 		walSeg  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation size")
@@ -116,6 +133,9 @@ func main() {
 	req(*maxT > 0, "-max-tenants must be positive")
 	req(*retain >= 0, "-retain must be non-negative (0 = unlimited)")
 	req(*workers >= 0, "-workers must be non-negative (0 = GOMAXPROCS)")
+	req(*rateLim >= 0, "-rate-limit must be non-negative (0 = unlimited)")
+	req(*rateBur >= 0, "-rate-burst must be non-negative (0 = one second of -rate-limit)")
+	req(*admFrac >= 0 && *admFrac <= 1, "-admission-frac must be in [0,1] (0 = disabled)")
 	req(*snapRH >= 0, "-snapshot-rank-history must be non-negative (0 = full history)")
 	req(*grace >= 0, "-grace must be non-negative")
 	req(*walSeg > 0, "-wal-segment-bytes must be positive")
@@ -147,6 +167,9 @@ func main() {
 			MaxTenants:          *maxT,
 			Workers:             *workers,
 			SnapshotRankHistory: *snapRH,
+			RateLimit:           *rateLim,
+			RateBurst:           *rateBur,
+			AdmissionFrac:       *admFrac,
 
 			WALDir:                 *walDir,
 			WALSegmentBytes:        *walSeg,

@@ -1,0 +1,305 @@
+package loadharness
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Runner drives one materialized plan against a live server instance
+// and measures the outcome. One goroutine per tenant posts that
+// tenant's batches strictly in sequence (so the n-th accepted batch is
+// the tenant's n-th quantum and the n-th SSE event acknowledges it);
+// tenants run concurrently, which is the load: a hot tenant hammers the
+// pool while cold tenants measure the latency they are promised.
+type Runner struct {
+	Plan *Plan
+	// BaseURL roots every request, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues ingest POSTs and queries (default: 30s timeout).
+	// SSE subscriptions use their own untimed transport regardless.
+	Client *http.Client
+	// DrainTimeout bounds the post-run wait for outstanding SSE
+	// acknowledgements (default 30s).
+	DrainTimeout time.Duration
+	// ShedBackoff is the pause after a 429 before the tenant's next
+	// batch (default 2ms): an adversarial client keeps pushing — the
+	// harness yields just enough for the apply loop to breathe, it does
+	// not honor Retry-After, because the point is to prove the server
+	// survives clients that don't.
+	ShedBackoff time.Duration
+}
+
+// Run executes the plan and returns the measured report. The context
+// cancels the whole run (in-flight requests included).
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if r.Plan == nil {
+		return nil, fmt.Errorf("loadharness: Runner needs a Plan")
+	}
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	drain := r.DrainTimeout
+	if drain <= 0 {
+		drain = 30 * time.Second
+	}
+	backoff := r.ShedBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	base := strings.TrimRight(r.BaseURL, "/")
+
+	start := time.Now()
+	reports := make([]TenantReport, len(r.Plan.PerTenant))
+	errs := make([]error, len(r.Plan.PerTenant))
+	var wg sync.WaitGroup
+	for t := range r.Plan.PerTenant {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			reports[t], errs[t] = r.driveTenant(ctx, client, base, t, drain, backoff)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{
+		Scenario:   r.Plan.Scenario,
+		Seed:       r.Plan.Seed,
+		PlanDigest: r.Plan.Digest,
+		Tenants:    r.Plan.Config.Tenants,
+		Batches:    r.Plan.Config.Batches,
+		BatchSize:  r.Plan.Config.BatchSize,
+		Messages:   r.Plan.TotalMessages(),
+		WallMs:     float64(time.Since(start)) / float64(time.Millisecond),
+		PerTenant:  reports,
+	}
+	rep.fillTotals()
+	return rep, nil
+}
+
+// sseTap collects quantum-event arrival times from one tenant's stream.
+type sseTap struct {
+	mu       sync.Mutex
+	arrivals []time.Time
+	err      error
+	done     chan struct{}
+}
+
+func (s *sseTap) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.arrivals)
+}
+
+// driveTenant runs one tenant's full life: create it, subscribe to its
+// stream, post every planned batch in order (with the query mix woven
+// in), then wait for the stream to acknowledge every accepted batch.
+func (r *Runner) driveTenant(ctx context.Context, client *http.Client, base string, t int, drain, backoff time.Duration) (TenantReport, error) {
+	name := r.Plan.TenantNames[t]
+	batches := r.Plan.PerTenant[t]
+	rep := TenantReport{Tenant: name, Planned: len(batches)}
+
+	// An empty batch is a no-op for the detector and the admission
+	// gates, but it creates the tenant — which must exist before the
+	// stream subscription below can attach.
+	primeStatus := 0
+	err := r.post(ctx, client, base+"/v1/"+name+"/messages", []byte("[]"),
+		func(resp *http.Response) { primeStatus = resp.StatusCode })
+	if err != nil {
+		return rep, fmt.Errorf("prime tenant %s: %w", name, err)
+	}
+	if primeStatus != http.StatusAccepted {
+		return rep, fmt.Errorf("prime tenant %s: HTTP %d", name, primeStatus)
+	}
+
+	tap, stopSSE, err := r.subscribe(ctx, base, name)
+	if err != nil {
+		return rep, fmt.Errorf("subscribe %s: %w", name, err)
+	}
+	defer stopSSE()
+
+	sendTimes := make([]time.Time, 0, len(batches))
+	var queryLats []time.Duration
+	queries := r.Plan.Queries[t]
+	nextQuery := 0
+	queryEvery := r.Plan.Config.QueryEvery
+
+	for i, b := range batches {
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		t0 := time.Now()
+		var status int
+		var retryAfter string
+		err := r.post(ctx, client, base+"/v1/"+name+"/messages", b.Body, func(resp *http.Response) {
+			status = resp.StatusCode
+			retryAfter = resp.Header.Get("Retry-After")
+		})
+		switch {
+		case err != nil:
+			rep.OtherErrors++
+		case status == http.StatusAccepted:
+			rep.Accepted++
+			sendTimes = append(sendTimes, t0)
+		case status == http.StatusTooManyRequests:
+			rep.Shed429++
+			if retryAfter == "" {
+				rep.ShedNoRetryAfter++
+			}
+			sleepCtx(ctx, backoff)
+		case status >= 500:
+			rep.HTTP5xx++
+		default:
+			rep.OtherErrors++
+		}
+
+		if queryEvery > 0 && (i+1)%queryEvery == 0 && nextQuery < len(queries) {
+			q0 := time.Now()
+			var qstatus int
+			qerr := r.get(ctx, client, base+queries[nextQuery], &qstatus)
+			nextQuery++
+			rep.Queries++
+			if qerr != nil || qstatus != http.StatusOK {
+				rep.QueryErrors++
+			} else {
+				queryLats = append(queryLats, time.Since(q0))
+			}
+		}
+	}
+
+	// Drain: every accepted batch is one quantum, and every quantum is
+	// one SSE event — wait for the stream to catch up to the accept
+	// count, then charge anything still missing as lost.
+	deadline := time.Now().Add(drain)
+	for tap.count() < rep.Accepted && time.Now().Before(deadline) && ctx.Err() == nil {
+		sleepCtx(ctx, 2*time.Millisecond)
+	}
+	stopSSE()
+	<-tap.done
+
+	tap.mu.Lock()
+	arrivals := tap.arrivals
+	tap.mu.Unlock()
+	rep.SSEReceived = len(arrivals)
+	if len(arrivals) > rep.Accepted {
+		// More events than accepted batches would mean the quantum↔batch
+		// correspondence broke (e.g. BatchSize ≠ detector Delta) — every
+		// latency pairing below would be wrong, so refuse to report.
+		return rep, fmt.Errorf("tenant %s: %d SSE events for %d accepted batches — is BatchSize equal to the server's Delta?",
+			name, len(arrivals), rep.Accepted)
+	}
+	rep.SSELost = rep.Accepted - len(arrivals)
+
+	lats := make([]time.Duration, 0, len(arrivals))
+	for i := range arrivals {
+		lats = append(lats, arrivals[i].Sub(sendTimes[i]))
+	}
+	rep.IngestP50Ms = percentileMs(lats, 0.50)
+	rep.IngestP99Ms = percentileMs(lats, 0.99)
+	rep.QueryP50Ms = percentileMs(queryLats, 0.50)
+	rep.QueryP99Ms = percentileMs(queryLats, 0.99)
+	return rep, nil
+}
+
+// subscribe opens the tenant's SSE stream and tails it on a goroutine,
+// timestamping every quantum event's arrival. The returned stop
+// function (idempotent) tears the stream down; tap.done closes when the
+// tail goroutine has fully exited.
+func (r *Runner) subscribe(ctx context.Context, base, name string) (*sseTap, func(), error) {
+	sctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, base+"/v1/"+name+"/stream", nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	// A dedicated client: the ingest client's timeout would kill the
+	// stream mid-run.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("stream subscribe: HTTP %d", resp.StatusCode)
+	}
+	tap := &sseTap{done: make(chan struct{})}
+	go func() {
+		defer close(tap.done)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+		for sc.Scan() {
+			if bytes.HasPrefix(sc.Bytes(), []byte("data: ")) {
+				now := time.Now()
+				tap.mu.Lock()
+				tap.arrivals = append(tap.arrivals, now)
+				tap.mu.Unlock()
+			}
+		}
+		tap.mu.Lock()
+		tap.err = sc.Err()
+		tap.mu.Unlock()
+	}()
+	var once sync.Once
+	stop := func() { once.Do(cancel) }
+	return tap, stop, nil
+}
+
+// post issues one POST, hands the response to peek (if non-nil), and
+// fully drains the body so the connection is reused.
+func (r *Runner) post(ctx context.Context, client *http.Client, url string, body []byte, peek func(*http.Response)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if peek != nil {
+		peek(resp)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
+	return nil
+}
+
+func (r *Runner) get(ctx context.Context, client *http.Client, url string, status *int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	*status = resp.StatusCode
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for connection reuse
+	return nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,275 @@
+// Package loadharness is the adversarial load harness: it materializes
+// a deterministic per-tenant traffic plan (internal/tracegen arrival
+// processes + message composers), drives a real server instance over
+// HTTP with a mixed ingest/query/SSE workload, and reports per-tenant
+// SLO metrics — ingest-to-SSE latency percentiles, query latency
+// percentiles, shed counts and error counts.
+//
+// The plan (which tenant sends which bytes in which order, and which
+// queries are issued) is byte-reproducible for a fixed seed: BuildPlan
+// is pure, and Plan.Digest is a SHA-256 over every request body in
+// schedule order, so two builds of the same config can prove they
+// generated identical traffic. Latencies, of course, are measured, not
+// generated.
+package loadharness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/tracegen"
+)
+
+// Scenario names one arrival-process + composer pairing.
+type Scenario string
+
+const (
+	// ScenarioUniform is the control: every tenant sends the same benign
+	// traffic at the same share. Skewed runs are judged against it.
+	ScenarioUniform Scenario = "uniform"
+	// ScenarioZipfHot draws batch arrivals from a Zipf distribution —
+	// tenant 0 runs hot while a cold tail trickles. The admission-control
+	// acceptance scenario: the hot tenant must shed (429 + Retry-After),
+	// the cold tenants must keep their latency.
+	ScenarioZipfHot Scenario = "zipf-hot"
+	// ScenarioFlashFlood is uniform background plus a mid-run flash
+	// crowd, and the flashing tenant sends the adversarial keyword
+	// flood: maximal cluster churn per quantum and Bloom-sidecar
+	// inflation in the archive.
+	ScenarioFlashFlood Scenario = "flash-flood"
+)
+
+// Scenarios lists every defined scenario in report order.
+func Scenarios() []Scenario {
+	return []Scenario{ScenarioUniform, ScenarioZipfHot, ScenarioFlashFlood}
+}
+
+// Config shapes one harness run.
+type Config struct {
+	Scenario Scenario
+	Seed     int64
+	// Tenants is the tenant population (default 4).
+	Tenants int
+	// Batches is the total batch budget across tenants (default
+	// 64×Tenants).
+	Batches int
+	// BatchSize is messages per ingest POST. It must equal the server's
+	// detector Delta so one accepted batch completes exactly one quantum
+	// and the n-th SSE event acknowledges the n-th accepted batch —
+	// that equality is what makes ingest-to-SSE latency measurable
+	// per-batch. Default 8.
+	BatchSize int
+	// QueryEvery issues one GET query per tenant after every N posted
+	// batches (default 4; 0 disables the query mix).
+	QueryEvery int
+	// TenantPrefix names tenants "<prefix>-<i>" (default "load").
+	TenantPrefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scenario == "" {
+		c.Scenario = ScenarioUniform
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Batches <= 0 {
+		c.Batches = 64 * c.Tenants
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.QueryEvery < 0 {
+		c.QueryEvery = 0
+	} else if c.QueryEvery == 0 {
+		c.QueryEvery = 4
+	}
+	if c.TenantPrefix == "" {
+		c.TenantPrefix = "load"
+	}
+	return c
+}
+
+// Batch is one planned ingest POST: the pre-marshaled body a tenant
+// sends at its Seq-th turn.
+type Batch struct {
+	Tenant int    // tenant index
+	Seq    int    // per-tenant sequence number (0-based)
+	Msgs   int    // message count in the body
+	Body   []byte // JSON array, ready to POST
+}
+
+// Plan is a fully materialized traffic plan: every request body and
+// query URL the harness will issue, in order, plus the digest that
+// proves reproducibility.
+type Plan struct {
+	Scenario Scenario
+	Seed     int64
+	Config   Config
+	// TenantNames[i] is tenant i's URL path segment.
+	TenantNames []string
+	// Schedule is the global arrival order (Order[i] = tenant index).
+	Schedule tracegen.Schedule
+	// PerTenant[t] is tenant t's batches in send order.
+	PerTenant [][]Batch
+	// Queries[t] is tenant t's query URL suffixes (path + raw query,
+	// no host) in issue order; the k-th is issued after the tenant's
+	// (k+1)×QueryEvery-th posted batch.
+	Queries [][]string
+	// Digest is the SHA-256 over the scenario, seed and every request
+	// body and query string in deterministic order.
+	Digest string
+}
+
+// arrivalKind maps a scenario to its tracegen arrival process.
+func (s Scenario) arrivalKind() (tracegen.ArrivalKind, error) {
+	switch s {
+	case ScenarioUniform:
+		return tracegen.ArrivalUniform, nil
+	case ScenarioZipfHot:
+		return tracegen.ArrivalZipf, nil
+	case ScenarioFlashFlood:
+		return tracegen.ArrivalFlash, nil
+	}
+	return 0, fmt.Errorf("loadharness: unknown scenario %q", string(s))
+}
+
+// BuildPlan materializes cfg into a concrete plan. Pure and
+// deterministic: the same config always yields the same plan,
+// byte-for-byte (Digest included).
+func BuildPlan(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	kind, err := cfg.Scenario.arrivalKind()
+	if err != nil {
+		return nil, err
+	}
+	sched := tracegen.BuildSchedule(tracegen.ArrivalConfig{
+		Kind:    kind,
+		Seed:    cfg.Seed,
+		Tenants: cfg.Tenants,
+		Batches: cfg.Batches,
+	})
+	p := &Plan{
+		Scenario:    cfg.Scenario,
+		Seed:        cfg.Seed,
+		Config:      cfg,
+		Schedule:    sched,
+		TenantNames: make([]string, cfg.Tenants),
+		PerTenant:   make([][]Batch, cfg.Tenants),
+		Queries:     make([][]string, cfg.Tenants),
+	}
+	for t := 0; t < cfg.Tenants; t++ {
+		p.TenantNames[t] = fmt.Sprintf("%s-%d", cfg.TenantPrefix, t)
+	}
+
+	// The flash-flood scenario's bursting tenant sends the adversarial
+	// keyword flood; everyone else (and every tenant in the other
+	// scenarios) sends benign community traffic.
+	flood := tracegen.FloodConfig{Seed: cfg.Seed}
+	floodTenant := -1
+	if cfg.Scenario == ScenarioFlashFlood {
+		floodTenant = 0 // tracegen default BurstTenant
+	}
+	compose := func(tenant, start, n int) []byte {
+		var body []byte
+		var err error
+		if tenant == floodTenant {
+			body, err = json.Marshal(flood.Messages(start, n))
+		} else {
+			tt := tracegen.TenantTraffic{Seed: cfg.Seed, Tenant: tenant}
+			body, err = json.Marshal(tt.Messages(start, n))
+		}
+		if err != nil {
+			panic("loadharness: marshal planned batch: " + err.Error())
+		}
+		return body
+	}
+
+	pos := make([]int, cfg.Tenants) // per-tenant absolute message position
+	for _, tn := range sched.Order {
+		b := Batch{
+			Tenant: tn,
+			Seq:    len(p.PerTenant[tn]),
+			Msgs:   cfg.BatchSize,
+			Body:   compose(tn, pos[tn], cfg.BatchSize),
+		}
+		pos[tn] += cfg.BatchSize
+		p.PerTenant[tn] = append(p.PerTenant[tn], b)
+	}
+
+	// Query mix: alternate a live top-k read (epoch snapshot path) with
+	// a keyword time-travel read (unified query path). The flood tenant
+	// probes long-retired flood keywords — every archived segment's
+	// Bloom sidecar gets exercised, none should hold matching rows.
+	if cfg.QueryEvery > 0 {
+		for t := 0; t < cfg.Tenants; t++ {
+			n := len(p.PerTenant[t]) / cfg.QueryEvery
+			qs := make([]string, 0, n)
+			for k := 0; k < n; k++ {
+				var q string
+				switch {
+				case t == floodTenant:
+					// Keywords from the window retired ~k windows ago.
+					q = fmt.Sprintf("/v1/%s/query?keyword=%s&limit=16",
+						p.TenantNames[t], flood.Keyword(k*8))
+				case k%2 == 0:
+					q = fmt.Sprintf("/v1/%s/events?k=8", p.TenantNames[t])
+				default:
+					q = fmt.Sprintf("/v1/%s/query?keyword=t%dtopic%d&limit=16",
+						p.TenantNames[t], t, k%4)
+				}
+				qs = append(qs, q)
+			}
+			p.Queries[t] = qs
+		}
+	}
+
+	p.Digest = p.digest()
+	return p, nil
+}
+
+// digest hashes the plan's observable traffic: scenario, seed, shape,
+// every body in global schedule order, and every query URL. Two plans
+// with equal digests issue byte-identical request sequences.
+func (p *Plan) digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(p.Scenario))
+	writeInt(p.Seed)
+	writeInt(int64(p.Config.Tenants))
+	writeInt(int64(p.Config.Batches))
+	writeInt(int64(p.Config.BatchSize))
+	next := make([]int, len(p.PerTenant))
+	for _, tn := range p.Schedule.Order {
+		b := p.PerTenant[tn][next[tn]]
+		next[tn]++
+		writeInt(int64(tn))
+		writeInt(int64(len(b.Body)))
+		h.Write(b.Body)
+	}
+	for t, qs := range p.Queries {
+		writeInt(int64(t))
+		for _, q := range qs {
+			h.Write([]byte(q))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TotalMessages is the message count the plan ingests across tenants.
+func (p *Plan) TotalMessages() int {
+	n := 0
+	for _, batches := range p.PerTenant {
+		for _, b := range batches {
+			n += b.Msgs
+		}
+	}
+	return n
+}

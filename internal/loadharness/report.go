@@ -1,0 +1,161 @@
+package loadharness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// TenantReport is one tenant's measured SLO outcome for one run.
+type TenantReport struct {
+	Tenant  string `json:"tenant"`
+	Planned int    `json:"planned_batches"`
+	// Accepted counts 202s; Shed429 counts admission rejections (the
+	// server's 429s), of which ShedNoRetryAfter arrived without a
+	// Retry-After header — an SLO violation in itself, since clients
+	// can't back off blind. HTTP5xx counts 5xx responses and
+	// OtherErrors everything else (transport failures included).
+	Accepted         int `json:"accepted_batches"`
+	Shed429          int `json:"shed_429"`
+	ShedNoRetryAfter int `json:"shed_429_missing_retry_after"`
+	HTTP5xx          int `json:"http_5xx"`
+	OtherErrors      int `json:"other_errors"`
+	// SSEReceived counts quantum events observed on the tenant's stream;
+	// SSELost is accepted-but-never-acknowledged batches at the drain
+	// deadline (0 in a healthy run).
+	SSEReceived int `json:"sse_received"`
+	SSELost     int `json:"sse_lost"`
+	// Ingest-to-SSE latency: POST start to the matching quantum event's
+	// arrival, per accepted batch.
+	IngestP50Ms float64 `json:"ingest_to_sse_p50_ms"`
+	IngestP99Ms float64 `json:"ingest_to_sse_p99_ms"`
+	// Query latency over the tenant's query mix.
+	Queries     int     `json:"queries"`
+	QueryErrors int     `json:"query_errors"`
+	QueryP50Ms  float64 `json:"query_p50_ms"`
+	QueryP99Ms  float64 `json:"query_p99_ms"`
+}
+
+// ReportTotals aggregates the per-tenant counters.
+type ReportTotals struct {
+	Planned          int `json:"planned_batches"`
+	Accepted         int `json:"accepted_batches"`
+	Shed429          int `json:"shed_429"`
+	ShedNoRetryAfter int `json:"shed_429_missing_retry_after"`
+	HTTP5xx          int `json:"http_5xx"`
+	OtherErrors      int `json:"other_errors"`
+	SSELost          int `json:"sse_lost"`
+	QueryErrors      int `json:"query_errors"`
+}
+
+// Report is one scenario run's full outcome.
+type Report struct {
+	Scenario   Scenario       `json:"scenario"`
+	Seed       int64          `json:"seed"`
+	PlanDigest string         `json:"plan_sha256"`
+	Tenants    int            `json:"tenants"`
+	Batches    int            `json:"batches"`
+	BatchSize  int            `json:"batch_size"`
+	Messages   int            `json:"messages"`
+	WallMs     float64        `json:"wall_ms"`
+	PerTenant  []TenantReport `json:"per_tenant"`
+	Totals     ReportTotals   `json:"totals"`
+}
+
+func (r *Report) fillTotals() {
+	r.Totals = ReportTotals{}
+	for _, t := range r.PerTenant {
+		r.Totals.Planned += t.Planned
+		r.Totals.Accepted += t.Accepted
+		r.Totals.Shed429 += t.Shed429
+		r.Totals.ShedNoRetryAfter += t.ShedNoRetryAfter
+		r.Totals.HTTP5xx += t.HTTP5xx
+		r.Totals.OtherErrors += t.OtherErrors
+		r.Totals.SSELost += t.SSELost
+		r.Totals.QueryErrors += t.QueryErrors
+	}
+}
+
+// percentileMs returns the q-th percentile (0 < q ≤ 1) of lats in
+// milliseconds, 0 for an empty sample. Nearest-rank on a sorted copy.
+func percentileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := make([]time.Duration, len(lats))
+	copy(s, lats)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(q*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return float64(s[rank]) / float64(time.Millisecond)
+}
+
+// SLOResult is the verdict of CheckSLO: the acceptance gates evaluated
+// over a skewed run and its uniform control.
+type SLOResult struct {
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+	// ColdP99Ms / ColdUniformP99Ms are the worst cold-tenant
+	// ingest-to-SSE p99 under load and under the uniform control — the
+	// pair the fairness bound compares.
+	ColdP99Ms        float64 `json:"cold_p99_ms"`
+	ColdUniformP99Ms float64 `json:"cold_uniform_p99_ms"`
+}
+
+// CheckSLO evaluates the harness acceptance gates for a skewed run
+// (zipf-hot or flash-flood) against its uniform control:
+//
+//   - no 5xx anywhere in the skewed run (overload must shed, not fail);
+//   - every shed carried a Retry-After header;
+//   - no accepted batch lost its SSE acknowledgement;
+//   - every cold tenant's ingest-to-SSE p99 stays within 2× its
+//     uniform-control p99, with a floor of floorMs absorbing
+//     scheduler-granularity noise at sub-millisecond baselines.
+//
+// The hot tenant (index 0 in both skewed scenarios) is exempt from the
+// latency bound — it is the one being shed — but not from the error
+// and Retry-After gates.
+func CheckSLO(skewed, uniform *Report, floorMs float64) SLOResult {
+	res := SLOResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if skewed.Totals.HTTP5xx > 0 {
+		fail("%s: %d HTTP 5xx responses (want 0: overload must shed with 429, not fail)",
+			skewed.Scenario, skewed.Totals.HTTP5xx)
+	}
+	if skewed.Totals.OtherErrors > 0 {
+		fail("%s: %d unexpected responses/transport errors", skewed.Scenario, skewed.Totals.OtherErrors)
+	}
+	if skewed.Totals.ShedNoRetryAfter > 0 {
+		fail("%s: %d sheds missing a Retry-After header", skewed.Scenario, skewed.Totals.ShedNoRetryAfter)
+	}
+	if skewed.Totals.SSELost > 0 {
+		fail("%s: %d accepted batches never acknowledged on SSE", skewed.Scenario, skewed.Totals.SSELost)
+	}
+	for i, t := range skewed.PerTenant {
+		if i == 0 || i >= len(uniform.PerTenant) {
+			continue // hot tenant exempt from the latency bound
+		}
+		base := uniform.PerTenant[i].IngestP99Ms
+		bound := 2 * base
+		if bound < floorMs {
+			bound = floorMs
+		}
+		if t.IngestP99Ms > res.ColdP99Ms {
+			res.ColdP99Ms = t.IngestP99Ms
+			res.ColdUniformP99Ms = base
+		}
+		if t.IngestP99Ms > bound {
+			fail("%s: cold tenant %s ingest-to-SSE p99 %.2fms exceeds 2× uniform p99 %.2fms (floor %.0fms)",
+				skewed.Scenario, t.Tenant, t.IngestP99Ms, base, floorMs)
+		}
+	}
+	return res
+}

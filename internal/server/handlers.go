@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -46,7 +47,8 @@ func NewHandler(p *Pool) http.Handler {
 			return
 		}
 		if err := t.Flush(r.Context()); err != nil {
-			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("flush abandoned: %v", err))
+			retryableError(w, http.StatusServiceUnavailable, time.Second,
+				fmt.Sprintf("flush abandoned: %v", err))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"flushed": true})
@@ -163,17 +165,22 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 		return
 	}
 	// Shed guaranteed-rejected ingest before paying to decode the body:
-	// a closed or tenant-full pool would only refuse the batch after a
-	// potentially 64 MiB parse. GetOrCreate below remains authoritative.
-	if _, ok := p.Tenant(name); !ok {
+	// a closed or tenant-full pool — or a tenant already past its
+	// queue-depth admission threshold — would only refuse the batch
+	// after a potentially 64 MiB parse. The gates inside Enqueue (and
+	// GetOrCreate) remain authoritative.
+	if t, ok := p.Tenant(name); !ok {
 		if err := p.CanCreate(); err != nil {
 			if errors.Is(err, ErrMaxTenants) {
 				httpError(w, http.StatusInsufficientStorage, err.Error())
 			} else {
-				httpError(w, http.StatusServiceUnavailable, err.Error())
+				retryableError(w, http.StatusServiceUnavailable, time.Second, err.Error())
 			}
 			return
 		}
+	} else if se := t.ShedCheck(); se != nil {
+		retryableError(w, http.StatusTooManyRequests, se.RetryAfter, se.Error())
+		return
 	}
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var msgs []stream.Message
@@ -206,21 +213,26 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 		case errors.Is(err, ErrMaxTenants):
 			httpError(w, http.StatusInsufficientStorage, err.Error())
 		default:
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			retryableError(w, http.StatusServiceUnavailable, time.Second, err.Error())
 		}
 		return
 	}
 	if err := t.Enqueue(msgs); err != nil {
+		var shed *ShedError
 		switch {
 		case errors.Is(err, ErrBatchTooLarge):
 			// Retrying the same batch can never succeed; tell the
 			// client to split it instead.
 			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.As(err, &shed):
+			// Admission control turned the batch away before the WAL or
+			// the queue saw it: 429, with the server's own estimate of
+			// when capacity returns.
+			retryableError(w, http.StatusTooManyRequests, shed.RetryAfter, err.Error())
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			retryableError(w, http.StatusServiceUnavailable, t.drainEstimate(), err.Error())
 		default:
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			retryableError(w, http.StatusServiceUnavailable, time.Second, err.Error())
 		}
 		return
 	}
@@ -256,4 +268,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func httpError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}
+
+// retryableError is the one shape every retryable rejection (429 Too
+// Many Requests, 503 Service Unavailable) is served in: the standard
+// JSON error body extended with retry_after_seconds, mirrored in a
+// Retry-After header. Hand-rolled header-plus-httpError combinations
+// drifted once before — route every shed/unavailable response here.
+func retryableError(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	secs := retryAfterSeconds(retryAfter)
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, status, map[string]any{
+		"error":               msg,
+		"status":              status,
+		"retry_after_seconds": secs,
+	})
 }

@@ -28,6 +28,19 @@ type TenantMetrics struct {
 	ArchiveEvents   int    `json:"archive_events,omitempty"`
 	ArchiveErrors   uint64 `json:"archive_errors,omitempty"`
 	ArchiveGaps     uint64 `json:"archive_gaps,omitempty"`
+
+	// SLO / admission-control counters. AcceptedBatches counts batches
+	// (and flush markers) admitted to the queue; ShedRateLimit and
+	// ShedQueueDepth count batches turned away by the token bucket and
+	// the queue-depth gate respectively (each rejected HTTP request bumps
+	// exactly one), with ShedMessages the message total across both.
+	// Always emitted — a dashboard must distinguish "zero sheds" from
+	// "admission off" via AdmissionEnabled.
+	AdmissionEnabled bool   `json:"admission_enabled"`
+	AcceptedBatches  uint64 `json:"accepted_batches"`
+	ShedRateLimit    uint64 `json:"shed_rate_limit"`
+	ShedQueueDepth   uint64 `json:"shed_queue_depth"`
+	ShedMessages     uint64 `json:"shed_messages"`
 }
 
 // MetricsTotals aggregates the per-tenant metrics for dashboards that
@@ -40,6 +53,8 @@ type MetricsTotals struct {
 	WALSegments     int    `json:"wal_segments"`
 	ArchiveSegments int    `json:"archive_segments"`
 	ArchiveEvents   int    `json:"archive_events"`
+	ShedBatches     uint64 `json:"shed_batches"`
+	ShedMessages    uint64 `json:"shed_messages"`
 }
 
 // PoolMetrics is the GET /metrics response body.
@@ -51,6 +66,11 @@ type PoolMetrics struct {
 // Metrics returns the tenant's monitoring + durability snapshot.
 func (t *Tenant) Metrics() TenantMetrics {
 	m := TenantMetrics{TenantStats: t.Stats()}
+	m.AdmissionEnabled = t.admit != nil
+	m.AcceptedBatches = t.accepted.Load()
+	m.ShedRateLimit = t.shedRateLimit.Load()
+	m.ShedQueueDepth = t.shedQueue.Load()
+	m.ShedMessages = t.shedMsgs.Load()
 	if wl := t.walLog(); wl != nil {
 		m.WALEnabled = true
 		m.WALSegments = wl.SegmentCount()
@@ -89,6 +109,8 @@ func (p *Pool) Metrics() PoolMetrics {
 		out.Totals.WALSegments += m.WALSegments
 		out.Totals.ArchiveSegments += m.ArchiveSegments
 		out.Totals.ArchiveEvents += m.ArchiveEvents
+		out.Totals.ShedBatches += m.ShedRateLimit + m.ShedQueueDepth
+		out.Totals.ShedMessages += m.ShedMessages
 	}
 	return out
 }

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Overload-protection tests: the token bucket and queue-depth admission
+// gates, the unified retryable error shape every 429/503 is served in,
+// the SSE drop policy against a genuinely stalled handler, and the
+// fairness bound admission buys the cold tenants.
+
+// TestTokenBucketDeterministic drives the bucket on an injected clock:
+// full at birth, empty after the burst, refilled by elapsed time,
+// oversized batches clamped to the burst rather than starved forever.
+func TestTokenBucketDeterministic(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tb := newTokenBucket(10, 5, func() time.Time { return now })
+	if _, ok := tb.take(5); !ok {
+		t.Fatal("a full bucket must admit its burst")
+	}
+	wait, ok := tb.take(1)
+	if ok {
+		t.Fatal("an empty bucket admitted a message")
+	}
+	if wait <= 0 {
+		t.Fatalf("empty bucket returned no retry hint: %v", wait)
+	}
+	now = now.Add(time.Second) // refills 10, clamped to burst 5
+	if _, ok := tb.take(5); !ok {
+		t.Fatal("one second at rate 10 must refill burst 5")
+	}
+	now = now.Add(time.Second)
+	// A batch larger than the bucket can ever hold is admitted when the
+	// bucket is full — the alternative is starving it forever.
+	if _, ok := tb.take(50); !ok {
+		t.Fatal("oversized batch must be admitted against a full bucket")
+	}
+	if _, ok := tb.take(1); ok {
+		t.Fatal("oversized batch must still drain the bucket")
+	}
+}
+
+// assertRetryable checks the one response shape every retryable
+// rejection must wear: the status, a Retry-After header of at least one
+// second, and a JSON body whose retry_after_seconds mirrors the header.
+func assertRetryable(t *testing.T, resp *http.Response, wantStatus int) {
+	t.Helper()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("%d response missing Retry-After header", wantStatus)
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer second count", ra)
+	}
+	var body struct {
+		Error             string `json:"error"`
+		Status            int    `json:"status"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	decodeBody(t, resp, &body)
+	if body.Status != wantStatus {
+		t.Fatalf("body status = %d, want %d", body.Status, wantStatus)
+	}
+	if body.RetryAfterSeconds != secs {
+		t.Fatalf("retry_after_seconds = %d disagrees with Retry-After header %d",
+			body.RetryAfterSeconds, secs)
+	}
+	if body.Error == "" {
+		t.Fatal("retryable response carries no error message")
+	}
+}
+
+// TestRetryableResponseShape: a rate-limit 429 and a queue-full 503 must
+// arrive in the identical retryable JSON shape — one contract for every
+// backoff path a client has to implement.
+func TestRetryableResponseShape(t *testing.T) {
+	// 429 via the token bucket: 1 msg/s with a 1-message burst admits
+	// the first batch and sheds the immediate second.
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig(), RateLimit: 1, RateBurst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	srv := httptest.NewServer(NewHandler(pool))
+	defer srv.Close()
+
+	batch := quantumOf(0, "rate limited batch of words")
+	resp := postJSON(t, srv.URL+"/v1/rl/messages", batch)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first batch status = %d, want 202", resp.StatusCode)
+	}
+	assertRetryable(t, postJSON(t, srv.URL+"/v1/rl/messages", batch), http.StatusTooManyRequests)
+
+	// The shed shows up on /metrics as a rate-limit shed with its
+	// messages, and admission reports itself enabled.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics PoolMetrics
+	decodeBody(t, mresp, &metrics)
+	found := false
+	for _, m := range metrics.Tenants {
+		if m.Tenant != "rl" {
+			continue
+		}
+		found = true
+		if !m.AdmissionEnabled {
+			t.Fatal("admission_enabled = false with a rate limit configured")
+		}
+		if m.AcceptedBatches < 1 || m.ShedRateLimit < 1 || m.ShedMessages < uint64(len(batch)) {
+			t.Fatalf("shed counters did not move: %+v", m)
+		}
+	}
+	if !found {
+		t.Fatal("tenant rl missing from /metrics")
+	}
+	if metrics.Totals.ShedBatches < 1 || metrics.Totals.ShedMessages < uint64(len(batch)) {
+		t.Fatalf("totals did not aggregate sheds: %+v", metrics.Totals)
+	}
+
+	// 503 via a hard-full queue (no admission configured): stall the
+	// worker mid-batch, fill the depth-1 queue, and POST once more.
+	pool2, err := NewPool(PoolConfig{Detector: testDetectConfig(), QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Shutdown(context.Background())
+	srv2 := httptest.NewServer(NewHandler(pool2))
+	defer srv2.Close()
+	tn, err := pool2.GetOrCreate("qf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.mu.Lock()
+	if err := tn.Enqueue(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; tn.queueLen() != 0; i++ {
+		if i > 5000 {
+			t.Fatal("worker never picked up the batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tn.Enqueue(batch); err != nil { // fills the depth-1 queue
+		t.Fatal(err)
+	}
+	assertRetryable(t, postJSON(t, srv2.URL+"/v1/qf/messages", batch), http.StatusServiceUnavailable)
+	tn.mu.Unlock()
+	if err := tn.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stallingWriter is an SSE sink whose quantum-event writes block until
+// released — a client whose TCP window has collapsed, without the
+// kernel buffering that makes real stalled sockets untestable.
+type stallingWriter struct {
+	hdr     http.Header
+	stalled chan struct{} // closed when the first quantum write blocks
+	release chan struct{} // closed by the test to unblock writes
+	once    sync.Once
+}
+
+func (w *stallingWriter) Header() http.Header { return w.hdr }
+func (w *stallingWriter) WriteHeader(int)     {}
+func (w *stallingWriter) Flush()              {}
+func (w *stallingWriter) Write(p []byte) (int, error) {
+	if bytes.Contains(p, []byte("event: quantum")) {
+		w.once.Do(func() { close(w.stalled) })
+		<-w.release
+	}
+	return len(p), nil
+}
+
+// TestSSEStalledSubscriberDropped runs the real SSE handler against a
+// writer that stalls mid-event while the broker publishes at full rate:
+// the publisher must never block, the stalled subscriber must be
+// dropped once it is subBuffer events behind, and the handler must
+// return (freeing its goroutine) once the write unblocks.
+func TestSSEStalledSubscriberDropped(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	tn, err := pool.GetOrCreate("stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &stallingWriter{hdr: http.Header{}, stalled: make(chan struct{}), release: make(chan struct{})}
+	req := httptest.NewRequest(http.MethodGet, "/v1/stall/stream", nil)
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		serveSSE(w, req, tn)
+	}()
+	for i := 0; ; i++ {
+		tn.broker.mu.Lock()
+		subs := len(tn.broker.subs)
+		tn.broker.mu.Unlock()
+		if subs == 1 {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("handler never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// First event: the handler picks it up and its write stalls.
+	tn.broker.publish(&StreamEvent{Tenant: "stall", Quantum: 0})
+	select {
+	case <-w.stalled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never attempted the first quantum write")
+	}
+
+	// Full publish rate against the stalled handler: subBuffer events
+	// fill its channel, one more trips the drop policy. The publisher
+	// must sail through all of them without blocking.
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		for i := 1; i <= subBuffer+1; i++ {
+			tn.broker.publish(&StreamEvent{Tenant: "stall", Quantum: i})
+		}
+	}()
+	select {
+	case <-published:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a stalled SSE subscriber")
+	}
+	for i := 0; ; i++ {
+		tn.broker.mu.Lock()
+		subs := len(tn.broker.subs)
+		tn.broker.mu.Unlock()
+		if subs == 0 {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("stalled subscriber never dropped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Unblock the stalled write: the handler drains its buffered backlog
+	// and exits on the closed channel instead of leaking.
+	close(w.release)
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE handler never returned after the drop")
+	}
+}
+
+// TestAdmissionFairnessColdTenantBounded saturates one tenant through
+// the queue-depth gate on a one-worker pool and then measures what a
+// cold tenant pays: with the hot backlog capped at AdmissionFrac ×
+// QueueDepth, round-robin bounds the cold tenant's wait by that cap —
+// not by the hot tenant's offered load, which is 30× larger.
+func TestAdmissionFairnessColdTenantBounded(t *testing.T) {
+	const depth = 8
+	pool, err := NewPool(PoolConfig{
+		Detector:      testDetectConfig(),
+		Workers:       1,
+		QueueDepth:    depth,
+		AdmissionFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+
+	var mu sync.Mutex
+	var order []string
+	pool.sched.mu.Lock()
+	pool.sched.onBatch = func(tenant string) {
+		mu.Lock()
+		order = append(order, tenant)
+		mu.Unlock()
+	}
+	pool.sched.mu.Unlock()
+
+	hot, err := pool.GetOrCreate("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := pool.GetOrCreate("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate: push until the admission gate has fired repeatedly. The
+	// enqueue loop far outruns the single worker, so the backlog pins at
+	// the shed threshold (frac × depth = 4) and everything beyond sheds.
+	sheds, accepted := 0, 0
+	for i := 0; i < 512 && sheds < 16; i++ {
+		err := hot.Enqueue(quantumOf(i*8, "hot tenant saturating flood"))
+		var se *ShedError
+		switch {
+		case errors.As(err, &se):
+			if se.Reason != "queue-depth" {
+				t.Fatalf("shed reason = %q, want queue-depth", se.Reason)
+			}
+			if se.RetryAfter <= 0 {
+				t.Fatal("shed carries no retry hint")
+			}
+			sheds++
+		case err != nil:
+			t.Fatalf("unexpected enqueue error: %v", err)
+		default:
+			accepted++
+		}
+	}
+	if sheds == 0 {
+		t.Fatalf("admission gate never fired across %d accepted batches", accepted)
+	}
+
+	// The cold tenant arrives while the hot backlog sits at its cap.
+	mu.Lock()
+	hotAppliedBefore := len(order)
+	mu.Unlock()
+	start := time.Now()
+	if err := cold.Enqueue(quantumOf(0, "cold tenant single batch")); err != nil {
+		t.Fatalf("cold tenant shed by a hot tenant's backlog: %v", err)
+	}
+	if err := cold.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	coldLatency := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	coldPos := -1
+	for i, name := range order {
+		if name == "cold" {
+			coldPos = i
+			break
+		}
+	}
+	if coldPos == -1 {
+		t.Fatalf("cold batch never applied; order = %v", order)
+	}
+	hotBetween := 0
+	for _, name := range order[hotAppliedBefore:coldPos] {
+		if name == "hot" {
+			hotBetween++
+		}
+	}
+	// Admission caps the admitted hot backlog at frac×depth (4) plus the
+	// in-flight batch; round-robin serves cold within that — far below
+	// the hundreds of batches the hot tenant offered.
+	if hotBetween > depth/2+1 {
+		t.Fatalf("cold tenant waited behind %d hot batches; admission cap is %d", hotBetween, depth/2)
+	}
+	if coldLatency > 10*time.Second {
+		t.Fatalf("cold tenant apply latency %v — not bounded", coldLatency)
+	}
+
+	hm := hot.Metrics()
+	if hm.ShedQueueDepth == 0 || !hm.AdmissionEnabled {
+		t.Fatalf("hot tenant metrics missed the sheds: %+v", hm)
+	}
+	if cm := cold.Metrics(); cm.ShedQueueDepth != 0 || cm.ShedRateLimit != 0 {
+		t.Fatalf("cold tenant recorded sheds it never suffered: %+v", cm)
+	}
+}

@@ -99,6 +99,23 @@ type PoolConfig struct {
 	ArchiveSegmentEvents int
 	ArchiveBucketQuanta  int
 
+	// RateLimit, when positive, caps each tenant's sustained ingest rate
+	// in messages per second via a per-tenant token bucket. A batch that
+	// exceeds the bucket is shed with a ShedError (HTTP 429 +
+	// Retry-After) before the WAL or the queue ever see it. Zero
+	// disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity in messages (how far a
+	// tenant may briefly exceed RateLimit). Zero selects one second of
+	// sustained rate.
+	RateBurst int
+	// AdmissionFrac, when in (0, 1], sheds ingest once a tenant's
+	// backlog reaches this fraction of its hard queue bounds (QueueDepth
+	// batches or QueueMessages messages) — load is turned away with a
+	// retryable ShedError while the queue still has headroom, instead of
+	// slamming into ErrQueueFull at the wall. Zero disables the gate.
+	AdmissionFrac float64
+
 	// Workers sizes the shared scheduler's worker pool — the fixed set
 	// of goroutines that apply every tenant's ingest batches, replacing
 	// the old goroutine-per-tenant design. Zero selects GOMAXPROCS.
@@ -317,6 +334,13 @@ type Tenant struct {
 	queuedMsgs    atomic.Int64
 	maxQueuedMsgs int64
 
+	// admit is the overload-protection state (nil when admission control
+	// is off); the shed counters below feed the /metrics SLO surface.
+	admit         *admission
+	shedRateLimit atomic.Uint64 // batches shed by the token bucket
+	shedQueue     atomic.Uint64 // batches shed by the queue-depth gate
+	shedMsgs      atomic.Uint64 // messages across all shed batches
+
 	retain int // finished-event retention cap (0 = unlimited)
 
 	// Durability. lastApplied is the WAL seq of the last fully applied
@@ -354,6 +378,7 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 		retain:        cfg.RetainEvents,
 		storage:       st,
 		snapEvery:     cfg.SnapshotEvery,
+		admit:         newAdmission(cfg, nil),
 	}
 	st.attachEvict(det)
 	det.SetSnapshotRankHistory(cfg.SnapshotRankHistory)
@@ -587,6 +612,21 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 		t.qmu.Unlock()
 		return ErrBatchTooLarge
 	}
+	// Overload protection fires before the hard bounds and before the
+	// WAL append — a shed batch must leave no trace anywhere. The
+	// queue-depth gate turns load away while the queue still has
+	// headroom (Retry-After estimated from the tenant's observed apply
+	// rate); the token bucket caps the tenant's sustained message rate
+	// and is checked last so a batch the queue would reject anyway never
+	// burns tokens.
+	if se := t.admit.checkQueueLocked(len(msgs), t.queueLenLocked(), t.maxDepth,
+		t.queuedMsgs.Load(), t.maxQueuedMsgs); se != nil {
+		se.RetryAfter = t.drainEstimate()
+		t.shedQueue.Add(1)
+		t.shedMsgs.Add(uint64(len(msgs)))
+		t.qmu.Unlock()
+		return se
+	}
 	if t.queuedMsgs.Load()+int64(len(msgs)) > t.maxQueuedMsgs {
 		t.qmu.Unlock()
 		return ErrQueueFull
@@ -598,6 +638,12 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if t.queueLenLocked() >= t.maxDepth {
 		t.qmu.Unlock()
 		return ErrQueueFull
+	}
+	if se := t.admit.checkRate(len(msgs)); se != nil {
+		t.shedRateLimit.Add(1)
+		t.shedMsgs.Add(uint64(len(msgs)))
+		t.qmu.Unlock()
+		return se
 	}
 	var seq uint64
 	wl := t.walLog()
@@ -621,6 +667,40 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 		}
 	}
 	return nil
+}
+
+// drainEstimate estimates how long the tenant's current backlog takes
+// to drain at its observed per-message apply rate — the Retry-After
+// hint for queue-depth sheds. With no history yet (or an idle tenant)
+// it falls back to one second, the header's floor anyway.
+func (t *Tenant) drainEstimate() time.Duration {
+	queued := t.queuedMsgs.Load()
+	n := t.since.Load()
+	if queued <= 0 || n == 0 {
+		return time.Second
+	}
+	d := time.Duration(queued * (t.elapsed.Load() / int64(n)))
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// ShedCheck applies the queue-depth admission gate without a batch in
+// hand. The ingest handler calls it before decoding the request body,
+// so an overloaded tenant sheds a flood at the cost of a map lookup and
+// a mutex, not a 64 MiB JSON parse. Returns nil when ingest would
+// currently be admitted (the gates in Enqueue remain authoritative).
+func (t *Tenant) ShedCheck() *ShedError {
+	t.qmu.Lock()
+	defer t.qmu.Unlock()
+	se := t.admit.checkQueueLocked(0, t.queueLenLocked(), t.maxDepth,
+		t.queuedMsgs.Load(), t.maxQueuedMsgs)
+	if se != nil {
+		se.RetryAfter = t.drainEstimate()
+		t.shedQueue.Add(1)
+	}
+	return se
 }
 
 // ArchiveQuery serves the tenant's evicted-event history: records whose

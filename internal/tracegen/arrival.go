@@ -1,0 +1,285 @@
+package tracegen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// This file extends tracegen from single-stream synthesis to
+// heavy-traffic modelling: per-tenant arrival processes (who sends how
+// much, when) and adversarial message composition (what a hostile
+// tenant sends). The load harness (internal/loadharness) layers HTTP
+// driving and SLO measurement on top; everything here is pure, seeded
+// and deterministic, so a harness run's traffic plan is byte-identical
+// for a fixed seed.
+
+// ArrivalKind selects the per-tenant arrival process of a schedule.
+type ArrivalKind int
+
+const (
+	// ArrivalUniform spreads batches evenly across tenants round-robin —
+	// the control scenario every skewed run is compared against.
+	ArrivalUniform ArrivalKind = iota
+	// ArrivalZipf draws each batch's tenant from a Zipf distribution, so
+	// one or two hot tenants dominate while a long cold tail trickles —
+	// the steady-state skew of a real multi-tenant deployment.
+	ArrivalZipf
+	// ArrivalFlash is uniform background traffic plus a flash crowd: one
+	// tenant erupts to BurstFactor× its uniform share for a contiguous
+	// window of the schedule, the "everyone posts about the earthquake
+	// at once" shape the paper's workload implies.
+	ArrivalFlash
+)
+
+func (k ArrivalKind) String() string {
+	switch k {
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalZipf:
+		return "zipf"
+	case ArrivalFlash:
+		return "flash"
+	}
+	return fmt.Sprintf("ArrivalKind(%d)", int(k))
+}
+
+// ArrivalConfig shapes one traffic schedule.
+type ArrivalConfig struct {
+	Kind    ArrivalKind
+	Seed    int64
+	Tenants int // number of tenants (≥ 1)
+	// Batches is the total batch budget across all tenants.
+	Batches int
+	// ZipfS is the Zipf skew exponent for ArrivalZipf (must be > 1;
+	// default 1.4 — tenant 0 receives roughly half the traffic at 8
+	// tenants).
+	ZipfS float64
+	// Flash-crowd shape (ArrivalFlash): BurstTenant erupts between
+	// BurstStartFrac and BurstEndFrac of the schedule at BurstFactor×
+	// its uniform share. Defaults: tenant 0, [0.25, 0.75), 8×.
+	BurstTenant    int
+	BurstStartFrac float64
+	BurstEndFrac   float64
+	BurstFactor    int
+}
+
+func (c ArrivalConfig) withDefaults() ArrivalConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Batches <= 0 {
+		c.Batches = 64 * c.Tenants
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.4
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 8
+	}
+	if c.BurstEndFrac <= c.BurstStartFrac {
+		c.BurstStartFrac, c.BurstEndFrac = 0.25, 0.75
+	}
+	if c.BurstTenant < 0 || c.BurstTenant >= c.Tenants {
+		c.BurstTenant = 0
+	}
+	return c
+}
+
+// Schedule is a materialized arrival plan: Order[i] is the tenant index
+// of the i-th batch in global arrival order. PerTenant[t] counts the
+// batches tenant t receives. Deterministic for a fixed config.
+type Schedule struct {
+	Kind      ArrivalKind
+	Order     []int
+	PerTenant []int
+}
+
+// BuildSchedule materializes the arrival process into a concrete batch
+// order. The same config always yields the same schedule.
+func BuildSchedule(cfg ArrivalConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := Schedule{Kind: cfg.Kind, Order: make([]int, 0, cfg.Batches), PerTenant: make([]int, cfg.Tenants)}
+	switch cfg.Kind {
+	case ArrivalZipf:
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Tenants-1))
+		for i := 0; i < cfg.Batches; i++ {
+			s.Order = append(s.Order, int(zipf.Uint64()))
+		}
+	case ArrivalFlash:
+		// Uniform round-robin, with BurstFactor-1 extra burst-tenant
+		// batches woven after each round inside the burst window.
+		burstLo := int(cfg.BurstStartFrac * float64(cfg.Batches))
+		burstHi := int(cfg.BurstEndFrac * float64(cfg.Batches))
+		for i := 0; len(s.Order) < cfg.Batches; i++ {
+			s.Order = append(s.Order, i%cfg.Tenants)
+			if n := len(s.Order); n > burstLo && n <= burstHi && i%cfg.Tenants == cfg.Tenants-1 {
+				for j := 0; j < cfg.BurstFactor-1 && len(s.Order) < cfg.Batches; j++ {
+					s.Order = append(s.Order, cfg.BurstTenant)
+				}
+			}
+		}
+	default: // ArrivalUniform
+		for i := 0; i < cfg.Batches; i++ {
+			s.Order = append(s.Order, i%cfg.Tenants)
+		}
+	}
+	for _, t := range s.Order {
+		s.PerTenant[t]++
+	}
+	return s
+}
+
+// FloodConfig composes an adversarial keyword flood: the message stream
+// a hostile (or pathological) tenant sends to maximize detector and
+// query-engine work per byte.
+//
+//   - Every message carries KeywordsPerMsg distinct keywords from a
+//     sliding window over a PoolSize-keyword pool, posted by enough
+//     distinct users that each keyword crosses the burstiness threshold
+//     — so every keyword enters the AKG and correlates with every other
+//     keyword in its window (dense cluster churn, the paper's
+//     worst case for incremental SCP repair).
+//   - The window advances every ChurnEvery messages, killing the
+//     previous window's clusters and birthing new ones — event
+//     birth/death churn at the maximum rate the quantum size allows.
+//   - Over a run, the tenant cycles through the whole pool, inflating
+//     archive keyword-Bloom sidecars toward their false-positive
+//     ceiling: queries for any keyword probe (and decode) segments that
+//     hold no matching rows, the data-skipping layer's adversarial
+//     input.
+type FloodConfig struct {
+	Seed int64
+	// Users is the distinct-user population; each message draws a fresh
+	// user round-robin so every keyword's per-quantum user count is
+	// maximal. Default 64.
+	Users int
+	// PoolSize is the total adversarial keyword vocabulary. Default 512.
+	PoolSize int
+	// KeywordsPerMsg is how many window keywords each message carries.
+	// Default 5.
+	KeywordsPerMsg int
+	// WindowSize is the live keyword window width. Default 8.
+	WindowSize int
+	// ChurnEvery advances the window after this many messages —
+	// one detector quantum, when matched to the harness batch size, is
+	// the most adversarial setting. Default 8.
+	ChurnEvery int
+}
+
+func (c FloodConfig) withDefaults() FloodConfig {
+	if c.Users <= 0 {
+		c.Users = 64
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = 512
+	}
+	if c.KeywordsPerMsg <= 0 {
+		c.KeywordsPerMsg = 5
+	}
+	if c.WindowSize < c.KeywordsPerMsg {
+		c.WindowSize = maxi(8, c.KeywordsPerMsg)
+	}
+	if c.ChurnEvery <= 0 {
+		c.ChurnEvery = 8
+	}
+	return c
+}
+
+// Keyword returns the i-th pool keyword; the harness queries for
+// long-retired keywords by index to force Bloom-sidecar probes.
+func (c FloodConfig) Keyword(i int) string {
+	c = c.withDefaults()
+	return fmt.Sprintf("flood%dkw%d", c.Seed&0xffff, ((i%c.PoolSize)+c.PoolSize)%c.PoolSize)
+}
+
+// Messages composes n flood messages starting at absolute stream
+// position start (position drives the window, the user rotation and the
+// message IDs, so any contiguous run of positions is reproducible in
+// isolation).
+func (c FloodConfig) Messages(start, n int) []stream.Message {
+	c = c.withDefaults()
+	out := make([]stream.Message, n)
+	for i := 0; i < n; i++ {
+		pos := start + i
+		window := pos / c.ChurnEvery
+		rng := rand.New(rand.NewSource(c.Seed ^ int64(pos)*2654435761))
+		base := (window * c.WindowSize) % c.PoolSize
+		words := make([]string, 0, c.KeywordsPerMsg+1)
+		for _, idx := range rng.Perm(c.WindowSize)[:c.KeywordsPerMsg] {
+			words = append(words, c.Keyword(base+idx))
+		}
+		words = append(words, fillers[rng.Intn(len(fillers))])
+		out[i] = stream.Message{
+			ID:   uint64(pos + 1),
+			User: uint64(pos % c.Users),
+			Time: int64(pos),
+			Text: joinWords(words),
+		}
+	}
+	return out
+}
+
+// TenantTraffic composes benign per-tenant traffic: a small hot keyword
+// community (so real events form and evict into the archive) over
+// filler chatter. Deterministic per (seed, tenant, position).
+type TenantTraffic struct {
+	Seed   int64
+	Tenant int
+	// Users is the tenant's community size (default 48); Keywords its
+	// hot-topic pool (default 6, enough for one dense cluster).
+	Users    int
+	Keywords int
+}
+
+func (c TenantTraffic) withDefaults() TenantTraffic {
+	if c.Users <= 0 {
+		c.Users = 48
+	}
+	if c.Keywords <= 0 {
+		c.Keywords = 6
+	}
+	return c
+}
+
+// Messages composes n messages starting at absolute position start of
+// the tenant's stream.
+func (c TenantTraffic) Messages(start, n int) []stream.Message {
+	c = c.withDefaults()
+	out := make([]stream.Message, n)
+	for i := 0; i < n; i++ {
+		pos := start + i
+		rng := rand.New(rand.NewSource(c.Seed ^ int64(c.Tenant+1)*7919 ^ int64(pos)*104729))
+		words := make([]string, 0, 4)
+		// Three hot keywords per message: correlated enough that the
+		// community forms one reported event within a handful of quanta.
+		for _, idx := range rng.Perm(c.Keywords)[:3] {
+			words = append(words, fmt.Sprintf("t%dtopic%d", c.Tenant, idx))
+		}
+		words = append(words, fillers[rng.Intn(len(fillers))])
+		out[i] = stream.Message{
+			ID:   uint64(pos + 1),
+			User: uint64(pos % c.Users),
+			Time: int64(pos),
+			Text: joinWords(words),
+		}
+	}
+	return out
+}
+
+func joinWords(words []string) string {
+	n := 0
+	for _, w := range words {
+		n += len(w) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, w := range words {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, w...)
+	}
+	return string(b)
+}

@@ -1,0 +1,109 @@
+package tracegen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Arrival schedules must be deterministic, exhaustive (every batch
+// assigned), and shaped: zipf concentrates on tenant 0, flash erupts
+// only inside its window.
+func TestBuildScheduleDeterministicAndShaped(t *testing.T) {
+	cfg := ArrivalConfig{Kind: ArrivalZipf, Seed: 7, Tenants: 8, Batches: 4096}
+	a, b := BuildSchedule(cfg), BuildSchedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if len(a.Order) != cfg.Batches {
+		t.Fatalf("order length = %d, want %d", len(a.Order), cfg.Batches)
+	}
+	total := 0
+	for _, n := range a.PerTenant {
+		total += n
+	}
+	if total != cfg.Batches {
+		t.Fatalf("per-tenant counts sum to %d, want %d", total, cfg.Batches)
+	}
+	// Zipf skew: the hottest tenant must dominate a uniform share.
+	if a.PerTenant[0] < 2*cfg.Batches/cfg.Tenants {
+		t.Fatalf("zipf hot tenant got %d of %d batches — not skewed", a.PerTenant[0], cfg.Batches)
+	}
+
+	uni := BuildSchedule(ArrivalConfig{Kind: ArrivalUniform, Seed: 7, Tenants: 4, Batches: 400})
+	for i, n := range uni.PerTenant {
+		if n != 100 {
+			t.Fatalf("uniform tenant %d got %d batches, want 100", i, n)
+		}
+	}
+
+	fl := BuildSchedule(ArrivalConfig{Kind: ArrivalFlash, Seed: 7, Tenants: 4, Batches: 800,
+		BurstTenant: 1, BurstStartFrac: 0.5, BurstEndFrac: 0.75, BurstFactor: 6})
+	if fl.PerTenant[1] <= fl.PerTenant[0] {
+		t.Fatalf("flash tenant 1 (%d batches) did not exceed background tenant 0 (%d)",
+			fl.PerTenant[1], fl.PerTenant[0])
+	}
+	// Before the window the burst tenant is on its uniform share: the
+	// first quarter of the schedule must be a plain round-robin prefix.
+	quarter := fl.Order[:200]
+	for i, tn := range quarter {
+		if tn != i%4 {
+			t.Fatalf("flash schedule bursts before its window: position %d = tenant %d", i, tn)
+		}
+	}
+}
+
+// Flood and tenant-traffic composers must be reproducible per position
+// range: composing [0,64) must equal composing [0,32) + [32,64).
+func TestMessageComposersPositionReproducible(t *testing.T) {
+	fc := FloodConfig{Seed: 42}
+	whole := fc.Messages(0, 64)
+	split := append(fc.Messages(0, 32), fc.Messages(32, 32)...)
+	if !reflect.DeepEqual(whole, split) {
+		t.Fatal("flood messages are not position-reproducible")
+	}
+	tt := TenantTraffic{Seed: 42, Tenant: 3}
+	whole2 := tt.Messages(0, 64)
+	split2 := append(tt.Messages(0, 32), tt.Messages(32, 32)...)
+	if !reflect.DeepEqual(whole2, split2) {
+		t.Fatal("tenant traffic is not position-reproducible")
+	}
+}
+
+// The flood must actually churn: consecutive windows share no keywords,
+// every message carries flood keywords, and users rotate so per-quantum
+// user counts cross the burstiness threshold.
+func TestFloodChurnsKeywordWindows(t *testing.T) {
+	fc := FloodConfig{Seed: 1, ChurnEvery: 8, WindowSize: 8, KeywordsPerMsg: 5, PoolSize: 512}
+	first := floodKeywords(fc.Messages(0, 8))
+	second := floodKeywords(fc.Messages(8, 8))
+	if len(first) == 0 || len(second) == 0 {
+		t.Fatal("flood windows carried no keywords")
+	}
+	for kw := range second {
+		if _, dup := first[kw]; dup {
+			t.Fatalf("keyword %q survived the window churn", kw)
+		}
+	}
+	users := make(map[uint64]struct{})
+	for _, m := range fc.Messages(0, 8) {
+		users[m.User] = struct{}{}
+	}
+	if len(users) != 8 {
+		t.Fatalf("one flood quantum used %d distinct users, want 8", len(users))
+	}
+}
+
+func floodKeywords(msgs []stream.Message) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, m := range msgs {
+		for _, w := range strings.Fields(m.Text) {
+			if strings.HasPrefix(w, "flood") {
+				out[w] = struct{}{}
+			}
+		}
+	}
+	return out
+}

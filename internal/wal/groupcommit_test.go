@@ -214,3 +214,90 @@ func TestAppendSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("Append allocates %.1f times per batch, want 0", allocs)
 	}
 }
+
+// TestGroupCommitFailStop injects a flush failure (the segment file
+// closed under the log) and requires fail-stop semantics: the batch
+// whose flush failed is never acknowledged — a parked Commit waiter is
+// woken with the error, not left hanging and not lied to — the log
+// refuses every further append, and a reopen sees exactly the
+// acknowledged prefix.
+func TestGroupCommitFailStop(t *testing.T) {
+	gc := NewGroupCommitter(time.Hour) // flushes only when the test says so
+	defer gc.Stop()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{GroupCommit: gc})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First batch: flushed cleanly (creating the segment), acknowledged.
+	seq1, err := l.Append(batch(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.flushCommit()
+	if err := l.Commit(seq1); err != nil {
+		t.Fatalf("healthy commit failed: %v", err)
+	}
+
+	// Second batch: buffered, with a waiter parked on its durability.
+	seq2, err := l.Append(batch(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waiter := make(chan error, 1)
+	go func() { waiter <- l.Commit(seq2) }()
+	for i := 0; ; i++ {
+		l.mu.Lock()
+		parked := l.commitCh != nil
+		l.mu.Unlock()
+		if parked {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("Commit waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Fault injection: the active segment vanishes under the log, so
+	// the next group flush's write must fail.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+	l.flushCommit()
+
+	select {
+	case err := <-waiter:
+		if err == nil {
+			t.Fatal("Commit acknowledged a batch whose flush failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit waiter never woken by the failure")
+	}
+	if err := l.Commit(seq2); err == nil {
+		t.Fatal("a failed log must keep refusing the lost batch's commit")
+	}
+	if _, err := l.Append(batch(3, 2)); err == nil {
+		t.Fatal("a failed log accepted a further append")
+	}
+
+	// Recovery sees exactly what was acknowledged: batch 1, nothing else.
+	l.Close() //nolint:errcheck // the log is already fail-stopped
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []uint64
+	err = l2.Replay(0, func(seq uint64, msgs []stream.Message, flush bool) error {
+		got = append(got, seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []uint64{seq1}) {
+		t.Fatalf("replay after fail-stop = %v, want [%d]", got, seq1)
+	}
+}
