@@ -1,5 +1,5 @@
 # Developer entry points. CI runs the same checks as `make check`.
-.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-load bench-smoke fuzz-smoke
+.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-load bench-obs bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -48,6 +48,16 @@ bench-query:
 # docs/OPERATIONS.md.
 bench-load:
 	./scripts/bench_load.sh
+
+# Instrumentation-overhead gate: the durable-ingest and
+# query-under-ingest benchmarks with telemetry off vs on must agree
+# within OBS_TOLERANCE_PCT (default 3) ns/op and +0 allocs/op; emits
+# BENCH_obs.json and fails on regression. See docs/OPERATIONS.md.
+OBS_TOLERANCE_PCT ?= 3
+OBS_ALLOC_SLACK ?= 0
+bench-obs:
+	OBS_TOLERANCE_PCT=$(OBS_TOLERANCE_PCT) OBS_ALLOC_SLACK=$(OBS_ALLOC_SLACK) \
+		./scripts/bench_obs.sh $(BENCHTIME)
 
 # One-iteration pass over every benchmark in the repo, so bench-only
 # files cannot rot uncompiled (CI runs this on every PR), plus the fuzz

@@ -55,11 +55,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -67,6 +69,26 @@ import (
 	"repro/internal/detect"
 	"repro/internal/server"
 )
+
+// buildInfo extracts the module path, Go toolchain and VCS revision
+// baked into the binary, for the structured startup line.
+func buildInfo() (path, goVersion, revision string) {
+	path, goVersion, revision = "unknown", runtime.Version(), "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	path, goVersion = bi.Main.Path, bi.GoVersion
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+			if s.Value != "" && len(revision) > 12 {
+				revision = revision[:12]
+			}
+		}
+	}
+	return
+}
 
 func main() {
 	var (
@@ -104,6 +126,16 @@ func main() {
 		pprofAddr = flag.String("pprof-addr", "",
 			"listen address for net/http/pprof diagnostics (empty disables; "+
 				"e.g. localhost:6060 — keep it off public interfaces)")
+
+		telemetry = flag.Bool("telemetry", true,
+			"per-stage latency histograms and request tracing "+
+				"(GET /metrics?format=prometheus, GET /debug/requests)")
+		traceRing = flag.Int("trace-ring", 64,
+			"slowest traced requests retained per tenant for GET /debug/requests "+
+				"(0 disables request tracing, keeping the histograms)")
+		slowReqMs = flag.Int("slow-request-ms", 0,
+			"only requests at least this slow enter the trace ring "+
+				"(0 = every traced request competes for a slot)")
 
 		delta = flag.Int("delta", 160, "quantum size Δ in messages")
 		qtime = flag.Int64("qtime", 0, "time-based quantum length (0 = message count)")
@@ -144,11 +176,20 @@ func main() {
 	req(*snapEvr > 0, "-snapshot-every must be a positive quantum count")
 	req(*archSeg > 0, "-archive-segment-events must be positive")
 	req(*archBkt > 0, "-archive-bucket-quanta must be positive")
+	req(*traceRing >= 0, "-trace-ring must be non-negative (0 = tracing off)")
+	req(*slowReqMs >= 0, "-slow-request-ms must be non-negative (0 = trace everything)")
 	if len(bad) > 0 {
 		for _, msg := range bad {
 			fmt.Fprintln(os.Stderr, "serve: invalid flag:", msg)
 		}
 		os.Exit(2)
+	}
+
+	// The pool treats a negative ring size as "tracing off"; the flag
+	// spells that 0, with 0 itself never meaning "use the default".
+	ringSize := *traceRing
+	if ringSize == 0 {
+		ringSize = -1
 	}
 
 	srv, err := server.New(server.Config{
@@ -179,23 +220,51 @@ func main() {
 			ArchiveDir:             *archDir,
 			ArchiveSegmentEvents:   *archSeg,
 			ArchiveBucketQuanta:    *archBkt,
+
+			ObsDisabled:          !*telemetry,
+			TraceRingSize:        ringSize,
+			SlowRequestThreshold: time.Duration(*slowReqMs) * time.Millisecond,
 		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
+	modPath, goVersion, revision := buildInfo()
+	logger.Info("starting",
+		"module", modPath,
+		"go", goVersion,
+		"revision", revision,
+		"addr", *addr,
+		"workers", *workers,
+		"delta", *delta,
+		"tau", *tau,
+		"beta", *beta,
+		"window", *w,
+		"wal", *walDir != "",
+		"group_commit", walGC.String(),
+		"archive", *archDir != "",
+		"checkpoints", *ckpt != "",
+		"rate_limit", *rateLim,
+		"admission_frac", *admFrac,
+		"telemetry", *telemetry,
+		"trace_ring", *traceRing,
+		"slow_request_ms", *slowReqMs,
+	)
 	if tenants := srv.Pool.Names(); len(tenants) > 0 {
-		log.Printf("restored %d tenant(s): %v", len(tenants), tenants)
+		logger.Info("restored tenants", "count", len(tenants), "tenants", tenants)
 	}
 	if *pprofAddr != "" {
 		// The pprof import registers on http.DefaultServeMux, which the
 		// API server does not use — the diagnostics surface stays on its
 		// own listener, off by default.
 		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -205,7 +274,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving on %s", *addr)
+	logger.Info("serving", "addr", *addr)
 
 	select {
 	case err := <-errc:
@@ -215,11 +284,11 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second signal kills
-		log.Printf("shutting down: draining queues and checkpointing")
+		logger.Info("shutting down", "phase", "draining queues and checkpointing")
 		if err := srv.Shutdown(context.Background()); err != nil {
 			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
 			os.Exit(1)
 		}
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }

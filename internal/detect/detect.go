@@ -177,6 +177,16 @@ type QuantumResult struct {
 	// Elapsed is the wall time spent processing this quantum (graph
 	// maintenance + event reconciliation; excludes the caller's IO).
 	Elapsed time.Duration
+	// PrepElapsed / GraphElapsed / ReconcileElapsed split the quantum's
+	// processing into the pipeline's sub-phases for the serving layer's
+	// stage histograms: tokenization plus vocabulary interning, AKG/CKG
+	// graph and dense-cluster maintenance, and dirty-set event
+	// reconciliation. PrepElapsed is not part of Elapsed — tokenization
+	// may run on a pipeline worker (see RunParallel) while Elapsed
+	// times only the serial apply step.
+	PrepElapsed      time.Duration
+	GraphElapsed     time.Duration
+	ReconcileElapsed time.Duration
 }
 
 // Detector is the streaming event discovery pipeline. Not safe for
@@ -392,6 +402,10 @@ type prepared struct {
 	users  []prepUser
 	byUser map[uint64]int32
 	synBuf []byte // canonical form of the current token, when substituted
+	// prepDur is the wall time prepareQuantumInto spent, carried into
+	// the QuantumResult so sub-phase timing survives the prepare/apply
+	// split of the parallel pipeline.
+	prepDur time.Duration
 }
 
 // prepUser is one user's distinct canonical keywords (arena offsets),
@@ -412,6 +426,8 @@ type wordRef struct {
 // user's distinct keywords sorted lexicographically — exactly the
 // interning order of the original string-based pipeline.
 func (d *Detector) prepareQuantumInto(p *prepared, batch []stream.Message) {
+	prepStart := time.Now()
+	defer func() { p.prepDur = time.Since(prepStart) }()
 	p.arena = p.arena[:0]
 	p.users = p.users[:0]
 	if p.byUser == nil {
@@ -530,23 +546,28 @@ func (d *Detector) applyQuantum(prep *prepared) QuantumResult {
 	}
 	d.kwArena = kwArena
 	d.uksScratch = uks
+	internDone := time.Now()
 
 	if d.ckg != nil {
 		d.ckg.AddQuantum(uks)
 	}
 	stats := d.akg.ProcessQuantum(uks)
+	graphDone := time.Now()
 
 	res := QuantumResult{
 		Quantum: stats.Quantum,
 		Stats:   stats,
 	}
 	d.reconcileEvents(&res)
+	res.ReconcileElapsed = time.Since(graphDone)
 	res.AKGNodes = d.akg.NodeCount()
 	res.AKGEdges = d.akg.EdgeCount()
 	if d.ckg != nil {
 		res.CKGNodes = d.ckg.NodeCount()
 		res.CKGEdges = d.ckg.EdgeCount()
 	}
+	res.PrepElapsed = prep.prepDur + internDone.Sub(started)
+	res.GraphElapsed = graphDone.Sub(internDone)
 	res.Elapsed = time.Since(started)
 	if d.onQuantum != nil {
 		d.onQuantum(&res)

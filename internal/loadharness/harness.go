@@ -210,6 +210,8 @@ func (r *Runner) driveTenant(ctx context.Context, client *http.Client, base stri
 	rep.IngestP99Ms = percentileMs(lats, 0.99)
 	rep.QueryP50Ms = percentileMs(queryLats, 0.50)
 	rep.QueryP99Ms = percentileMs(queryLats, 0.99)
+	rep.IngestHist = histSummaryOf(lats)
+	rep.QueryHist = histSummaryOf(queryLats)
 	return rep, nil
 }
 

@@ -111,6 +111,12 @@ func TestRunUniformSmoke(t *testing.T) {
 			t.Fatalf("tenant %s implausible ingest latencies: p50=%v p99=%v",
 				tr.Tenant, tr.IngestP50Ms, tr.IngestP99Ms)
 		}
+		if tr.IngestHist == nil || tr.IngestHist.Count == 0 || tr.IngestHist.P99Ms < tr.IngestHist.P50Ms {
+			t.Fatalf("tenant %s missing or implausible ingest histogram summary: %+v", tr.Tenant, tr.IngestHist)
+		}
+		if tr.QueryHist == nil || int(tr.QueryHist.Count) != tr.Queries-tr.QueryErrors {
+			t.Fatalf("tenant %s query histogram count mismatch: %+v vs %d queries", tr.Tenant, tr.QueryHist, tr.Queries)
+		}
 	}
 	if rep.PlanDigest != plan.Digest {
 		t.Fatal("report does not carry the plan digest")

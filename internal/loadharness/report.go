@@ -4,7 +4,24 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// histSummaryOf folds a latency sample through an obs.Histogram and
+// returns its summary, nil for an empty sample.
+func histSummaryOf(lats []time.Duration) *obs.HistSummary {
+	if len(lats) == 0 {
+		return nil
+	}
+	var h obs.Histogram
+	for _, d := range lats {
+		h.Observe(d)
+	}
+	snap := h.Snapshot()
+	s := snap.Summary()
+	return &s
+}
 
 // TenantReport is one tenant's measured SLO outcome for one run.
 type TenantReport struct {
@@ -34,6 +51,14 @@ type TenantReport struct {
 	QueryErrors int     `json:"query_errors"`
 	QueryP50Ms  float64 `json:"query_p50_ms"`
 	QueryP99Ms  float64 `json:"query_p99_ms"`
+	// IngestHist / QueryHist are the same distributions folded through
+	// the telemetry layer's log-bucketed histogram (count, p50/p95/p99,
+	// max), so a harness report reads like the server's own
+	// /metrics?format=prometheus stage data. The exact-sample
+	// percentiles above remain the SLO inputs; the histogram summaries
+	// carry the bucketing error a dashboard would see.
+	IngestHist *obs.HistSummary `json:"ingest_to_sse_hist,omitempty"`
+	QueryHist  *obs.HistSummary `json:"query_hist,omitempty"`
 }
 
 // ReportTotals aggregates the per-tenant counters.

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed histogram resolution: bucket i holds
+// observations whose nanosecond value has bit length i — power-of-2
+// bounds from 1ns to ~2.3 centuries, so one layout covers every stage
+// from a 40ns atomic to a multi-second fsync stall without per-stage
+// tuning.
+const NumBuckets = 64
+
+// numShards spreads concurrent observers across independent counter
+// arrays (selected by the observation's low bits) so parallel ingest
+// handlers don't serialize on one cache line. Must be a power of two.
+const numShards = 4
+
+// histShard is one shard's counters, padded to cache-line multiples so
+// adjacent shards never false-share.
+type histShard struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	_       [6]uint64
+}
+
+// Histogram is a lock-free log-bucketed latency histogram. The zero
+// value is ready to use; embed it by value (no constructor, no
+// allocation). Observe is wait-free apart from the max-register CAS.
+type Histogram struct {
+	shards [numShards]histShard
+	max    atomic.Uint64
+}
+
+// bucketOf maps a nanosecond value to its bucket: the value's bit
+// length (0ns → bucket 0), clamped to the top bucket.
+func bucketOf(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpper returns bucket i's inclusive upper bound in nanoseconds
+// (2^i - 1; the top bucket is unbounded).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= NumBuckets-1 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Observe records one latency. Negative durations clamp to zero.
+// Zero-alloc; safe for any number of concurrent callers. Nil-safe.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	var ns uint64
+	if d > 0 {
+		ns = uint64(d)
+	}
+	s := &h.shards[ns&(numShards-1)]
+	s.buckets[bucketOf(ns)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistSnap is a point-in-time copy of a histogram, mergeable across
+// tenants or processes. Concurrent observes make the copy slightly
+// torn (count/sum/buckets race benignly); the skew is bounded by the
+// observes in flight during the read.
+type HistSnap struct {
+	Count   uint64
+	SumNs   uint64
+	MaxNs   uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot sums the shards into one portable snapshot. Nil-safe.
+func (h *Histogram) Snapshot() HistSnap {
+	var s HistSnap
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		s.Count += sh.count.Load()
+		s.SumNs += sh.sum.Load()
+		for b := range sh.buckets {
+			s.Buckets[b] += sh.buckets[b].Load()
+		}
+	}
+	s.MaxNs = h.max.Load()
+	return s
+}
+
+// Merge adds another snapshot into s (for cross-tenant aggregation).
+func (s *HistSnap) Merge(o HistSnap) {
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Quantile returns the q-th quantile (0 < q ≤ 1) as a duration:
+// nearest-rank over the cumulative bucket counts, reported as the
+// containing bucket's upper bound — so the value is an upper estimate
+// within the bucket's 2× resolution — clamped to the exact observed
+// maximum (which also makes the top quantile of a one-point
+// distribution exact). Zero observations yield 0.
+func (s *HistSnap) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			up := BucketUpper(i)
+			if up > s.MaxNs {
+				up = s.MaxNs
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(s.MaxNs)
+}
+
+// Max returns the exact maximum observed latency.
+func (s *HistSnap) Max() time.Duration { return time.Duration(s.MaxNs) }
+
+// Mean returns the exact arithmetic mean (sum/count).
+func (s *HistSnap) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// HistSummary is the JSON-friendly digest reports embed: count and the
+// standard percentile set in milliseconds.
+type HistSummary struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Summary digests the snapshot into the standard percentile set.
+func (s *HistSnap) Summary() HistSummary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return HistSummary{
+		Count: s.Count,
+		P50Ms: ms(s.Quantile(0.50)),
+		P95Ms: ms(s.Quantile(0.95)),
+		P99Ms: ms(s.Quantile(0.99)),
+		MaxMs: ms(s.Max()),
+	}
+}

@@ -1,0 +1,258 @@
+// Package obs is the serving pipeline's telemetry layer: lock-free
+// log-bucketed latency histograms for every pipeline stage, and
+// bounded slow-request trace rings, both designed so the ingest and
+// query hot paths pay only a clock read and a handful of atomic adds —
+// zero allocations, no locks.
+//
+// The package deliberately imports nothing from the rest of the repo,
+// so any layer (server, wal, query, loadharness) can observe into it
+// without import cycles. Every method on *Telemetry, *TenantObs,
+// *Histogram, *ReqTrace and *SlowRing is nil-receiver safe: a caller
+// built with telemetry disabled holds nil pointers and the observe
+// calls degrade to a predictable branch.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage identifies one instrumented pipeline stage. The values index
+// a fixed per-tenant histogram array, so observing is an array load —
+// no map, no lock.
+type Stage uint8
+
+const (
+	// StageHTTPIngest is the ingest handler's wall time (decode +
+	// admission + WAL + ack).
+	StageHTTPIngest Stage = iota
+	// StageHTTPQuery is a read endpoint's wall time (/events, /related,
+	// /events/{id}, /query, /archive).
+	StageHTTPQuery
+	// StageAdmission is the admission gate: queue-bound checks and the
+	// token bucket, including the ingest-queue lock acquisition.
+	StageAdmission
+	// StageWALAppend is the WAL append under the queue lock (a memory
+	// copy under group commit, a write+fsync in synchronous mode).
+	StageWALAppend
+	// StageWALCommit is the durability wait after the queue lock is
+	// released — under group commit, the shared flush the ack waits on.
+	StageWALCommit
+	// StageWALFsync is one group-commit flush pass (write + fsync of a
+	// log's pending records), observed from inside the WAL.
+	StageWALFsync
+	// StageQueueWait is a batch's time in the ingest queue: accepted
+	// (pushed) to picked up by the apply step.
+	StageQueueWait
+	// StageSchedWait is the tenant's wait in the shared scheduler's
+	// runnable queue: submitted to first worker turn.
+	StageSchedWait
+	// StageDetectQuantum is one full detector quantum (tokenize + graph
+	// + reconcile).
+	StageDetectQuantum
+	// StageTokenize is the quantum's tokenization + vocabulary
+	// interning sub-phase.
+	StageTokenize
+	// StageGraphMaintain is the AKG/CKG graph and dense-cluster
+	// maintenance sub-phase (window slide, observation, classification,
+	// edge refresh, cluster upkeep).
+	StageGraphMaintain
+	// StageReconcile is the dirty-set event-lifecycle reconciliation
+	// sub-phase.
+	StageReconcile
+	// StageSnapshotPublish is building + publishing the immutable epoch
+	// snapshot after a quantum.
+	StageSnapshotPublish
+	// StageSSEFanout is marshalling the quantum's stream event and
+	// handing it to every SSE subscriber.
+	StageSSEFanout
+	// StageQueryExec is one unified query execution (query.Run).
+	StageQueryExec
+	// StageQueryPlan is the query planner: cursor decode, bounds, index
+	// selection.
+	StageQueryPlan
+	// StageQuerySnapshotScan is the live epoch-snapshot scan.
+	StageQuerySnapshotScan
+	// StageQueryArchiveScan is the archive segment scan (including the
+	// sidecar skip decisions).
+	StageQueryArchiveScan
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"http_ingest",
+	"http_query",
+	"admission",
+	"wal_append",
+	"wal_commit",
+	"wal_fsync",
+	"queue_wait",
+	"sched_wait",
+	"detect_quantum",
+	"tokenize",
+	"graph_maintain",
+	"reconcile",
+	"snapshot_publish",
+	"sse_fanout",
+	"query_exec",
+	"query_plan",
+	"query_snapshot_scan",
+	"query_archive_scan",
+}
+
+// String returns the stage's exposition label (snake_case).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stages returns every defined stage in declaration order, for
+// exposition layers that enumerate the histogram set.
+func Stages() []Stage {
+	out := make([]Stage, numStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// NumStages is the number of defined stages.
+func NumStages() int { return int(numStages) }
+
+// Config tunes one Telemetry registry.
+type Config struct {
+	// TraceRingSize bounds each tenant's slow-request ring (the N
+	// slowest traced requests are retained). Zero selects 64; negative
+	// disables request tracing while keeping the histograms.
+	TraceRingSize int
+	// SlowRequest, when positive, drops traces of requests faster than
+	// this from the ring offer path. Zero offers every traced request —
+	// the ring keeps only the slowest anyway.
+	SlowRequest time.Duration
+}
+
+// Telemetry is the process-wide registry of per-tenant telemetry. A
+// nil *Telemetry is the disabled state: Tenant returns nil and every
+// downstream observe call no-ops.
+type Telemetry struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tenants map[string]*TenantObs
+}
+
+// New builds a telemetry registry.
+func New(cfg Config) *Telemetry {
+	if cfg.TraceRingSize == 0 {
+		cfg.TraceRingSize = 64
+	}
+	return &Telemetry{cfg: cfg, tenants: make(map[string]*TenantObs)}
+}
+
+// Tenant returns (creating on first use) the named tenant's telemetry.
+// Idempotent and safe for concurrent use; nil receiver returns nil.
+// Callers cache the pointer — the hot path never takes this lock.
+func (tl *Telemetry) Tenant(name string) *TenantObs {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if to, ok := tl.tenants[name]; ok {
+		return to
+	}
+	to := &TenantObs{name: name}
+	if tl.cfg.TraceRingSize > 0 {
+		to.ring = NewSlowRing(tl.cfg.TraceRingSize)
+	}
+	tl.tenants[name] = to
+	return to
+}
+
+// Tenants returns every registered tenant's telemetry, name-sorted.
+func (tl *Telemetry) Tenants() []*TenantObs {
+	if tl == nil {
+		return nil
+	}
+	tl.mu.Lock()
+	out := make([]*TenantObs, 0, len(tl.tenants))
+	for _, to := range tl.tenants {
+		out = append(out, to)
+	}
+	tl.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// SlowThreshold returns the configured slow-request trace threshold
+// (0 = trace everything offered). Nil receiver returns 0.
+func (tl *Telemetry) SlowThreshold() time.Duration {
+	if tl == nil {
+		return 0
+	}
+	return tl.cfg.SlowRequest
+}
+
+// TenantObs is one tenant's telemetry: a fixed stage-indexed histogram
+// array and the slow-request ring. All methods are nil-receiver safe.
+type TenantObs struct {
+	name  string
+	hists [numStages]Histogram
+	ring  *SlowRing
+}
+
+// Name returns the tenant name.
+func (t *TenantObs) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Observe records one stage latency. Zero-alloc, lock-free: a bucket
+// index computation and four atomic adds.
+func (t *TenantObs) Observe(st Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.hists[st].Observe(d)
+}
+
+// Snapshot returns a consistent-enough copy of one stage's histogram
+// (bucket sums race benignly with concurrent observes).
+func (t *TenantObs) Snapshot(st Stage) HistSnap {
+	if t == nil {
+		return HistSnap{}
+	}
+	return t.hists[st].Snapshot()
+}
+
+// Hist returns the stage's histogram (nil when the receiver is nil),
+// for callers that observe repeatedly.
+func (t *TenantObs) Hist(st Stage) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return &t.hists[st]
+}
+
+// Ring returns the tenant's slow-request ring (nil when tracing is
+// disabled or the receiver is nil).
+func (t *TenantObs) Ring() *SlowRing {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// OfferTrace offers a finished trace record to the slow-request ring.
+func (t *TenantObs) OfferTrace(rec *TraceRecord) {
+	if t == nil || rec == nil {
+		return
+	}
+	t.ring.Offer(rec)
+}

@@ -27,9 +27,11 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/archive"
 	"repro/internal/detect"
+	"repro/internal/obs"
 )
 
 // Snapshot is the live-source interface, implemented by
@@ -76,6 +78,13 @@ type Request struct {
 	// compatibility mode the /archive endpoint runs in (no snapshot
 	// fan-out, no live/archive dedup).
 	ArchiveOnly bool
+
+	// Trace, when non-nil, receives plan/snapshot-scan/archive-scan
+	// spans with per-source stats annotations; Obs, when non-nil,
+	// receives the same boundaries as stage-histogram observations.
+	// Both are nil-safe and default off — plain queries pay nothing.
+	Trace *obs.ReqTrace
+	Obs   *obs.TenantObs
 }
 
 // Event is the unified result shape: the fields an event carries
@@ -160,6 +169,23 @@ func (k key) less(o key) bool {
 // even when present. The only errors are source scan failures and
 // malformed requests (ErrBadCursor, negative limit).
 func Run(snap Snapshot, arch Archive, req Request) (Result, error) {
+	// clk gates every instrumentation time read on telemetry actually
+	// being attached, keeping the plain path time-read free.
+	instrumented := req.Trace != nil || req.Obs != nil
+	var mark time.Time
+	clk := func(stage obs.Stage) {
+		if !instrumented {
+			return
+		}
+		now := time.Now()
+		if !mark.IsZero() {
+			req.Obs.Observe(stage, now.Sub(mark))
+		}
+		mark = now
+	}
+	req.Trace.Step("plan")
+	clk(0) // set the mark; no stage closes at the start
+
 	res := Result{Events: []Event{}}
 	if req.Limit < 0 {
 		return res, fmt.Errorf("query: negative limit %d", req.Limit)
@@ -189,16 +215,28 @@ func Run(snap Snapshot, arch Archive, req Request) (Result, error) {
 
 	p := newPool(req.Limit)
 	trunc := false
+	clk(obs.StageQueryPlan)
 
 	if snap != nil && !req.ArchiveOnly {
+		req.Trace.Step("snapshot_scan")
 		trunc = scanSnapshot(snap, req, from, to, floor, cur, hasCur, p, &res.Stats) || trunc
+		clk(obs.StageQuerySnapshotScan)
+		if req.Trace != nil {
+			req.Trace.Annotate(fmt.Sprintf("hits=%d", res.Stats.SnapshotHits))
+		}
 	}
 	if arch != nil {
 		dedup := snap
 		if req.ArchiveOnly {
 			dedup = nil
 		}
+		req.Trace.Step("archive_scan")
 		t, err := scanArchive(arch, dedup, req, from, to, cur, hasCur, p, &res.Stats)
+		clk(obs.StageQueryArchiveScan)
+		if req.Trace != nil {
+			req.Trace.Annotate(fmt.Sprintf("hits=%d segments=%d/%d records=%d",
+				res.Stats.ArchiveHits, res.Stats.SegmentsScanned, res.Stats.Segments, res.Stats.RecordsScanned))
+		}
 		if err != nil {
 			return res, err
 		}

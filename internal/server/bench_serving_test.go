@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,12 @@ import (
 	"repro/internal/stream"
 	"repro/internal/tracegen"
 )
+
+// benchObsDisabled reports whether this run is the untelemetered
+// baseline arm of the instrumentation-overhead gate
+// (scripts/bench_obs.sh sets BENCH_TELEMETRY=off for it). The default
+// arm runs with stage histograms live, exactly as production does.
+func benchObsDisabled() bool { return os.Getenv("BENCH_TELEMETRY") == "off" }
 
 // benchBatches cuts a synthetic TW trace into quantum-sized ingest
 // batches, cached across benchmark runs.
@@ -46,6 +53,7 @@ func BenchmarkQueryUnderIngest(b *testing.B) {
 		RetainEvents:  512,
 		QueueDepth:    8,
 		QueueMessages: 1 << 20,
+		ObsDisabled:   benchObsDisabled(),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -143,6 +151,7 @@ func BenchmarkIngestThroughput(b *testing.B) {
 		RetainEvents:  512,
 		QueueDepth:    8,
 		QueueMessages: 1 << 20,
+		ObsDisabled:   benchObsDisabled(),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -187,6 +196,7 @@ func BenchmarkIngestDurable(b *testing.B) {
 			WALSyncEvery:           syncEvery,
 			WALGroupCommitInterval: groupCommit,
 			SnapshotEvery:          1 << 30, // keep snapshot IO out of the measurement
+			ObsDisabled:            benchObsDisabled(),
 		})
 		if err != nil {
 			b.Fatal(err)

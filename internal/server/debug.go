@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// offerTrace finishes a request trace and offers it to the tenant's
+// slow-request ring, honouring the pool's slow-request threshold. Also
+// observes the request's wall time into the given stage histogram.
+// Returns the finished record so ?debug=1 responses can embed it.
+// Nil-safe on every input.
+func (p *Pool) offerTrace(t *Tenant, tr *obs.ReqTrace, stage obs.Stage) *obs.TraceRecord {
+	rec := tr.Finish()
+	if rec == nil {
+		return nil
+	}
+	if t != nil && t.obs != nil {
+		t.obs.Observe(stage, rec.Total)
+		if th := p.tel.SlowThreshold(); th <= 0 || rec.Total >= th {
+			t.obs.OfferTrace(rec)
+		}
+	}
+	return rec
+}
+
+// spanJSON is the ?debug=1 / /debug/requests projection of one span.
+type spanJSON struct {
+	Stage       string  `json:"stage"`
+	Ms          float64 `json:"ms"`
+	Annotations string  `json:"annotations,omitempty"`
+}
+
+// traceJSON is the JSON projection of a finished trace record.
+type traceJSON struct {
+	Tenant  string     `json:"tenant"`
+	Op      string     `json:"op"`
+	Detail  string     `json:"detail,omitempty"`
+	Start   time.Time  `json:"start"`
+	TotalMs float64    `json:"total_ms"`
+	Spans   []spanJSON `json:"spans"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func traceView(rec *obs.TraceRecord) traceJSON {
+	out := traceJSON{
+		Tenant:  rec.Tenant,
+		Op:      rec.Op,
+		Detail:  rec.Detail,
+		Start:   rec.Start,
+		TotalMs: ms(rec.Total),
+		Spans:   make([]spanJSON, len(rec.Spans)),
+	}
+	for i, s := range rec.Spans {
+		out.Spans[i] = spanJSON{Stage: s.Stage, Ms: ms(s.Dur), Annotations: s.Annot}
+	}
+	return out
+}
+
+// handleDebugRequests serves GET /debug/requests: the slowest traced
+// requests retained per tenant, slowest first, filtered by ?tenant= and
+// ?min_ms= (minimum total duration). 404 when telemetry or tracing is
+// disabled — a disabled debug surface should be loud, not empty.
+func handleDebugRequests(w http.ResponseWriter, r *http.Request, p *Pool) {
+	if p.tel == nil {
+		httpError(w, http.StatusNotFound, "telemetry disabled")
+		return
+	}
+	minMs, ok := intParam(w, r, "min_ms", 0)
+	if !ok {
+		return
+	}
+	filter := r.URL.Query().Get("tenant")
+	tobs := p.tel.Tenants()
+	traces := []traceJSON{}
+	ringing := false
+	for _, to := range tobs {
+		if filter != "" && to.Name() != filter {
+			continue
+		}
+		ring := to.Ring()
+		if ring == nil {
+			continue
+		}
+		ringing = true
+		for _, rec := range ring.Snapshot() {
+			if rec.Total < time.Duration(minMs)*time.Millisecond {
+				continue
+			}
+			traces = append(traces, traceView(rec))
+		}
+	}
+	if !ringing {
+		httpError(w, http.StatusNotFound, "request tracing disabled")
+		return
+	}
+	// Global slowest-first across tenants (per-ring snapshots are
+	// already sorted; a simple insertion-style merge is overkill for a
+	// debug endpoint — sort the small union).
+	for i := 1; i < len(traces); i++ {
+		for j := i; j > 0 && traces[j].TotalMs > traces[j-1].TotalMs; j-- {
+			traces[j], traces[j-1] = traces[j-1], traces[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":       traces,
+		"threshold_ms": ms(p.tel.SlowThreshold()),
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -36,6 +37,9 @@ const maxBodyBytes = 64 << 20
 //	GET  /healthz                liveness
 //	GET  /statsz                 per-tenant throughput, lag, graph size
 //	GET  /metrics                durability + observability counters
+//	                             (?tenant= filter, ?format=prometheus)
+//	GET  /metrics/prometheus     Prometheus text exposition (alias)
+//	GET  /debug/requests         slowest traced requests (?min_ms=, ?tenant=)
 func NewHandler(p *Pool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/{tenant}/messages", func(w http.ResponseWriter, r *http.Request) {
@@ -57,6 +61,13 @@ func NewHandler(p *Pool) http.Handler {
 		t, ok := getTenant(w, r, p)
 		if !ok {
 			return
+		}
+		// Histogram-only instrumentation: these two read endpoints are
+		// the telemetry-overhead benchmark's hot path, so they pay one
+		// clock read and a few atomic adds — no trace allocation.
+		var t0 time.Time
+		if t.obs != nil {
+			t0 = time.Now()
 		}
 		k, ok := intParam(w, r, "k", 0)
 		if !ok {
@@ -83,6 +94,9 @@ func NewHandler(p *Pool) http.Handler {
 			"tenant": t.Name(),
 			"events": events,
 		})
+		if t.obs != nil {
+			t.obs.Observe(obs.StageHTTPQuery, time.Since(t0))
+		}
 	})
 	mux.HandleFunc("GET /v1/{tenant}/events/{id}", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
@@ -106,6 +120,10 @@ func NewHandler(p *Pool) http.Handler {
 		if !ok {
 			return
 		}
+		var t0 time.Time
+		if t.obs != nil {
+			t0 = time.Now()
+		}
 		min, ok := floatParam(w, r, "min", 0.1, 0, 1)
 		if !ok {
 			return
@@ -114,20 +132,23 @@ func NewHandler(p *Pool) http.Handler {
 			"tenant":  t.Name(),
 			"related": t.Related(min),
 		})
+		if t.obs != nil {
+			t.obs.Observe(obs.StageHTTPQuery, time.Since(t0))
+		}
 	})
 	mux.HandleFunc("GET /v1/{tenant}/query", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
 		if !ok {
 			return
 		}
-		handleUnifiedQuery(w, r, t)
+		handleUnifiedQuery(w, r, t, p)
 	})
 	mux.HandleFunc("GET /v1/{tenant}/archive", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
 		if !ok {
 			return
 		}
-		handleArchiveQuery(w, r, t)
+		handleArchiveQuery(w, r, t, p)
 	})
 	mux.HandleFunc("GET /v1/{tenant}/stream", func(w http.ResponseWriter, r *http.Request) {
 		t, ok := getTenant(w, r, p)
@@ -149,9 +170,55 @@ func NewHandler(p *Pool) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"tenants": p.Stats()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, p.Metrics())
+		handleMetrics(w, r, p)
+	})
+	mux.HandleFunc("GET /metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		pm, ok := metricsBody(w, r, p)
+		if !ok {
+			return
+		}
+		writePrometheus(w, pm, p.tel)
+	})
+	mux.HandleFunc("GET /debug/requests", func(w http.ResponseWriter, r *http.Request) {
+		handleDebugRequests(w, r, p)
 	})
 	return mux
+}
+
+// metricsBody assembles the metrics for one request, applying the
+// ?tenant= filter (404 on an unknown name, written here).
+func metricsBody(w http.ResponseWriter, r *http.Request, p *Pool) (PoolMetrics, bool) {
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		pm, ok := p.MetricsFor(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, ErrNoTenant.Error())
+			return PoolMetrics{}, false
+		}
+		return pm, true
+	}
+	return p.Metrics(), true
+}
+
+// handleMetrics dispatches GET /metrics: the JSON body by default
+// (byte-identical to the pre-exposition shape), the Prometheus text
+// format with ?format=prometheus, both composable with ?tenant=.
+func handleMetrics(w http.ResponseWriter, r *http.Request, p *Pool) {
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "json", "prometheus":
+	default:
+		httpError(w, http.StatusBadRequest, "format must be json or prometheus")
+		return
+	}
+	pm, ok := metricsBody(w, r, p)
+	if !ok {
+		return
+	}
+	if format == "prometheus" {
+		writePrometheus(w, pm, p.tel)
+		return
+	}
+	writeJSON(w, http.StatusOK, pm)
 }
 
 // handleIngest decodes the body — a JSON array by default, NDJSON when
@@ -163,6 +230,14 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 	if !tenantNameRE.MatchString(name) {
 		httpError(w, http.StatusBadRequest, ErrBadTenant.Error())
 		return
+	}
+	// One trace per ingest request when telemetry is on. This endpoint
+	// allocates per request anyway (body decode); the gated zero-alloc
+	// ingest path is Tenant.Enqueue, which traces nothing.
+	var tr *obs.ReqTrace
+	if p.tel != nil {
+		tr = obs.StartTrace("ingest", name, r.URL.Path)
+		tr.Step("shed_check")
 	}
 	// Shed guaranteed-rejected ingest before paying to decode the body:
 	// a closed or tenant-full pool — or a tenant already past its
@@ -182,6 +257,7 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 		retryableError(w, http.StatusTooManyRequests, se.RetryAfter, se.Error())
 		return
 	}
+	tr.Step("decode")
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var msgs []stream.Message
 	var err error
@@ -217,7 +293,9 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 		}
 		return
 	}
+	tr.Step("enqueue")
 	if err := t.Enqueue(msgs); err != nil {
+		p.offerTrace(t, tr, obs.StageHTTPIngest)
 		var shed *ShedError
 		switch {
 		case errors.Is(err, ErrBatchTooLarge):
@@ -236,6 +314,7 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 		}
 		return
 	}
+	p.offerTrace(t, tr, obs.StageHTTPIngest)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"tenant": name,
 		"queued": len(msgs),

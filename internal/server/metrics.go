@@ -77,7 +77,13 @@ func (t *Tenant) Metrics() TenantMetrics {
 		m.WALLastSeq = wl.LastSeq()
 		m.WALSnapshotSeq = wl.SnapshotSeq()
 		m.WALErrors = t.storage.walErrs.Load()
-		m.SnapshotAgeQuanta = m.Quanta - int(t.lastSnapQuantum.Load())
+		// Clamp at zero: after recovery the snapshot can be ahead of the
+		// published epoch (lastSnapQuantum seeds from the checkpointed
+		// quantum while Quanta starts from the replayed snapshot), and a
+		// negative age would read as a uint underflow on dashboards.
+		if age := m.Quanta - int(t.lastSnapQuantum.Load()); age > 0 {
+			m.SnapshotAgeQuanta = age
+		}
 	}
 	if ar := t.archLog(); ar != nil {
 		m.ArchiveEnabled = true
@@ -89,8 +95,9 @@ func (t *Tenant) Metrics() TenantMetrics {
 	return m
 }
 
-// Metrics returns every tenant's metrics (name-sorted) plus totals.
-func (p *Pool) Metrics() PoolMetrics {
+// tenantsSorted snapshots the tenant list under the read lock,
+// name-sorted.
+func (p *Pool) tenantsSorted() []*Tenant {
 	p.mu.RLock()
 	tenants := make([]*Tenant, 0, len(p.tenants))
 	for _, t := range p.tenants {
@@ -98,19 +105,48 @@ func (p *Pool) Metrics() PoolMetrics {
 	}
 	p.mu.RUnlock()
 	sortTenants(tenants)
+	return tenants
+}
+
+// totalsOf folds per-tenant metrics into the one-line process summary.
+func totalsOf(tenants []TenantMetrics) MetricsTotals {
+	var tot MetricsTotals
+	for i := range tenants {
+		m := &tenants[i]
+		tot.Tenants++
+		tot.Messages += m.Messages
+		tot.Quanta += m.Quanta
+		tot.QueuedMessages += m.QueuedMessages
+		tot.WALSegments += m.WALSegments
+		tot.ArchiveSegments += m.ArchiveSegments
+		tot.ArchiveEvents += m.ArchiveEvents
+		tot.ShedBatches += m.ShedRateLimit + m.ShedQueueDepth
+		tot.ShedMessages += m.ShedMessages
+	}
+	return tot
+}
+
+// metricsOf assembles the /metrics body for an explicit tenant set.
+func metricsOf(tenants []*Tenant) PoolMetrics {
 	out := PoolMetrics{Tenants: make([]TenantMetrics, 0, len(tenants))}
 	for _, t := range tenants {
-		m := t.Metrics()
-		out.Tenants = append(out.Tenants, m)
-		out.Totals.Tenants++
-		out.Totals.Messages += m.Messages
-		out.Totals.Quanta += m.Quanta
-		out.Totals.QueuedMessages += m.QueuedMessages
-		out.Totals.WALSegments += m.WALSegments
-		out.Totals.ArchiveSegments += m.ArchiveSegments
-		out.Totals.ArchiveEvents += m.ArchiveEvents
-		out.Totals.ShedBatches += m.ShedRateLimit + m.ShedQueueDepth
-		out.Totals.ShedMessages += m.ShedMessages
+		out.Tenants = append(out.Tenants, t.Metrics())
 	}
+	out.Totals = totalsOf(out.Tenants)
 	return out
+}
+
+// Metrics returns every tenant's metrics (name-sorted) plus totals.
+func (p *Pool) Metrics() PoolMetrics {
+	return metricsOf(p.tenantsSorted())
+}
+
+// MetricsFor returns the /metrics body restricted to one tenant (the
+// ?tenant= filter); ok is false when the tenant does not exist.
+func (p *Pool) MetricsFor(name string) (PoolMetrics, bool) {
+	t, ok := p.Tenant(name)
+	if !ok {
+		return PoolMetrics{}, false
+	}
+	return metricsOf([]*Tenant{t}), true
 }

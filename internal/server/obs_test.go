@@ -1,0 +1,546 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestSnapshotAgeQuantaClamp is the regression test for the underflow:
+// after recovery the snapshot cadence marker can sit ahead of the
+// published epoch's quantum, and the age metric must clamp at zero
+// instead of going negative.
+func TestSnapshotAgeQuantaClamp(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig(), WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	tn, err := pool.GetOrCreate("clamp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.lastSnapQuantum.Store(1 << 20) // snapshot "ahead" of the epoch
+	m := tn.Metrics()
+	if m.SnapshotAgeQuanta != 0 {
+		t.Fatalf("SnapshotAgeQuanta = %d, want 0 (clamped)", m.SnapshotAgeQuanta)
+	}
+}
+
+// TestMetricsTotalsAggregation drives totalsOf with synthetic tenant
+// rows, table-driven.
+func TestMetricsTotalsAggregation(t *testing.T) {
+	mk := func(msgs uint64, quanta int, queued int64, walSegs, archSegs, archEvents int, shedRL, shedQD, shedMsgs uint64) TenantMetrics {
+		m := TenantMetrics{}
+		m.Messages = msgs
+		m.Quanta = quanta
+		m.QueuedMessages = queued
+		m.WALSegments = walSegs
+		m.ArchiveSegments = archSegs
+		m.ArchiveEvents = archEvents
+		m.ShedRateLimit = shedRL
+		m.ShedQueueDepth = shedQD
+		m.ShedMessages = shedMsgs
+		return m
+	}
+	cases := []struct {
+		name string
+		in   []TenantMetrics
+		want MetricsTotals
+	}{
+		{"empty", nil, MetricsTotals{}},
+		{"single", []TenantMetrics{mk(10, 2, 3, 1, 4, 5, 6, 7, 8)},
+			MetricsTotals{Tenants: 1, Messages: 10, Quanta: 2, QueuedMessages: 3,
+				WALSegments: 1, ArchiveSegments: 4, ArchiveEvents: 5,
+				ShedBatches: 13, ShedMessages: 8}},
+		{"pair", []TenantMetrics{
+			mk(10, 2, 3, 1, 4, 5, 6, 7, 8),
+			mk(90, 8, 7, 9, 6, 5, 4, 3, 2),
+		}, MetricsTotals{Tenants: 2, Messages: 100, Quanta: 10, QueuedMessages: 10,
+			WALSegments: 10, ArchiveSegments: 10, ArchiveEvents: 10,
+			ShedBatches: 20, ShedMessages: 10}},
+		{"zeros-are-counted", []TenantMetrics{mk(0, 0, 0, 0, 0, 0, 0, 0, 0), mk(0, 0, 0, 0, 0, 0, 0, 0, 0)},
+			MetricsTotals{Tenants: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := totalsOf(c.in); !reflect.DeepEqual(got, c.want) {
+				t.Fatalf("totalsOf = %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// promSampleRE matches one exposition sample line: name, optional
+// label block, value.
+var promSampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+var promLabelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$`)
+
+// validatePromExposition is the golden-format validator: HELP and TYPE
+// precede every family's samples, series are unique, labels are
+// well-formed, histogram buckets are cumulative with +Inf == _count.
+// Returns the parsed samples keyed by full series identity.
+func validatePromExposition(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	series := map[string]float64{}
+	lastBucket := map[string]float64{}  // series-minus-le → last cumulative
+	bucketTotal := map[string]float64{} // series-minus-le → +Inf value
+	for ln, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: bad TYPE %q", ln+1, parts[1])
+			}
+			if typed[parts[0]] != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, parts[0])
+			}
+			typed[parts[0]] = parts[1]
+			continue
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" && valStr != "NaN" {
+			t.Fatalf("line %d: bad value %q", ln+1, valStr)
+		}
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suf); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if !helped[family] || typed[family] == "" {
+			t.Fatalf("line %d: sample %s before HELP/TYPE of %s", ln+1, name, family)
+		}
+		if labels != "" {
+			inner := labels[1 : len(labels)-1]
+			for _, pair := range strings.Split(inner, ",") {
+				if !promLabelRE.MatchString(pair) {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+			}
+		}
+		id := name + labels
+		if _, dup := series[id]; dup {
+			t.Fatalf("line %d: duplicate series %s", ln+1, id)
+		}
+		series[id] = val
+		if strings.HasSuffix(name, "_bucket") && typed[family] == "histogram" {
+			key := family + stripLE(labels)
+			if val < lastBucket[key] {
+				t.Fatalf("line %d: bucket cumulative decreased for %s: %v < %v", ln+1, key, val, lastBucket[key])
+			}
+			lastBucket[key] = val
+			if strings.Contains(labels, `le="+Inf"`) {
+				bucketTotal[key] = val
+			}
+		}
+	}
+	for key, inf := range bucketTotal {
+		countID := strings.Replace(key, "{", "_count{", 1)
+		cnt, ok := series[countID]
+		if !ok {
+			t.Fatalf("histogram %s has buckets but no _count", key)
+		}
+		if cnt != inf {
+			t.Fatalf("histogram %s: +Inf bucket %v != _count %v", key, inf, cnt)
+		}
+	}
+	return series
+}
+
+// stripLE removes the le="..." pair from a label block.
+var leRE = regexp.MustCompile(`,le="[^"]*"`)
+
+func stripLE(labels string) string { return leRE.ReplaceAllString(labels, "") }
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestPrometheusExposition exercises the full pipeline (ingest →
+// quantum → query) and validates the rendered exposition: every JSON
+// counter family present, at least 8 distinct stage histograms, all
+// format invariants holding.
+func TestPrometheusExposition(t *testing.T) {
+	pool, err := NewPool(PoolConfig{
+		Detector: testDetectConfig(),
+		WALDir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(pool))
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, ts.URL+"/v1/exp/messages", quantumOf(i*8, "fire downtown"))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status = %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp := postJSON(t, ts.URL+"/v1/exp/flush", nil)
+	resp.Body.Close()
+	if code, _ := getBody(t, ts.URL+"/v1/exp/query?limit=10"); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/exp/events?k=5"); code != http.StatusOK {
+		t.Fatalf("events status = %d", code)
+	}
+
+	code, body := getBody(t, ts.URL+"/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("exposition status = %d", code)
+	}
+	series := validatePromExposition(t, body)
+
+	// Every per-tenant JSON counter family appears with the tenant label.
+	for _, pm := range promTenantMetrics {
+		if _, ok := series[pm.name+`{tenant="exp"}`]; !ok {
+			t.Errorf("missing series %s{tenant=\"exp\"}", pm.name)
+		}
+	}
+	for _, pm := range promPoolMetrics {
+		if _, ok := series[pm.name]; !ok {
+			t.Errorf("missing totals series %s", pm.name)
+		}
+	}
+	// promTenantMetrics must cover the whole JSON shape: one row per
+	// TenantMetrics field (TenantStats embedded fields included).
+	jsonFields := 0
+	var count func(reflect.Type)
+	count = func(ty reflect.Type) {
+		for i := 0; i < ty.NumField(); i++ {
+			f := ty.Field(i)
+			if f.Anonymous {
+				count(f.Type)
+				continue
+			}
+			if f.Name == "Tenant" {
+				continue // the label, not a sample
+			}
+			jsonFields++
+		}
+	}
+	count(reflect.TypeOf(TenantMetrics{}))
+	if len(promTenantMetrics) != jsonFields {
+		t.Errorf("promTenantMetrics has %d rows, TenantMetrics has %d fields — exposition drifted from JSON",
+			len(promTenantMetrics), jsonFields)
+	}
+	// At least 8 distinct pipeline stages must have histogram data.
+	stages := map[string]bool{}
+	stageRE := regexp.MustCompile(`eventdetect_stage_duration_seconds_count\{tenant="exp",stage="([a-z_]+)"\}`)
+	for id := range series {
+		if m := stageRE.FindStringSubmatch(id); m != nil {
+			stages[m[1]] = true
+		}
+	}
+	if len(stages) < 8 {
+		t.Fatalf("only %d stage histograms populated (%v), want >= 8", len(stages), stages)
+	}
+	// Runtime health is present.
+	for _, name := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total"} {
+		if _, ok := series[name]; !ok {
+			t.Errorf("missing runtime series %s", name)
+		}
+	}
+	// The alias endpoint serves the same format.
+	code, aliasBody := getBody(t, ts.URL+"/metrics/prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("alias status = %d", code)
+	}
+	validatePromExposition(t, aliasBody)
+}
+
+// TestMetricsFilterAndJSONCompat covers the ?tenant= filter and pins
+// the default JSON body to the exact pre-exposition encoding.
+func TestMetricsFilterAndJSONCompat(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(pool))
+	defer ts.Close()
+	for _, name := range []string{"alpha", "beta"} {
+		resp := postJSON(t, ts.URL+"/v1/"+name+"/messages", quantumOf(0, "hello world"))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %s status = %d", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// Default body must be byte-identical to encoding p.Metrics() the
+	// way writeJSON always has.
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pool.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	if body != want.String() {
+		t.Fatalf("JSON /metrics body drifted:\ngot:  %q\nwant: %q", body, want.String())
+	}
+
+	code, body = getBody(t, ts.URL+"/metrics?tenant=alpha")
+	if code != http.StatusOK {
+		t.Fatalf("filtered status = %d", code)
+	}
+	var pm PoolMetrics
+	if err := json.Unmarshal([]byte(body), &pm); err != nil {
+		t.Fatal(err)
+	}
+	if len(pm.Tenants) != 1 || pm.Tenants[0].Tenant != "alpha" || pm.Totals.Tenants != 1 {
+		t.Fatalf("filtered body = %+v", pm)
+	}
+	if code, _ := getBody(t, ts.URL+"/metrics?tenant=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant filter status = %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/metrics?format=xml"); code != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", code)
+	}
+	// The filter composes with the prometheus format: only alpha appears.
+	code, body = getBody(t, ts.URL+"/metrics?format=prometheus&tenant=beta")
+	if code != http.StatusOK {
+		t.Fatalf("filtered prometheus status = %d", code)
+	}
+	if strings.Contains(body, `tenant="alpha"`) || !strings.Contains(body, `tenant="beta"`) {
+		t.Fatal("tenant filter did not compose with prometheus format")
+	}
+}
+
+// TestQueryDebugSpans checks the ?debug=1 span breakdown: spans are
+// present, named, and sum to the reported total within 5%.
+func TestQueryDebugSpans(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(pool))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/dbg/messages", quantumOf(0, "storm coming"))
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/dbg/flush", nil)
+	resp.Body.Close()
+
+	code, body := getBody(t, ts.URL+"/v1/dbg/query?limit=10&debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("debug query status = %d", code)
+	}
+	var out struct {
+		Debug *traceJSON `json:"debug"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Debug == nil {
+		t.Fatal("?debug=1 response has no debug block")
+	}
+	if out.Debug.Op != "query" || out.Debug.Tenant != "dbg" || len(out.Debug.Spans) < 3 {
+		t.Fatalf("debug block = %+v", out.Debug)
+	}
+	var sum float64
+	names := map[string]bool{}
+	for _, s := range out.Debug.Spans {
+		sum += s.Ms
+		names[s.Stage] = true
+	}
+	for _, want := range []string{"parse", "plan", "snapshot_scan", "finalize"} {
+		if !names[want] {
+			t.Errorf("missing span %q in %v", want, out.Debug.Spans)
+		}
+	}
+	if out.Debug.TotalMs <= 0 {
+		t.Fatalf("total_ms = %v", out.Debug.TotalMs)
+	}
+	if diff := math.Abs(sum-out.Debug.TotalMs) / out.Debug.TotalMs; diff > 0.05 {
+		t.Fatalf("span sum %.4fms vs total %.4fms: off by %.1f%%", sum, out.Debug.TotalMs, diff*100)
+	}
+	// Without ?debug the response must not carry the block.
+	_, body = getBody(t, ts.URL+"/v1/dbg/query?limit=10")
+	if strings.Contains(body, `"debug"`) {
+		t.Fatal("debug block leaked into a plain query response")
+	}
+}
+
+// TestDebugRequestsUnderLoad hammers the query endpoint concurrently
+// and checks the slow-request ring: bounded retention, slowest-first
+// order, min_ms filtering.
+func TestDebugRequestsUnderLoad(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig(), TraceRingSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(pool))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/load/messages", quantumOf(0, "flood warning"))
+	resp.Body.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				r, err := http.Get(ts.URL + "/v1/load/query?limit=5")
+				if err == nil {
+					io.Copy(io.Discard, r.Body) //nolint:errcheck
+					r.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	code, body := getBody(t, ts.URL+"/debug/requests")
+	if code != http.StatusOK {
+		t.Fatalf("debug/requests status = %d", code)
+	}
+	var out struct {
+		Traces []traceJSON `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) == 0 || len(out.Traces) > 8 {
+		t.Fatalf("retained %d traces, want 1..8", len(out.Traces))
+	}
+	for i := 1; i < len(out.Traces); i++ {
+		if out.Traces[i].TotalMs > out.Traces[i-1].TotalMs {
+			t.Fatalf("traces not slowest-first at %d: %v > %v", i, out.Traces[i].TotalMs, out.Traces[i-1].TotalMs)
+		}
+	}
+	for _, tr := range out.Traces {
+		if tr.Tenant != "load" || (tr.Op != "query" && tr.Op != "ingest") {
+			t.Fatalf("unexpected trace %+v", tr)
+		}
+	}
+	// An absurd min_ms filters everything out but stays 200.
+	code, body = getBody(t, ts.URL+"/debug/requests?min_ms=3600000")
+	if code != http.StatusOK {
+		t.Fatalf("filtered status = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 0 {
+		t.Fatalf("min_ms filter retained %d traces", len(out.Traces))
+	}
+}
+
+// TestDebugRequestsDisabled: with telemetry off the debug surface 404s
+// loudly instead of serving an empty list.
+func TestDebugRequestsDisabled(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig(), ObsDisabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	ts := httptest.NewServer(NewHandler(pool))
+	defer ts.Close()
+	if code, _ := getBody(t, ts.URL+"/debug/requests"); code != http.StatusNotFound {
+		t.Fatalf("disabled debug status = %d, want 404", code)
+	}
+	// Prometheus exposition still works, counters only.
+	resp := postJSON(t, ts.URL+"/v1/off/messages", quantumOf(0, "hi there"))
+	resp.Body.Close()
+	code, body := getBody(t, ts.URL+"/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("exposition status = %d", code)
+	}
+	validatePromExposition(t, body)
+	if strings.Contains(body, "eventdetect_stage_duration_seconds") {
+		t.Fatal("stage histograms rendered with telemetry disabled")
+	}
+}
+
+// TestIngestToSSEHistogramPath sanity-checks that a full ingest→flush
+// round populates the quantum-side stage histograms (the SSE fan-out
+// and snapshot publish stages), via the tenant's own telemetry handle.
+func TestIngestToSSEHistogramPath(t *testing.T) {
+	pool, err := NewPool(PoolConfig{Detector: testDetectConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Shutdown(context.Background())
+	tn, err := pool.GetOrCreate("sse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Enqueue(quantumOf(0, "quake reported")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tn.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	o := tn.Obs()
+	if o == nil {
+		t.Fatal("telemetry handle missing with ObsDisabled unset")
+	}
+	want := map[string]bool{
+		"snapshot_publish": true, "sse_fanout": true, "detect_quantum": true,
+		"queue_wait": true, "sched_wait": true, "admission": true,
+	}
+	for _, st := range obs.Stages() {
+		if !want[st.String()] {
+			continue
+		}
+		if o.Snapshot(st).Count == 0 {
+			t.Errorf("stage %s has no observations after ingest+flush", st)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/archive"
 	"repro/internal/detect"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/stream"
 	"repro/internal/wal"
@@ -115,6 +116,22 @@ type PoolConfig struct {
 	// retryable ShedError while the queue still has headroom, instead of
 	// slamming into ErrQueueFull at the wall. Zero disables the gate.
 	AdmissionFrac float64
+
+	// ObsDisabled turns the telemetry layer off entirely: no stage
+	// histograms, no slow-request ring, /metrics?format=prometheus
+	// serves counters only. The default (false) enables it — the hot
+	// path cost is two time.Time reads and a handful of atomic adds per
+	// batch, and the memory cost ~41 KiB of histogram shards per tenant.
+	ObsDisabled bool
+	// TraceRingSize bounds the per-tenant slow-request trace ring (the N
+	// slowest traced requests retained for GET /debug/requests). Zero
+	// selects 64; negative disables request tracing while keeping the
+	// stage histograms.
+	TraceRingSize int
+	// SlowRequestThreshold, when positive, only offers traces at least
+	// this slow to the ring. Zero offers every traced request (the ring
+	// keeps the slowest anyway).
+	SlowRequestThreshold time.Duration
 
 	// Workers sizes the shared scheduler's worker pool — the fixed set
 	// of goroutines that apply every tenant's ingest batches, replacing
@@ -233,6 +250,9 @@ type walBatch struct {
 	seq   uint64
 	msgs  []stream.Message
 	flush bool
+	// enq is when the batch entered the queue, for the queue-wait
+	// histogram; the zero value means telemetry is off.
+	enq time.Time
 }
 
 // tenantStorage bundles one tenant's durability handles; fields are nil
@@ -306,6 +326,11 @@ type Tenant struct {
 	broker *broker
 	sched  *scheduler
 
+	// obs is the tenant's telemetry handle: stage histograms plus the
+	// slow-request ring. Nil when telemetry is disabled — every method
+	// is nil-receiver safe, so instrumentation sites just call through.
+	obs *obs.TenantObs
+
 	// qmu guards the pending-batch queue, the closed flag, and WAL
 	// appends (so WAL record order is queue order). It is never held
 	// while a batch is applying, and is always acquired before the
@@ -325,6 +350,10 @@ type Tenant struct {
 	closed    bool
 	drainDone bool
 	drained   chan struct{} // closed when closed and fully drained
+	// runnableAt is when the tenant entered the scheduler's runnable
+	// queue (zero once a worker picked it up, or when telemetry is off);
+	// the delta feeds the sched-wait histogram.
+	runnableAt time.Time
 
 	// accepted counts batches admitted to the queue, applied counts
 	// batches fully ingested; equal means the tenant is idle. queuedMsgs
@@ -366,7 +395,7 @@ type Tenant struct {
 	det *detect.Detector
 }
 
-func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage, sched *scheduler) *Tenant {
+func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage, sched *scheduler, tob *obs.TenantObs) *Tenant {
 	t := &Tenant{
 		name:          name,
 		broker:        newBroker(),
@@ -379,14 +408,29 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 		storage:       st,
 		snapEvery:     cfg.SnapshotEvery,
 		admit:         newAdmission(cfg, nil),
+		obs:           tob,
 	}
 	st.attachEvict(det)
 	det.SetSnapshotRankHistory(cfg.SnapshotRankHistory)
 	det.SetOnQuantum(func(res *detect.QuantumResult) {
 		t.elapsed.Add(int64(res.Elapsed))
+		o := t.obs
+		if o != nil {
+			// The quantum's wall time plus its sub-phases: tokenization
+			// (which may have run on a pipeline worker), graph
+			// maintenance, and event reconciliation.
+			o.Observe(obs.StageDetectQuantum, res.PrepElapsed+res.Elapsed)
+			o.Observe(obs.StageTokenize, res.PrepElapsed)
+			o.Observe(obs.StageGraphMaintain, res.GraphElapsed)
+			o.Observe(obs.StageReconcile, res.ReconcileElapsed)
+		}
 		// Publish the epoch snapshot before announcing the quantum over
 		// SSE: a subscriber that reacts to the notification with a query
 		// must observe at least this quantum.
+		var t0 time.Time
+		if o != nil {
+			t0 = time.Now()
+		}
 		t.snap.Store(det.Snapshot(res))
 		ev := &StreamEvent{
 			Tenant:   name,
@@ -399,7 +443,15 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 			AKGEdges: res.AKGEdges,
 		}
 		t.lastEvent.Store(ev)
+		var t1 time.Time
+		if o != nil {
+			t1 = time.Now()
+			o.Observe(obs.StageSnapshotPublish, t1.Sub(t0))
+		}
 		t.broker.publish(ev)
+		if o != nil {
+			o.Observe(obs.StageSSEFanout, time.Since(t1))
+		}
 	})
 	t.msgs.Store(det.Processed())
 	// Queries may arrive before the first quantum (or right after a
@@ -423,6 +475,9 @@ func (t *Tenant) pushLocked(b walBatch) {
 	t.pending = append(t.pending, b)
 	if !t.scheduled {
 		t.scheduled = true
+		if t.obs != nil {
+			t.runnableAt = time.Now()
+		}
 		t.sched.submit(t)
 	}
 }
@@ -471,6 +526,10 @@ func (t *Tenant) archLog() *archive.Log {
 // the round-robin fairness unit.
 func (t *Tenant) runOne() {
 	t.qmu.Lock()
+	if !t.runnableAt.IsZero() {
+		t.obs.Observe(obs.StageSchedWait, time.Since(t.runnableAt))
+		t.runnableAt = time.Time{}
+	}
 	if t.queueLenLocked() == 0 {
 		t.scheduled = false
 		t.finishDrainLocked()
@@ -484,6 +543,9 @@ func (t *Tenant) runOne() {
 
 	t.qmu.Lock()
 	if t.queueLenLocked() > 0 {
+		if t.obs != nil {
+			t.runnableAt = time.Now()
+		}
 		t.sched.submit(t) // back of the line: other tenants go first
 	} else {
 		t.scheduled = false
@@ -497,6 +559,12 @@ func (t *Tenant) runOne() {
 // behind a large batch; queries don't take it at all — they read the
 // epoch snapshot the quantum hook publishes.
 func (t *Tenant) apply(batch walBatch) {
+	if !batch.enq.IsZero() {
+		// Queue wait: accepted (pushed) to picked up by a worker,
+		// measured before the group-commit wait below — durability time
+		// has its own histograms.
+		t.obs.Observe(obs.StageQueueWait, time.Since(batch.enq))
+	}
 	if batch.seq > 0 {
 		// Never apply a batch before its WAL record is durable. The
 		// synchronous append path guarantees this by construction; under
@@ -603,6 +671,11 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
+	o := t.obs
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
 	t.qmu.Lock()
 	if t.closed {
 		t.qmu.Unlock()
@@ -645,6 +718,11 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 		t.qmu.Unlock()
 		return se
 	}
+	var t1 time.Time
+	if o != nil {
+		t1 = time.Now()
+		o.Observe(obs.StageAdmission, t1.Sub(t0))
+	}
 	var seq uint64
 	wl := t.walLog()
 	if wl != nil {
@@ -653,8 +731,13 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 			t.qmu.Unlock()
 			return fmt.Errorf("server: tenant %s: %w", t.name, err)
 		}
+		if o != nil {
+			now := time.Now()
+			o.Observe(obs.StageWALAppend, now.Sub(t1))
+			t1 = now
+		}
 	}
-	t.pushLocked(walBatch{seq: seq, msgs: msgs})
+	t.pushLocked(walBatch{seq: seq, msgs: msgs, enq: t1})
 	t.queuedMsgs.Add(int64(len(msgs)))
 	t.accepted.Add(1)
 	t.qmu.Unlock()
@@ -664,6 +747,9 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if wl != nil {
 		if err := wl.Commit(seq); err != nil {
 			return fmt.Errorf("server: tenant %s: %w", t.name, err)
+		}
+		if o != nil {
+			o.Observe(obs.StageWALCommit, time.Since(t1))
 		}
 	}
 	return nil
@@ -729,8 +815,21 @@ func (t *Tenant) Query(req query.Request) (query.Result, error) {
 	if req.ArchiveOnly && arch == nil {
 		return query.Result{}, ErrNoArchive
 	}
-	return query.Run(t.snap.Load(), arch, req)
+	o := t.obs
+	req.Obs = o
+	var t0 time.Time
+	if o != nil {
+		t0 = time.Now()
+	}
+	res, err := query.Run(t.snap.Load(), arch, req)
+	if o != nil {
+		o.Observe(obs.StageQueryExec, time.Since(t0))
+	}
+	return res, err
 }
+
+// Obs returns the tenant's telemetry handle (nil when disabled).
+func (t *Tenant) Obs() *obs.TenantObs { return t.obs }
 
 // Flush forces processing of the tenant's buffered partial quantum (end
 // of stream). A flush mutates the detector exactly like ingest does, so
@@ -877,6 +976,7 @@ type Pool struct {
 	ckpt  *checkpointStore    // nil when persistence is disabled
 	sched *scheduler          // shared worker pool applying every tenant's batches
 	gc    *wal.GroupCommitter // nil unless WALGroupCommitInterval is set
+	tel   *obs.Telemetry      // nil when ObsDisabled
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -905,6 +1005,12 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		tenants:      make(map[string]*Tenant),
 		creating:     make(map[string]chan struct{}),
 		shutdownDone: make(chan struct{}),
+	}
+	if !cfg.ObsDisabled {
+		p.tel = obs.New(obs.Config{
+			TraceRingSize: cfg.TraceRingSize,
+			SlowRequest:   cfg.SlowRequestThreshold,
+		})
 	}
 	if cfg.WALDir != "" && cfg.WALGroupCommitInterval > 0 {
 		p.gc = wal.NewGroupCommitter(cfg.WALGroupCommitInterval)
@@ -987,7 +1093,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 						return nil, err
 					}
 				}
-				t := newTenant(name, det, cfg, st, p.sched)
+				t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name))
 				if st.wal != nil {
 					t.lastApplied.Store(st.wal.LastSeq())
 				}
@@ -1020,7 +1126,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 					return nil, err
 				}
 			}
-			t := newTenant(name, det, cfg, st, p.sched)
+			t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name))
 			t.lastApplied.Store(0)
 			t.lastSnapQuantum.Store(int64(det.AKG().Quantum()))
 			p.tenants[name] = t
@@ -1029,15 +1135,26 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	return p, nil
 }
 
+// tenantObs resolves (creating on first use) the named tenant's
+// telemetry handle; nil when telemetry is disabled.
+func (p *Pool) tenantObs(name string) *obs.TenantObs {
+	return p.tel.Tenant(name)
+}
+
 // openStorage opens (creating as needed) one tenant's WAL and archive
 // handles; disabled subsystems yield nil fields.
 func (p *Pool) openStorage(name string) (*tenantStorage, error) {
 	st := &tenantStorage{archErrs: new(atomic.Uint64), walErrs: new(atomic.Uint64)}
 	if p.cfg.WALDir != "" {
+		var onFlush func(time.Duration)
+		if tob := p.tenantObs(name); tob != nil {
+			onFlush = func(d time.Duration) { tob.Observe(obs.StageWALFsync, d) }
+		}
 		wl, err := wal.Open(filepath.Join(p.cfg.WALDir, name), wal.Options{
 			SegmentBytes: p.cfg.WALSegmentBytes,
 			SyncEvery:    p.cfg.WALSyncEvery,
 			GroupCommit:  p.gc,
+			OnFlush:      onFlush,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -1119,7 +1236,7 @@ func (p *Pool) recoverTenant(name string) (*Tenant, error) {
 	}); err != nil {
 		return fail(err)
 	}
-	t := newTenant(name, det, p.cfg, st, p.sched)
+	t := newTenant(name, det, p.cfg, st, p.sched, p.tenantObs(name))
 	t.lastApplied.Store(st.wal.LastSeq())
 	t.lastSnapQuantum.Store(int64(baseQuantum))
 	// If the tail replay crossed a snapshot cadence, snapshot now so a
@@ -1238,7 +1355,7 @@ func (p *Pool) buildTenant(name string) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st, p.sched), nil
+	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st, p.sched, p.tenantObs(name)), nil
 }
 
 // Names returns the tenant names, sorted.

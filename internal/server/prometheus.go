@@ -1,0 +1,290 @@
+package server
+
+import (
+	"bufio"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// promContentType is the Prometheus text exposition format version the
+// endpoint speaks.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetric describes one per-tenant series family: its exposition
+// name, TYPE, HELP line and the projection from the JSON metrics shape.
+// The Prometheus surface is derived from TenantMetrics so the two
+// endpoints can never drift apart: every counter the JSON body carries
+// has exactly one row here (enforced by a test).
+type promMetric struct {
+	name  string
+	typ   string // "gauge" or "counter"
+	help  string
+	value func(m *TenantMetrics) float64
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// promTenantMetrics is the per-tenant series table, in exposition order.
+var promTenantMetrics = []promMetric{
+	{"eventdetect_messages_total", "counter", "Messages ingested over the tenant's lifetime.",
+		func(m *TenantMetrics) float64 { return float64(m.Messages) }},
+	{"eventdetect_quanta", "gauge", "Index of the last processed quantum.",
+		func(m *TenantMetrics) float64 { return float64(m.Quanta) }},
+	{"eventdetect_queue_depth_batches", "gauge", "Ingest batches accepted but not yet applied.",
+		func(m *TenantMetrics) float64 { return float64(m.QueueDepth) }},
+	{"eventdetect_queue_capacity_batches", "gauge", "Ingest queue bound in batches.",
+		func(m *TenantMetrics) float64 { return float64(m.QueueCap) }},
+	{"eventdetect_queued_messages", "gauge", "Ingest backlog in messages.",
+		func(m *TenantMetrics) float64 { return float64(m.QueuedMessages) }},
+	{"eventdetect_live_events", "gauge", "Currently live detected events.",
+		func(m *TenantMetrics) float64 { return float64(m.LiveEvents) }},
+	{"eventdetect_events", "gauge", "Retained event lifecycles (live + finished).",
+		func(m *TenantMetrics) float64 { return float64(m.TotalEvents) }},
+	{"eventdetect_akg_nodes", "gauge", "Active keyword graph nodes.",
+		func(m *TenantMetrics) float64 { return float64(m.AKGNodes) }},
+	{"eventdetect_akg_edges", "gauge", "Active keyword graph edges.",
+		func(m *TenantMetrics) float64 { return float64(m.AKGEdges) }},
+	{"eventdetect_process_seconds_total", "counter", "Cumulative detector processing time this process.",
+		func(m *TenantMetrics) float64 { return m.ProcessMillis / 1000 }},
+	{"eventdetect_msgs_per_sec", "gauge", "Pipeline rate: messages per detector-second this process.",
+		func(m *TenantMetrics) float64 { return m.MsgsPerSec }},
+	{"eventdetect_wal_enabled", "gauge", "1 when the write-ahead log backs this tenant.",
+		func(m *TenantMetrics) float64 { return b2f(m.WALEnabled) }},
+	{"eventdetect_archive_enabled", "gauge", "1 when the evicted-event archive backs this tenant.",
+		func(m *TenantMetrics) float64 { return b2f(m.ArchiveEnabled) }},
+	{"eventdetect_admission_enabled", "gauge", "1 when admission control guards this tenant.",
+		func(m *TenantMetrics) float64 { return b2f(m.AdmissionEnabled) }},
+	{"eventdetect_wal_segments", "gauge", "On-disk WAL segment files.",
+		func(m *TenantMetrics) float64 { return float64(m.WALSegments) }},
+	{"eventdetect_wal_last_seq", "gauge", "Newest appended WAL record sequence.",
+		func(m *TenantMetrics) float64 { return float64(m.WALLastSeq) }},
+	{"eventdetect_wal_snapshot_seq", "gauge", "WAL sequence of the newest snapshot.",
+		func(m *TenantMetrics) float64 { return float64(m.WALSnapshotSeq) }},
+	{"eventdetect_snapshot_age_quanta", "gauge", "Quanta processed since the newest WAL snapshot.",
+		func(m *TenantMetrics) float64 { return float64(m.SnapshotAgeQuanta) }},
+	{"eventdetect_wal_errors_total", "counter", "Failed WAL snapshot/compaction passes.",
+		func(m *TenantMetrics) float64 { return float64(m.WALErrors) }},
+	{"eventdetect_archive_segments", "gauge", "On-disk archive segment files.",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveSegments) }},
+	{"eventdetect_archive_events", "gauge", "Events retained in the on-disk archive.",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveEvents) }},
+	{"eventdetect_archive_errors_total", "counter", "Archive append failures (events lost).",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveErrors) }},
+	{"eventdetect_archive_gaps_total", "counter", "Archive ordinal holes skipped (records lost to a crash).",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveGaps) }},
+	{"eventdetect_accepted_batches_total", "counter", "Batches (and flush markers) admitted to the queue.",
+		func(m *TenantMetrics) float64 { return float64(m.AcceptedBatches) }},
+	{"eventdetect_shed_rate_limit_total", "counter", "Batches shed by the token bucket.",
+		func(m *TenantMetrics) float64 { return float64(m.ShedRateLimit) }},
+	{"eventdetect_shed_queue_depth_total", "counter", "Batches shed by the queue-depth admission gate.",
+		func(m *TenantMetrics) float64 { return float64(m.ShedQueueDepth) }},
+	{"eventdetect_shed_messages_total", "counter", "Messages across all shed batches.",
+		func(m *TenantMetrics) float64 { return float64(m.ShedMessages) }},
+}
+
+// promPoolMetrics is the pool-totals series table.
+var promPoolMetrics = []struct {
+	name  string
+	typ   string
+	help  string
+	value func(t *MetricsTotals) float64
+}{
+	{"eventdetect_pool_tenants", "gauge", "Tenants in the pool.",
+		func(t *MetricsTotals) float64 { return float64(t.Tenants) }},
+	{"eventdetect_pool_messages_total", "counter", "Messages ingested across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.Messages) }},
+	{"eventdetect_pool_quanta", "gauge", "Sum of per-tenant quantum indexes.",
+		func(t *MetricsTotals) float64 { return float64(t.Quanta) }},
+	{"eventdetect_pool_queued_messages", "gauge", "Ingest backlog in messages across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.QueuedMessages) }},
+	{"eventdetect_pool_wal_segments", "gauge", "WAL segment files across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.WALSegments) }},
+	{"eventdetect_pool_archive_segments", "gauge", "Archive segment files across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.ArchiveSegments) }},
+	{"eventdetect_pool_archive_events", "gauge", "Archived events across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.ArchiveEvents) }},
+	{"eventdetect_pool_shed_batches_total", "counter", "Batches shed across all tenants and gates.",
+		func(t *MetricsTotals) float64 { return float64(t.ShedBatches) }},
+	{"eventdetect_pool_shed_messages_total", "counter", "Messages shed across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.ShedMessages) }},
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// promFloat formats a sample value. Prometheus accepts Go's shortest
+// round-trip representation; NaN/Inf spell out per the format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writePrometheus renders the full exposition: every JSON counter with
+// tenant labels, the pool totals, the per-tenant stage-latency
+// histograms, and Go runtime health. tel may be nil (histograms
+// omitted). The tenant set in pm controls which tenants appear — the
+// ?tenant= filter composes.
+func writePrometheus(w http.ResponseWriter, pm PoolMetrics, tel *obs.Telemetry) {
+	w.Header().Set("Content-Type", promContentType)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	defer bw.Flush() //nolint:errcheck // client gone; nothing to do
+
+	for i := range promTenantMetrics {
+		pmx := &promTenantMetrics[i]
+		writeHelpType(bw, pmx.name, pmx.typ, pmx.help)
+		for j := range pm.Tenants {
+			m := &pm.Tenants[j]
+			bw.WriteString(pmx.name)
+			bw.WriteString(`{tenant="`)
+			bw.WriteString(promEscape(m.Tenant))
+			bw.WriteString(`"} `)
+			bw.WriteString(promFloat(pmx.value(m)))
+			bw.WriteByte('\n')
+		}
+	}
+	for _, pmx := range promPoolMetrics {
+		writeHelpType(bw, pmx.name, pmx.typ, pmx.help)
+		bw.WriteString(pmx.name)
+		bw.WriteByte(' ')
+		bw.WriteString(promFloat(pmx.value(&pm.Totals)))
+		bw.WriteByte('\n')
+	}
+	writeStageHistograms(bw, pm, tel)
+	writeRuntimeMetrics(bw)
+}
+
+func writeHelpType(bw *bufio.Writer, name, typ, help string) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(help)
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(typ)
+	bw.WriteByte('\n')
+}
+
+// writeStageHistograms renders eventdetect_stage_duration_seconds: one
+// native Prometheus histogram per (tenant, stage) with observations,
+// with le bounds in seconds at the obs package's power-of-two
+// resolution. Zero-delta buckets are skipped (cumulative counts carry
+// forward), which keeps the exposition a few hundred lines instead of
+// 64 × stages × tenants.
+func writeStageHistograms(bw *bufio.Writer, pm PoolMetrics, tel *obs.Telemetry) {
+	if tel == nil {
+		return
+	}
+	const name = "eventdetect_stage_duration_seconds"
+	// Restrict to the tenants in pm, so ?tenant= filtering composes.
+	want := make(map[string]bool, len(pm.Tenants))
+	for i := range pm.Tenants {
+		want[pm.Tenants[i].Tenant] = true
+	}
+	wroteHeader := false
+	for _, to := range tel.Tenants() {
+		if !want[to.Name()] {
+			continue
+		}
+		for _, st := range obs.Stages() {
+			snap := to.Snapshot(st)
+			if snap.Count == 0 {
+				continue
+			}
+			if !wroteHeader {
+				writeHelpType(bw, name, "histogram", "Stage latency by pipeline stage (log2 buckets).")
+				wroteHeader = true
+			}
+			labels := `{tenant="` + promEscape(to.Name()) + `",stage="` + st.String() + `"`
+			// total is derived from the bucket counts (not snap.Count)
+			// so the cumulative buckets, +Inf and _count agree exactly
+			// even when concurrent observes tear the snapshot slightly.
+			var cum, total uint64
+			for _, c := range snap.Buckets {
+				total += c
+			}
+			for i, c := range snap.Buckets {
+				// Zero-delta buckets are skipped; the top bucket is
+				// covered by the explicit +Inf sample below.
+				if c == 0 || i >= obs.NumBuckets-1 {
+					continue
+				}
+				cum += c
+				bw.WriteString(name)
+				bw.WriteString("_bucket")
+				bw.WriteString(labels)
+				bw.WriteString(`,le="`)
+				bw.WriteString(promFloat(float64(obs.BucketUpper(i)) / 1e9))
+				bw.WriteString(`"} `)
+				bw.WriteString(strconv.FormatUint(cum, 10))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString(name)
+			bw.WriteString("_bucket")
+			bw.WriteString(labels)
+			bw.WriteString(`,le="+Inf"} `)
+			bw.WriteString(strconv.FormatUint(total, 10))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_sum")
+			bw.WriteString(labels)
+			bw.WriteString("} ")
+			bw.WriteString(promFloat(float64(snap.SumNs) / 1e9))
+			bw.WriteByte('\n')
+			bw.WriteString(name)
+			bw.WriteString("_count")
+			bw.WriteString(labels)
+			bw.WriteString("} ")
+			bw.WriteString(strconv.FormatUint(total, 10))
+			bw.WriteByte('\n')
+		}
+	}
+}
+
+// writeRuntimeMetrics renders process health: goroutines, heap, and GC
+// work, under the conventional go_* names.
+func writeRuntimeMetrics(bw *bufio.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	simple := []struct {
+		name, typ, help string
+		value           float64
+	}{
+		{"go_goroutines", "gauge", "Live goroutines.", float64(runtime.NumGoroutine())},
+		{"go_memstats_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)},
+		{"go_memstats_heap_objects", "gauge", "Allocated heap objects.", float64(ms.HeapObjects)},
+		{"go_memstats_alloc_bytes_total", "counter", "Cumulative bytes allocated.", float64(ms.TotalAlloc)},
+		{"go_gc_cycles_total", "counter", "Completed GC cycles.", float64(ms.NumGC)},
+		{"go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause.", float64(ms.PauseTotalNs) / 1e9},
+	}
+	for _, s := range simple {
+		writeHelpType(bw, s.name, s.typ, s.help)
+		bw.WriteString(s.name)
+		bw.WriteByte(' ')
+		bw.WriteString(promFloat(s.value))
+		bw.WriteByte('\n')
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -117,22 +118,11 @@ func parseQueryRequest(w http.ResponseWriter, r *http.Request, defLimit int) (qu
 // archive, merged in (last_quantum, id) order with LIMIT pushdown and
 // cursor pagination. The stats object reports the segments skipped /
 // scanned and why the scan stopped.
-func handleUnifiedQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
-	req, ok := parseQueryRequest(w, r, defaultQueryLimit)
-	if !ok {
-		return
-	}
-	res, err := t.Query(req)
-	if err != nil {
-		queryError(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"tenant": t.Name(),
-		"events": res.Events,
-		"stats":  res.Stats,
-		"cursor": res.Cursor,
-	})
+// With ?debug=1 the response carries the request's own span breakdown
+// (parse / plan / snapshot_scan / archive_scan / finalize) under
+// "debug" — the spans partition the traced wall time exactly.
+func handleUnifiedQuery(w http.ResponseWriter, r *http.Request, t *Tenant, p *Pool) {
+	runTracedQuery(w, r, t, p, "query", defaultQueryLimit, false)
 }
 
 // handleArchiveQuery serves the evicted-event history. Since the
@@ -141,23 +131,49 @@ func handleUnifiedQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
 // same deterministic (last_quantum, id) result order — no longer
 // eviction order — same cursor pagination, and stats that mark
 // limit-stopped scans as truncated.
-func handleArchiveQuery(w http.ResponseWriter, r *http.Request, t *Tenant) {
-	req, ok := parseQueryRequest(w, r, defaultArchiveLimit)
+func handleArchiveQuery(w http.ResponseWriter, r *http.Request, t *Tenant, p *Pool) {
+	runTracedQuery(w, r, t, p, "archive", defaultArchiveLimit, true)
+}
+
+// runTracedQuery is the shared /query + /archive implementation:
+// parse, execute through the unified engine with a request trace
+// attached, offer the trace to the slow-request ring, and serve the
+// page (with the span breakdown when ?debug=1).
+func runTracedQuery(w http.ResponseWriter, r *http.Request, t *Tenant, p *Pool, op string, defLimit int, archiveOnly bool) {
+	debug, ok := boolParam(w, r, "debug")
 	if !ok {
 		return
 	}
-	req.ArchiveOnly = true
+	// Trace when telemetry is on (the ring wants slow requests) or the
+	// caller explicitly asked for the breakdown.
+	var tr *obs.ReqTrace
+	if t.obs != nil || debug {
+		tr = obs.StartTrace(op, t.Name(), r.URL.RequestURI())
+		tr.Step("parse")
+	}
+	req, ok := parseQueryRequest(w, r, defLimit)
+	if !ok {
+		return
+	}
+	req.ArchiveOnly = archiveOnly
+	req.Trace = tr
 	res, err := t.Query(req)
 	if err != nil {
+		p.offerTrace(t, tr, obs.StageHTTPQuery)
 		queryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	tr.Step("finalize")
+	body := map[string]any{
 		"tenant": t.Name(),
 		"events": res.Events,
 		"stats":  res.Stats,
 		"cursor": res.Cursor,
-	})
+	}
+	if rec := p.offerTrace(t, tr, obs.StageHTTPQuery); debug && rec != nil {
+		body["debug"] = traceView(rec)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func queryError(w http.ResponseWriter, err error) {

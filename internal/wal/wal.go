@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -74,6 +75,12 @@ type Options struct {
 	// appends while all concurrent appenders — across every tenant
 	// sharing the committer — split the fsync cost.
 	GroupCommit *GroupCommitter
+	// OnFlush, when non-nil, is called with the wall time of each
+	// successful write+fsync of pending group-commit records, from the
+	// flushing goroutine with the log's lock held — it must be fast and
+	// must not call back into the log. Serving layers hook it to feed
+	// fsync-latency histograms.
+	OnFlush func(time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -322,6 +329,10 @@ func (l *Log) flushLocked() error {
 	if len(l.pend) == 0 {
 		return nil
 	}
+	var flushStart time.Time
+	if l.opt.OnFlush != nil {
+		flushStart = time.Now()
+	}
 	if l.f == nil {
 		if err := l.rotate(l.committed + 1); err != nil {
 			l.fail(err)
@@ -343,6 +354,9 @@ func (l *Log) flushLocked() error {
 		l.rollback()
 		l.fail(fmt.Errorf("wal: group fsync: %w", err))
 		return l.failed
+	}
+	if l.opt.OnFlush != nil {
+		l.opt.OnFlush(time.Since(flushStart))
 	}
 	l.size += int64(len(l.pend))
 	l.pend = l.pend[:0]
