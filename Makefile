@@ -1,5 +1,5 @@
 # Developer entry points. CI runs the same checks as `make check`.
-.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-load bench-obs bench-smoke fuzz-smoke
+.PHONY: build test lint check bench bench-serving bench-ingest bench-query bench-archive bench-load bench-obs bench-smoke fuzz-smoke
 
 build:
 	go build ./...
@@ -41,6 +41,11 @@ bench-ingest:
 bench-query:
 	./scripts/bench_query.sh $(BENCHTIME)
 
+# Archive storage-layer benchmarks (v1 JSONL vs v2 columnar decode,
+# zone-map block skipping, on-disk footprint); emits BENCH_archive.json.
+bench-archive:
+	./scripts/bench_archive.sh $(BENCHTIME)
+
 # Adversarial load harness (uniform / zipf-hot / flash-flood scenarios
 # against an in-process server with admission control on); emits
 # BENCH_load.json with per-tenant ingest-to-SSE and query percentiles,
@@ -66,4 +71,4 @@ bench-smoke: fuzz-smoke
 	go test -run xxx -bench . -benchtime 1x ./...
 
 fuzz-smoke:
-	go test -run 'Fuzz' -count=1 ./internal/server/ ./internal/query/
+	go test -run 'Fuzz' -count=1 ./internal/server/ ./internal/query/ ./internal/archive/

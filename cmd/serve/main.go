@@ -31,7 +31,12 @@
 // the same -wal-dir and recovery (snapshot + tail replay) resumes
 // bit-identically. With -archive-dir set, events evicted by -retain are
 // persisted to a queryable on-disk archive (GET /v1/{tenant}/archive)
-// instead of discarded. See docs/PERSISTENCE.md. GET /v1/{tenant}/query
+// instead of discarded. With -archive-compact-interval set, a background
+// compactor incrementally merges small archive segments and rewrites
+// cold v1 JSONL segments into the v2 columnar format (zone-map
+// predicate skipping, several-fold smaller on disk); -archive-migrate
+// performs that rewrite once, offline, and exits. See
+// docs/PERSISTENCE.md. GET /v1/{tenant}/query
 // answers one time-travel request across live and archived events with
 // LIMIT pushdown and cursor pagination; see docs/QUERY.md.
 //
@@ -60,15 +65,59 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"syscall"
 	"time"
 
 	"repro/internal/akg"
+	"repro/internal/archive"
 	"repro/internal/detect"
 	"repro/internal/server"
 )
+
+// migrateArchives is the -archive-migrate one-shot mode: open every
+// tenant archive under dir, drive compaction to completion — merging
+// runs of small sealed segments and rewriting every cold v1 JSONL
+// segment into the v2 columnar format — print per-tenant stats, and
+// return the process exit code. Tenants that fail are reported and
+// skipped so one corrupt directory does not block the rest.
+func migrateArchives(dir string, opt archive.Options) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve: archive-migrate:", err)
+		return 1
+	}
+	code, migrated := 0, 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		l, err := archive.Open(filepath.Join(dir, name), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: archive-migrate: tenant %s: %v\n", name, err)
+			code = 1
+			continue
+		}
+		st, cerr := l.CompactAll()
+		columnar := l.ColumnarSegmentCount()
+		if closeErr := l.Close(); cerr == nil {
+			cerr = closeErr
+		}
+		if cerr != nil {
+			fmt.Fprintf(os.Stderr, "serve: archive-migrate: tenant %s: %v\n", name, cerr)
+			code = 1
+			continue
+		}
+		fmt.Printf("archive-migrate: tenant=%s compactions=%d segments_in=%d records=%d bytes_reclaimed=%d columnar_segments=%d\n",
+			name, st.Compactions, st.SegmentsIn, st.Records, st.BytesReclaimed, columnar)
+		migrated++
+	}
+	fmt.Printf("archive-migrate: done tenants=%d\n", migrated)
+	return code
+}
 
 // buildInfo extracts the module path, Go toolchain and VCS revision
 // baked into the binary, for the structured startup line.
@@ -122,6 +171,19 @@ func main() {
 		archDir = flag.String("archive-dir", "", "evicted-event archive directory (empty discards evicted events)")
 		archSeg = flag.Int("archive-segment-events", 512, "archive segment rotation by record count")
 		archBkt = flag.Int("archive-bucket-quanta", 1024, "archive segment rotation by quantum span")
+		archBlk = flag.Int("archive-block-events", 256,
+			"records per block inside v2 columnar archive segments — the unit "+
+				"of zone-map predicate skipping and of decode work")
+		archBpk = flag.Int("archive-bloom-bits-per-key", 0,
+			"archive keyword Bloom filter sizing in bits per record "+
+				"(0 = legacy fixed 8192-bit filters; 10 gives ~1% false positives)")
+		archComp = flag.Duration("archive-compact-interval", 0,
+			"background archive compaction cadence (0 disables; e.g. 30s). Each "+
+				"tick merges runs of small sealed segments or rewrites one cold v1 "+
+				"JSONL segment per tenant into the v2 columnar format")
+		archMigrate = flag.Bool("archive-migrate", false,
+			"one-shot mode: compact every tenant archive under -archive-dir "+
+				"fully into the v2 columnar format, print per-tenant stats, and exit")
 
 		pprofAddr = flag.String("pprof-addr", "",
 			"listen address for net/http/pprof diagnostics (empty disables; "+
@@ -176,6 +238,11 @@ func main() {
 	req(*snapEvr > 0, "-snapshot-every must be a positive quantum count")
 	req(*archSeg > 0, "-archive-segment-events must be positive")
 	req(*archBkt > 0, "-archive-bucket-quanta must be positive")
+	req(*archBlk > 0, "-archive-block-events must be positive")
+	req(*archBpk >= 0 && *archBpk <= 64,
+		"-archive-bloom-bits-per-key must be in [0,64] (0 = legacy sizing)")
+	req(*archComp >= 0, "-archive-compact-interval must be non-negative (0 = disabled)")
+	req(!*archMigrate || *archDir != "", "-archive-migrate requires -archive-dir")
 	req(*traceRing >= 0, "-trace-ring must be non-negative (0 = tracing off)")
 	req(*slowReqMs >= 0, "-slow-request-ms must be non-negative (0 = trace everything)")
 	if len(bad) > 0 {
@@ -183,6 +250,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "serve: invalid flag:", msg)
 		}
 		os.Exit(2)
+	}
+
+	if *archMigrate {
+		os.Exit(migrateArchives(*archDir, archive.Options{
+			SegmentEvents:   *archSeg,
+			BucketQuanta:    *archBkt,
+			BlockEvents:     *archBlk,
+			BloomBitsPerKey: *archBpk,
+		}))
 	}
 
 	// The pool treats a negative ring size as "tracing off"; the flag
@@ -220,6 +296,9 @@ func main() {
 			ArchiveDir:             *archDir,
 			ArchiveSegmentEvents:   *archSeg,
 			ArchiveBucketQuanta:    *archBkt,
+			ArchiveBlockEvents:     *archBlk,
+			ArchiveBloomBitsPerKey: *archBpk,
+			ArchiveCompactInterval: *archComp,
 
 			ObsDisabled:          !*telemetry,
 			TraceRingSize:        ringSize,
@@ -247,6 +326,7 @@ func main() {
 		"wal", *walDir != "",
 		"group_commit", walGC.String(),
 		"archive", *archDir != "",
+		"archive_compact_interval", archComp.String(),
 		"checkpoints", *ckpt != "",
 		"rate_limit", *rateLim,
 		"admission_frac", *admFrac,

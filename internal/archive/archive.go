@@ -23,7 +23,9 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -67,6 +69,11 @@ type Record struct {
 // FirstSeq, but an eviction-ordinal gap (records lost to a crash) can
 // land a first record whose Seq differs from the name of the already-
 // created file, so the two are tracked separately.
+//
+// Format 0 (absent) is a v1 JSONL segment; Format 2 a v2 columnar
+// segment, whose sidecar additionally carries the per-block zone maps
+// (Blocks) and lives at ev-<seq>.col.meta.json so the two formats'
+// sidecars never collide during a compaction crash window.
 type segMeta struct {
 	File       uint64 `json:"file"` // data file name seq
 	FirstSeq   uint64 `json:"first_seq"`
@@ -76,10 +83,23 @@ type segMeta struct {
 	MaxQuantum int    `json:"max_quantum"`
 	Bloom      string `json:"bloom"` // base64 keyword Bloom filter
 
+	// Format is the data file format (0 = v1 JSONL, 2 = v2 columnar).
+	Format int `json:"format,omitempty"`
+	// BloomK is the filter's hash count; 0 means the legacy 4 (sidecars
+	// written before the filter became configurable).
+	BloomK int `json:"bloom_k,omitempty"`
+	// MaxPeakRank bounds PeakRank across the segment's records, for
+	// rank-floor skipping. Absent (0) in pre-v2 sidecars, so readers
+	// treat 0 as "unknown", which is always safe.
+	MaxPeakRank float64 `json:"max_peak_rank,omitempty"`
+	// Blocks are the v2 per-block zone maps, in file order.
+	Blocks []blockZone `json:"blocks,omitempty"`
+
 	bf bloom // decoded lazily
 }
 
-func (m *segMeta) observe(rec Record) {
+// observeBounds folds one record into the seq/quantum/rank bounds.
+func (m *segMeta) observeBounds(rec *Record) {
 	if m.Count == 0 {
 		m.FirstSeq, m.MinQuantum, m.MaxQuantum = rec.Seq, rec.BornQuantum, rec.LastQuantum
 	}
@@ -91,8 +111,18 @@ func (m *segMeta) observe(rec Record) {
 	if rec.LastQuantum > m.MaxQuantum {
 		m.MaxQuantum = rec.LastQuantum
 	}
-	if m.bf == nil {
-		m.bf = newBloom()
+	if rec.PeakRank > m.MaxPeakRank {
+		m.MaxPeakRank = rec.PeakRank
+	}
+}
+
+// observe folds one record into the bounds and the keyword filter,
+// creating the filter with sizing bp on first use.
+func (m *segMeta) observe(rec Record, bp bloomParams) {
+	m.observeBounds(&rec)
+	if m.bf.empty() {
+		m.bf = newBloomSized(bp)
+		m.BloomK = bp.hashes
 	}
 	for _, kw := range rec.Keywords {
 		m.bf.add(kw)
@@ -112,6 +142,15 @@ type Options struct {
 	// time bucketing that keeps a segment's [min,max] window tight enough
 	// for range skipping to bite. Zero selects 1024.
 	BucketQuanta int
+	// BlockEvents caps records per block when the compactor rewrites a
+	// segment into the v2 columnar format — the granularity at which
+	// zone maps skip and scans decode. Zero selects 256.
+	BlockEvents int
+	// BloomBitsPerKey sizes new segments' keyword Bloom filters as
+	// bits-per-key × SegmentEvents (hash count at the ln2·bits/key
+	// optimum). Zero selects the legacy fixed 8192-bit/4-hash filter.
+	// Existing sidecars keep the shape they were written with.
+	BloomBitsPerKey int
 }
 
 func (o Options) withDefaults() Options {
@@ -121,6 +160,9 @@ func (o Options) withDefaults() Options {
 	if o.BucketQuanta <= 0 {
 		o.BucketQuanta = 1024
 	}
+	if o.BlockEvents <= 0 {
+		o.BlockEvents = defaultBlockEvents
+	}
 	return o
 }
 
@@ -129,8 +171,9 @@ func (o Options) withDefaults() Options {
 // the (append-only) data files without holding it, so a long history
 // scan never blocks the ingest path that appends evictions.
 type Log struct {
-	dir string
-	opt Options
+	dir      string
+	opt      Options
+	bloomPar bloomParams // sizing for new segment-level filters
 
 	mu     sync.Mutex
 	sealed []segMeta // rotated segments, ascending FirstSeq
@@ -139,19 +182,33 @@ type Log struct {
 	w      *bufio.Writer
 	seq    uint64 // last appended ordinal
 	gaps   uint64 // ordinal gaps observed (records lost before a crash)
+
+	// Compaction bookkeeping: compactMu serializes compactor steps (the
+	// sealed-list splice assumes one compactor); the counters (guarded by
+	// mu) feed the service metrics.
+	compactMu        sync.Mutex
+	compactions      uint64
+	segsCompacted    uint64
+	bytesReclaimed   uint64
+	recordsCompacted uint64
 }
 
 // Open opens (creating if needed) an archive directory. Sealed segments
 // are described by their sidecars; a segment missing its sidecar (crash
-// between data write and rotation) is scanned once and the sidecar
-// rewritten. The newest segment resumes as the active one.
+// between data write and rotation, or between compaction commit and
+// sidecar write) is scanned once and the sidecar rewritten. The newest
+// JSONL segment resumes as the active one. Any segment whose ordinal
+// range is covered by another segment is a leftover from a compaction
+// the process crashed out of after the commit rename — it is deleted
+// here, which is what makes kill -9 at any point of a compaction
+// converge to exactly-once records.
 func Open(dir string, opt Options) (*Log, error) {
 	opt = opt.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt}
-	// Sweep sidecar temp files a crash between write and rename left.
+	l := &Log{dir: dir, opt: opt, bloomPar: bloomSizing(opt.BloomBitsPerKey, opt.SegmentEvents)}
+	// Sweep temp files a crash between write and rename left.
 	if orphans, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
 		for _, o := range orphans {
 			os.Remove(o) //nolint:errcheck // best effort
@@ -161,42 +218,159 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("archive: list %s: %w", dir, err)
 	}
-	var starts []uint64
+	var v1Starts, v2Starts []uint64
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segExt) {
+		if !strings.HasPrefix(name, segPrefix) {
 			continue
 		}
-		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segExt), 10, 64)
-		if err == nil {
-			starts = append(starts, n)
+		var ext string
+		switch {
+		case strings.HasSuffix(name, segExt):
+			ext = segExt
+		case strings.HasSuffix(name, colExt):
+			ext = colExt
+		default:
+			continue
 		}
-	}
-	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
-	for i, start := range starts {
-		var meta segMeta
-		if i == len(starts)-1 {
-			// Resume the newest segment as active so a restart keeps
-			// filling the same bucket instead of fragmenting. Its sidecar
-			// (if any) predates appends made after the last rotation, so
-			// rebuild from the data file, truncating any torn tail a
-			// crash left so new appends never land after garbage.
-			meta, err = l.resumeActive(start)
-			if err != nil {
-				return nil, err
-			}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), ext), 10, 64)
+		if err != nil {
+			continue
+		}
+		if ext == segExt {
+			v1Starts = append(v1Starts, n)
 		} else {
-			meta, err = l.loadOrRebuildMeta(start)
-			if err != nil {
-				return nil, err
-			}
-			l.sealed = append(l.sealed, meta)
-		}
-		if meta.LastSeq > l.seq {
-			l.seq = meta.LastSeq
+			v2Starts = append(v2Starts, n)
 		}
 	}
+	sort.Slice(v1Starts, func(i, j int) bool { return v1Starts[i] < v1Starts[j] })
+	sort.Slice(v2Starts, func(i, j int) bool { return v2Starts[i] < v2Starts[j] })
+
+	var metas []segMeta
+	for _, start := range v2Starts {
+		m, err := l.loadOrRebuildColMeta(start)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, m)
+	}
+	for i, start := range v1Starts {
+		if i == len(v1Starts)-1 {
+			continue // active candidate, handled below
+		}
+		m, err := l.loadOrRebuildMeta(start)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, m)
+	}
+	if len(v1Starts) > 0 {
+		// Resume the newest JSONL segment as active so a restart keeps
+		// filling the same bucket instead of fragmenting. Its sidecar
+		// (if any) predates appends made after the last rotation, so
+		// rebuild from the data file, truncating any torn tail a crash
+		// left so new appends never land after garbage. If a v2 segment
+		// covers it (sealed, compacted, then crashed before cleanup) it
+		// is superseded like any other — drop it instead of resuming.
+		start := v1Starts[len(v1Starts)-1]
+		m, err := l.resumeActive(start)
+		if err != nil {
+			return nil, err
+		}
+		if supersededBy(m, metas) >= 0 {
+			l.f.Close() //nolint:errcheck // dropping the file anyway
+			l.f, l.w, l.active = nil, nil, nil
+			l.removeSegmentFiles(m)
+		} else {
+			metas = append(metas, m)
+		}
+	}
+
+	// Resolve supersession among the remaining segments, then keep the
+	// survivors as the sealed list (minus the resumed active).
+	dead := make([]bool, len(metas))
+	for i := range metas {
+		dead[i] = supersededBy(metas[i], metas) >= 0
+	}
+	for i := range metas {
+		m := metas[i]
+		if dead[i] {
+			l.removeSegmentFiles(m)
+			continue
+		}
+		if l.active == nil || m.File != l.active.File || m.Format != l.active.Format {
+			l.sealed = append(l.sealed, m)
+		}
+		if m.LastSeq > l.seq {
+			l.seq = m.LastSeq
+		}
+	}
+	sort.Slice(l.sealed, func(i, j int) bool { return l.sealed[i].FirstSeq < l.sealed[j].FirstSeq })
+	l.sweepOrphanSidecars(entries)
 	return l, nil
+}
+
+// supersededBy returns the index of a segment in metas whose ordinal
+// range covers m's (making m a compaction leftover), or -1. On an exact
+// range tie the columnar segment wins — the compactor rewrites a JSONL
+// segment to a same-range .col file, and both survive a crash between
+// the commit rename and the JSONL deletion.
+func supersededBy(m segMeta, metas []segMeta) int {
+	if m.Count == 0 {
+		return -1
+	}
+	for i := range metas {
+		o := &metas[i]
+		if o.Count == 0 || (o.File == m.File && o.Format == m.Format) {
+			continue
+		}
+		if o.FirstSeq > m.FirstSeq || o.LastSeq < m.LastSeq {
+			continue
+		}
+		if o.FirstSeq == m.FirstSeq && o.LastSeq == m.LastSeq {
+			if o.Format == 2 && m.Format != 2 {
+				return i
+			}
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// removeSegmentFiles deletes a segment's data file and sidecar.
+func (l *Log) removeSegmentFiles(m segMeta) {
+	if m.Format == 2 {
+		os.Remove(l.colPath(m.File))     //nolint:errcheck // best effort
+		os.Remove(l.colMetaPath(m.File)) //nolint:errcheck // best effort
+		return
+	}
+	os.Remove(l.segPath(m.File))  //nolint:errcheck // best effort
+	os.Remove(l.metaPath(m.File)) //nolint:errcheck // best effort
+}
+
+// sweepOrphanSidecars removes sidecars whose data file is gone — the
+// one file a crash between a compaction's data-file deletion and
+// sidecar deletion can leave behind.
+func (l *Log) sweepOrphanSidecars(entries []os.DirEntry) {
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) {
+			continue
+		}
+		var data string
+		switch {
+		case strings.HasSuffix(name, colMetaSuffix):
+			data = strings.TrimSuffix(name, colMetaSuffix) + colExt
+		case strings.HasSuffix(name, metaExt):
+			data = strings.TrimSuffix(name, metaExt) + segExt
+		default:
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(l.dir, data)); os.IsNotExist(err) {
+			os.Remove(filepath.Join(l.dir, name)) //nolint:errcheck // best effort
+		}
+	}
 }
 
 // resumeActive rebuilds the newest segment's metadata byte-exactly and
@@ -222,7 +396,7 @@ func (l *Log) resumeActive(start uint64) (segMeta, error) {
 			if err := json.Unmarshal(line, &rec); err != nil {
 				break
 			}
-			m.observe(rec)
+			m.observe(rec, l.bloomPar)
 		}
 		valid += nl + 1
 	}
@@ -243,21 +417,22 @@ func (l *Log) resumeActive(start uint64) (segMeta, error) {
 	return m, nil
 }
 
-// loadOrRebuildMeta reads a segment's sidecar, or scans the data file
-// and rewrites the sidecar when it is missing or unreadable.
+// loadOrRebuildMeta reads a v1 segment's sidecar, or scans the data
+// file and rewrites the sidecar when it is missing or unreadable.
 func (l *Log) loadOrRebuildMeta(start uint64) (segMeta, error) {
 	raw, err := os.ReadFile(l.metaPath(start))
 	if err == nil {
 		var m segMeta
-		if jerr := json.Unmarshal(raw, &m); jerr == nil && m.Count > 0 {
+		if jerr := json.Unmarshal(raw, &m); jerr == nil && m.Count > 0 && m.Format == 0 {
 			m.File = start // authoritative: the sidecar sits next to the file
-			m.bf = decodeBloom(m.Bloom)
+			m.Blocks = nil // zone maps never describe a JSONL body
+			m.bf = decodeBloom(m.Bloom, m.BloomK)
 			return m, nil
 		}
 	}
 	var m segMeta
 	if _, err := l.scanSegment(start, func(rec Record) error {
-		m.observe(rec)
+		m.observe(rec, l.bloomPar)
 		return nil
 	}); err != nil {
 		return segMeta{}, err
@@ -270,6 +445,69 @@ func (l *Log) loadOrRebuildMeta(start uint64) (segMeta, error) {
 		return segMeta{}, err
 	}
 	return m, nil
+}
+
+// loadOrRebuildColMeta reads a v2 segment's sidecar, or decodes every
+// block of the data file to rebuild the zone maps when the sidecar is
+// missing, unreadable, describes the wrong format, or disagrees with
+// the data file's header — that last one is the crash window where a
+// re-compaction renamed a new data file over this path but died before
+// rewriting the sidecar, leaving zone maps that describe the old bytes.
+func (l *Log) loadOrRebuildColMeta(start uint64) (segMeta, error) {
+	raw, err := os.ReadFile(l.colMetaPath(start))
+	if err == nil {
+		var m segMeta
+		if jerr := json.Unmarshal(raw, &m); jerr == nil && m.Count > 0 && m.Format == 2 && len(m.Blocks) > 0 &&
+			l.colHeaderMatches(start, &m) {
+			m.File = start
+			m.bf = decodeBloom(m.Bloom, m.BloomK)
+			for i := range m.Blocks {
+				m.Blocks[i].bf = decodeBloom(m.Blocks[i].Bloom, blockBloomHashes)
+			}
+			return m, nil
+		}
+	}
+	m := segMeta{Format: 2, BloomK: l.bloomPar.hashes}
+	m.bf = newBloomSized(l.bloomPar)
+	_, err = scanColFile(l.colPath(start), func(rec *Record) error {
+		m.observeBounds(rec)
+		for _, kw := range rec.Keywords {
+			m.bf.add(kw)
+		}
+		for _, kw := range rec.AllKeywords {
+			m.bf.add(kw)
+		}
+		return nil
+	}, func(z blockZone) {
+		m.Blocks = append(m.Blocks, z)
+	})
+	if err != nil {
+		return segMeta{}, err
+	}
+	m.File = start
+	if err := l.writeMeta(&m, start); err != nil {
+		return segMeta{}, err
+	}
+	return m, nil
+}
+
+// colHeaderMatches reports whether a v2 sidecar agrees with its data
+// file's fixed header on the ordinal range and count.
+func (l *Log) colHeaderMatches(start uint64, m *segMeta) bool {
+	f, err := os.Open(l.colPath(start))
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var buf [colHeaderLen]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return false
+	}
+	hdr, err := parseColHeader(buf[:])
+	if err != nil {
+		return false
+	}
+	return hdr.firstSeq == m.FirstSeq && hdr.lastSeq == m.LastSeq && hdr.count == m.Count
 }
 
 // Append archives one record. Records whose Seq is at or below the
@@ -303,7 +541,7 @@ func (l *Log) Append(rec Record) error {
 	if err := l.w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("archive: append: %w", err)
 	}
-	l.active.observe(rec)
+	l.active.observe(rec, l.bloomPar)
 	l.seq = rec.Seq
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("archive: append: %w", err)
@@ -349,18 +587,22 @@ func (l *Log) rotateLocked() error {
 }
 
 func (l *Log) writeMeta(m *segMeta, start uint64) error {
-	if m.bf != nil {
+	if !m.bf.empty() {
 		m.Bloom = m.bf.encode()
 	}
 	raw, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("archive: encode sidecar: %w", err)
 	}
-	tmp := l.metaPath(start) + ".tmp"
+	path := l.metaPath(start)
+	if m.Format == 2 {
+		path = l.colMetaPath(start)
+	}
+	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("archive: write sidecar: %w", err)
 	}
-	if err := os.Rename(tmp, l.metaPath(start)); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("archive: write sidecar: %w", err)
 	}
 	return nil
@@ -432,11 +674,13 @@ type QueryStats struct {
 var ErrStop = fmt.Errorf("archive: stop scan")
 
 // SegmentView is a point-in-time handle on one segment: the sidecar
-// bounds for planning (time-range and Bloom data skipping) plus a
-// record iterator. Views are snapshots — records appended to the
+// bounds for planning (time-range, rank-floor, and Bloom data skipping)
+// plus a record iterator. Views are snapshots — records appended to the
 // active segment after Segments() returned are not visible through
-// them, and a view stays readable after the segment it describes
-// rotates (data files are append-only and never renamed).
+// them, and a view stays readable even if the segment it describes is
+// compacted away mid-scan: a vanished or replaced data file makes the
+// scan fall back to the covering compacted segment, filtered to this
+// view's ordinal range.
 type SegmentView struct {
 	// FirstSeq/LastSeq bound the eviction ordinals in the segment.
 	FirstSeq uint64
@@ -448,22 +692,102 @@ type SegmentView struct {
 	// falls inside [MinQuantum, MaxQuantum].
 	MinQuantum int
 	MaxQuantum int
+	// MaxPeakRank bounds PeakRank across the covered records; +Inf when
+	// the sidecar predates rank bounds (never skip on unknown).
+	MaxPeakRank float64
 	// Sealed marks a rotated (immutable, count-exact) segment.
 	Sealed bool
+	// Format is the data file format: 0 = v1 JSONL, 2 = v2 columnar.
+	Format int
 
-	file uint64
-	bf   bloom
-	l    *Log
+	file  uint64
+	zones []blockZone // v2 zone maps (immutable once sealed; shared)
+	bf    bloom
+	l     *Log
 }
+
+// Blocks returns the number of v2 blocks the view covers (0 for v1).
+func (v *SegmentView) Blocks() int { return len(v.zones) }
 
 // MayContain reports whether the segment's keyword Bloom filter admits
 // kw (false positives possible, false negatives not). A view with no
 // filter admits everything.
 func (v *SegmentView) MayContain(kw string) bool {
-	if len(v.bf) == 0 {
-		return true
-	}
 	return v.bf.mayContain(kw)
+}
+
+// Pred is the predicate ScanPred pushes below segment granularity: a
+// v2 scan skips whole blocks whose zone maps prove no record can
+// match. Records handed to the callback are NOT individually filtered
+// — block skipping is conservative, so callers apply their own
+// record-level filter exactly as they would after Scan.
+type Pred struct {
+	// From/To bound the quantum range: a record matches when its
+	// [BornQuantum, LastQuantum] span intersects [From, To]. To < 0
+	// means unbounded. Note the zero value bounds the range to quantum
+	// 0 — callers must set To.
+	From, To int
+	// MinRank, when positive, requires PeakRank ≥ MinRank.
+	MinRank float64
+	// Keywords requires every listed keyword (AND semantics), matched
+	// against the block Bloom filters.
+	Keywords []string
+
+	// minSeq/maxSeq (0 = unbounded) restrict records by eviction
+	// ordinal — set internally when a scan falls back from a compacted-
+	// away segment to the covering rewrite, which holds more than the
+	// original view's records.
+	minSeq, maxSeq uint64
+}
+
+// matchAll is the no-predicate Pred (plain Scan).
+func matchAll() Pred { return Pred{To: -1} }
+
+// skipReason classifies why a block was skipped.
+type skipReason int
+
+const (
+	skipNone skipReason = iota
+	skipTime
+	skipRank
+	skipKeyword
+)
+
+func (z *blockZone) skip(p *Pred) skipReason {
+	if z.MaxQuantum < p.From || z.MinQuantum > p.To {
+		return skipTime
+	}
+	if p.maxSeq > 0 && (z.FirstSeq > p.maxSeq || z.LastSeq < p.minSeq) {
+		return skipTime // ordinal range disjoint: same bucket as time
+	}
+	if p.MinRank > 0 && z.MaxRank < p.MinRank {
+		return skipRank
+	}
+	if len(p.Keywords) > 0 && !z.mayContainKeywords(p.Keywords) {
+		return skipKeyword
+	}
+	return skipNone
+}
+
+// BlockStats reports one ScanPred's block-level work: how many blocks
+// the segment holds, how many were read, and why the rest were skipped
+// without touching the data file. A v1 segment counts as one block.
+type BlockStats struct {
+	Blocks           int // blocks covered by the view
+	Scanned          int // blocks read and decoded
+	SkippedByTime    int // zone quantum/ordinal range proved no match
+	SkippedByRank    int // zone max PeakRank below the rank floor
+	SkippedByKeyword int // zone Bloom filter refuted a keyword
+	Records          int // records handed to the callback
+}
+
+func (b *BlockStats) addTo(o *BlockStats) {
+	o.Blocks += b.Blocks
+	o.Scanned += b.Scanned
+	o.SkippedByTime += b.SkippedByTime
+	o.SkippedByRank += b.SkippedByRank
+	o.SkippedByKeyword += b.SkippedByKeyword
+	o.Records += b.Records
 }
 
 // Scan streams the view's records to fn in eviction order. fn returning
@@ -475,71 +799,219 @@ func (v *SegmentView) MayContain(kw string) bool {
 // view stops after Count records so concurrent appends never leak past
 // the point-in-time the view was taken.
 func (v *SegmentView) Scan(fn func(Record) error) (seen int, stopped bool, err error) {
+	bs, stopped, err := v.scanWithPred(matchAll(), 0, func(rec *Record) error { return fn(*rec) })
+	return bs.Records, stopped, err
+}
+
+// ScanPred streams the view's records to fn in eviction order, skipping
+// v2 blocks whose zone maps prove no record can match pred (see Pred
+// for what the callback still must filter). The *Record and its slices
+// remain valid after fn returns, but the struct pointed to is reused —
+// copy it to keep it. Stop/error semantics match Scan.
+func (v *SegmentView) ScanPred(pred Pred, fn func(*Record) error) (BlockStats, bool, error) {
+	return v.scanWithPred(pred, 0, fn)
+}
+
+// maxRescanDepth bounds compacted-away fallback nesting; one level is
+// the steady state (old view → covering rewrite) and a second absorbs a
+// re-compaction racing the fallback itself.
+const maxRescanDepth = 2
+
+func (v *SegmentView) scanWithPred(pred Pred, depth int, fn func(*Record) error) (bs BlockStats, stopped bool, err error) {
+	if pred.To < 0 {
+		pred.To = maxInt
+	}
+	if v.Format == 2 {
+		return v.scanColWithPred(pred, depth, fn)
+	}
+	bs.Blocks, bs.Scanned = 1, 1
+	raw := 0        // records decoded (pre-filter), for the corruption check
 	capped := false // hit the view's point-in-time record cap, not a caller stop
 	_, serr := v.l.scanSegment(v.file, func(rec Record) error {
 		// The cap applies only to active views (appends may have landed
 		// after the view was taken); a sealed file holding more records
 		// than its sidecar is corruption, which the count check below
 		// must see rather than have silently truncated away.
-		if !v.Sealed && seen >= v.Count {
+		if !v.Sealed && raw >= v.Count {
 			capped = true
 			return ErrStop
 		}
-		seen++
-		return fn(rec)
+		raw++
+		if (pred.minSeq > 0 && rec.Seq < pred.minSeq) || (pred.maxSeq > 0 && rec.Seq > pred.maxSeq) {
+			return nil
+		}
+		bs.Records++
+		return fn(&rec)
 	})
 	switch {
 	case serr == ErrStop && !capped:
-		return seen, true, nil
+		return bs, true, nil
 	case serr != nil && serr != ErrStop:
-		return seen, false, serr
+		if errors.Is(serr, os.ErrNotExist) && v.Sealed && depth < maxRescanDepth {
+			// Compacted away mid-scan: rescan via the covering segment.
+			return v.rescanCompacted(pred, depth, fn)
+		}
+		return bs, false, serr
 	}
-	if v.Sealed && seen != v.Count {
-		return seen, false, fmt.Errorf("archive: segment %d corrupt: %d of %d records readable",
-			v.file, seen, v.Count)
+	if v.Sealed && raw != v.Count {
+		return bs, false, fmt.Errorf("archive: segment %d corrupt: %d of %d records readable",
+			v.file, raw, v.Count)
 	}
-	return seen, false, nil
+	return bs, false, nil
+}
+
+// scanColWithPred is the v2 scan: zone-map skipping, then CRC-checked
+// column-at-a-time decode of only the surviving blocks.
+func (v *SegmentView) scanColWithPred(pred Pred, depth int, fn func(*Record) error) (bs BlockStats, stopped bool, err error) {
+	f, err := os.Open(v.l.colPath(v.file))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) && depth < maxRescanDepth {
+			return v.rescanCompacted(pred, depth, fn)
+		}
+		return bs, false, fmt.Errorf("archive: open segment: %w", err)
+	}
+	defer f.Close()
+	// The open fd pins the inode, so the scan below is immune to a
+	// concurrent re-compaction renaming over this path — but the path
+	// may already BE the replacement. Verify the header matches the
+	// view; a mismatch means the view's zone maps describe a replaced
+	// file, so fall back as if it had vanished.
+	var hdrBuf [colHeaderLen]byte
+	if _, err := f.ReadAt(hdrBuf[:], 0); err != nil {
+		return bs, false, fmt.Errorf("archive: segment %d: short header: %w", v.file, err)
+	}
+	hdr, err := parseColHeader(hdrBuf[:])
+	if err != nil {
+		return bs, false, fmt.Errorf("archive: segment %d: %w", v.file, err)
+	}
+	if hdr.firstSeq != v.FirstSeq || hdr.lastSeq != v.LastSeq || hdr.count != v.Count {
+		if depth < maxRescanDepth {
+			return v.rescanCompacted(pred, depth, fn)
+		}
+		return bs, false, fmt.Errorf("archive: segment %d: file replaced mid-scan", v.file)
+	}
+
+	bs.Blocks = len(v.zones)
+	sc := scratchPool.Get().(*blockScratch)
+	defer scratchPool.Put(sc)
+	for zi := range v.zones {
+		z := &v.zones[zi]
+		switch z.skip(&pred) {
+		case skipTime:
+			bs.SkippedByTime++
+			continue
+		case skipRank:
+			bs.SkippedByRank++
+			continue
+		case skipKeyword:
+			bs.SkippedByKeyword++
+			continue
+		}
+		bs.Scanned++
+		payload, err := readFrame(f, z, &sc.frame)
+		if err != nil {
+			return bs, false, fmt.Errorf("archive: segment %d: %w", v.file, err)
+		}
+		n, derr := decodeBlock(payload, sc, func(rec *Record) error {
+			if (pred.minSeq > 0 && rec.Seq < pred.minSeq) || (pred.maxSeq > 0 && rec.Seq > pred.maxSeq) {
+				return nil
+			}
+			bs.Records++
+			return fn(rec)
+		})
+		if derr == ErrStop {
+			return bs, true, nil
+		}
+		if derr != nil {
+			return bs, false, fmt.Errorf("archive: segment %d: block at %d: %w", v.file, z.Off, derr)
+		}
+		if n != z.Count {
+			return bs, false, fmt.Errorf("archive: segment %d corrupt: block at %d has %d of %d records",
+				v.file, z.Off, n, z.Count)
+		}
+	}
+	return bs, false, nil
+}
+
+// rescanCompacted re-resolves a scan whose data file was compacted away
+// (or replaced) after the view was taken: the compactor only ever
+// merges whole segments, so some current segment's ordinal range covers
+// this view's — rescan it with the predicate narrowed to the view's
+// ordinals, yielding exactly the original record set.
+func (v *SegmentView) rescanCompacted(pred Pred, depth int, fn func(*Record) error) (BlockStats, bool, error) {
+	if pred.minSeq == 0 || pred.minSeq < v.FirstSeq {
+		pred.minSeq = v.FirstSeq
+	}
+	if pred.maxSeq == 0 || pred.maxSeq > v.LastSeq {
+		pred.maxSeq = v.LastSeq
+	}
+	views := v.l.Segments()
+	for i := range views {
+		w := &views[i]
+		if w.file == v.file && w.Format == v.Format {
+			continue // the vanished segment itself (stale list)
+		}
+		if w.Count > 0 && w.FirstSeq <= v.FirstSeq && w.LastSeq >= v.LastSeq {
+			return w.scanWithPred(pred, depth+1, fn)
+		}
+	}
+	return BlockStats{}, false, fmt.Errorf("archive: segment %d vanished with no covering replacement", v.file)
 }
 
 // Segments snapshots the archive's segment metadata (sealed + active)
 // in ascending-FirstSeq order. The metadata is copied under the lock
-// and the data files (append-only) are read without it, so planning and
-// scanning never block concurrent appends.
+// and the data files (append-only, or replaced only via the rescan
+// fallback above) are read without it, so planning and scanning never
+// block concurrent appends.
 func (l *Log) Segments() []SegmentView {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	views := make([]SegmentView, 0, len(l.sealed)+1)
 	for i := range l.sealed {
 		m := &l.sealed[i]
-		if m.bf == nil {
-			m.bf = decodeBloom(m.Bloom) // immutable once sealed: safe to share
+		if m.bf.empty() {
+			m.bf = decodeBloom(m.Bloom, m.BloomK) // immutable once sealed: safe to share
 		}
 		views = append(views, SegmentView{
-			FirstSeq:   m.FirstSeq,
-			LastSeq:    m.LastSeq,
-			Count:      m.Count,
-			MinQuantum: m.MinQuantum,
-			MaxQuantum: m.MaxQuantum,
-			Sealed:     true,
-			file:       m.File,
-			bf:         m.bf,
-			l:          l,
+			FirstSeq:    m.FirstSeq,
+			LastSeq:     m.LastSeq,
+			Count:       m.Count,
+			MinQuantum:  m.MinQuantum,
+			MaxQuantum:  m.MaxQuantum,
+			MaxPeakRank: rankBound(m),
+			Sealed:      true,
+			Format:      m.Format,
+			file:        m.File,
+			zones:       m.Blocks,
+			bf:          m.bf,
+			l:           l,
 		})
 	}
 	if l.active != nil && l.active.Count > 0 {
 		// The active filter keeps mutating under appends; copy it.
 		views = append(views, SegmentView{
-			FirstSeq:   l.active.FirstSeq,
-			LastSeq:    l.active.LastSeq,
-			Count:      l.active.Count,
-			MinQuantum: l.active.MinQuantum,
-			MaxQuantum: l.active.MaxQuantum,
-			file:       l.active.File,
-			bf:         append(bloom(nil), l.active.bf...),
-			l:          l,
+			FirstSeq:    l.active.FirstSeq,
+			LastSeq:     l.active.LastSeq,
+			Count:       l.active.Count,
+			MinQuantum:  l.active.MinQuantum,
+			MaxQuantum:  l.active.MaxQuantum,
+			MaxPeakRank: rankBound(l.active),
+			file:        l.active.File,
+			bf:          l.active.bf.clone(),
+			l:           l,
 		})
 	}
 	return views
+}
+
+// rankBound maps a sidecar's MaxPeakRank to the view bound: 0 means
+// "written before rank bounds existed, or genuinely all-zero" — both
+// unskippable, so surface +Inf (never skip on unknown).
+func rankBound(m *segMeta) float64 {
+	if m.MaxPeakRank > 0 {
+		return m.MaxPeakRank
+	}
+	return math.Inf(1)
 }
 
 // Query returns archived events whose [BornQuantum, LastQuantum] span
@@ -655,4 +1127,12 @@ func (l *Log) segPath(firstSeq uint64) string {
 
 func (l *Log) metaPath(firstSeq uint64) string {
 	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, metaExt))
+}
+
+func (l *Log) colPath(firstSeq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, colExt))
+}
+
+func (l *Log) colMetaPath(firstSeq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", segPrefix, firstSeq, colMetaSuffix))
 }

@@ -1,0 +1,148 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildBenchDir fills dir with 4096 records in 256 sealed v1 segments
+// of 16 records × 16 quanta each — the same shape the query-engine
+// benchmarks use, so numbers compare across layers.
+func buildBenchDir(b *testing.B, dir string) {
+	b.Helper()
+	l, err := Open(dir, Options{SegmentEvents: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq := uint64(0)
+	for s := 0; s < 256; s++ {
+		for i := 0; i < 16; i++ {
+			seq++
+			q := s*16 + i
+			kws := []string{"common", fmt.Sprintf("seg-%d", s)}
+			if s%64 == 0 && i == 0 {
+				kws = append(kws, "rare")
+			}
+			if err := l.Append(rec(seq, q, q, kws...)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchLog(b *testing.B, compact bool) *Log {
+	b.Helper()
+	dir := b.TempDir()
+	buildBenchDir(b, dir)
+	opt := Options{SegmentEvents: 16}
+	if compact {
+		opt = Options{SegmentEvents: 512, BucketQuanta: 1 << 20}
+	}
+	l, err := Open(dir, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	if compact {
+		if _, err := l.CompactAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return l
+}
+
+func scanAll(b *testing.B, l *Log, pred Pred) (records int, bs BlockStats) {
+	b.Helper()
+	for _, v := range l.Segments() {
+		if v.MaxQuantum < pred.From || (pred.To >= 0 && v.MinQuantum > pred.To) {
+			continue
+		}
+		st, _, err := v.ScanPred(pred, func(r *Record) error {
+			records++
+			_ = r.Keywords
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.addTo(&bs)
+	}
+	return records, bs
+}
+
+// BenchmarkArchiveScan is the storage-layer half of the columnar
+// story: fullscan-v1 vs fullscan-v2 is the decode-speed and allocation
+// comparison; zonemap-hit-v2 shows predicate pushdown reading only the
+// blocks a narrow time range touches.
+func BenchmarkArchiveScan(b *testing.B) {
+	cases := []struct {
+		name    string
+		compact bool
+		pred    Pred
+		want    int // records the scan must hand out
+	}{
+		{"fullscan-v1", false, Pred{To: -1}, 4096},
+		{"fullscan-v2", true, Pred{To: -1}, 4096},
+		{"zonemap-hit-v2", true, Pred{From: 2048, To: 2079}, 0 /* set below */},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			l := benchLog(b, c.compact)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var records, scanned, blocks float64
+			for i := 0; i < b.N; i++ {
+				n, bs := scanAll(b, l, c.pred)
+				if c.want > 0 && n != c.want {
+					b.Fatalf("scan yielded %d records, want %d", n, c.want)
+				}
+				records += float64(n)
+				scanned += float64(bs.Scanned)
+				blocks += float64(bs.Blocks)
+			}
+			b.ReportMetric(records/float64(b.N), "records/op")
+			if blocks > 0 {
+				b.ReportMetric(blocks/float64(b.N), "blocks/op")
+				b.ReportMetric(scanned/float64(b.N), "blkscanned/op")
+			}
+		})
+	}
+}
+
+// BenchmarkArchiveFootprint reports the on-disk size of the same 4096
+// events as a v1 JSONL body and as a compacted v2 columnar body
+// (data + sidecars, bytes). The work loop is trivial — the metrics are
+// the result.
+func BenchmarkArchiveFootprint(b *testing.B) {
+	size := func(l *Log) float64 {
+		dir := filepath.Dir(l.colPath(1))
+		var total int64
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range entries {
+			info, err := e.Info()
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += info.Size()
+		}
+		return float64(total)
+	}
+	v1 := size(benchLog(b, false))
+	v2 := size(benchLog(b, true))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = i
+	}
+	b.ReportMetric(0, "ns/op")
+	b.ReportMetric(v1, "v1_bytes")
+	b.ReportMetric(v2, "v2_bytes")
+	b.ReportMetric(v1/v2, "shrink_x")
+}

@@ -1,0 +1,195 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// variedRecords exercises every encoding path: nil vs empty keyword
+// slices, negative and non-monotonic quanta, large ID jumps, exact
+// float bit patterns, merge/split links, every flag.
+func variedRecords() []Record {
+	return []Record{
+		{Seq: 1, ID: 99999999999, State: "ended", Keywords: []string{"alpha", "beta"},
+			AllKeywords: []string{"alpha", "beta", "gamma"}, Rank: 1.2345678901234567,
+			PeakRank: 2.5, BornQuantum: 10, LastQuantum: 20, Evolved: true, Size: 3,
+			Support: 17, Reported: true, FirstReported: 12},
+		{Seq: 2, ID: 5, State: "retired", Keywords: nil, AllKeywords: nil,
+			Rank: math.Inf(1), PeakRank: -0.0, BornQuantum: -4, LastQuantum: 0,
+			Spurious: true, MergedInto: 42},
+		{Seq: 4, ID: math.MaxUint64, State: "ended", Keywords: []string{},
+			AllKeywords: []string{}, Rank: 1e-308, PeakRank: math.MaxFloat64,
+			BornQuantum: 7, LastQuantum: 7, SplitFrom: 1, Size: -1},
+		{Seq: 5, ID: 6, State: "ended", Keywords: []string{"alpha"},
+			Rank: 0.1 + 0.2, PeakRank: 0.30000000000000004, BornQuantum: 0,
+			LastQuantum: 1000000, Support: 1 << 30, FirstReported: 999},
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	recs := variedRecords()
+	var enc blockEncoder
+	payload, zone, err := enc.encode(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zone.Count != len(recs) || zone.FirstSeq != 1 || zone.LastSeq != 5 {
+		t.Fatalf("zone = %+v", zone)
+	}
+	if zone.MinQuantum != -4 || zone.MaxQuantum != 1000000 {
+		t.Fatalf("zone quanta = [%d,%d]", zone.MinQuantum, zone.MaxQuantum)
+	}
+	if zone.MaxRank != math.MaxFloat64 || zone.MaxSupport != 1<<30 {
+		t.Fatalf("zone rank/support = %v/%d", zone.MaxRank, zone.MaxSupport)
+	}
+
+	sc := new(blockScratch)
+	var got []Record
+	var gotKwNil, gotAllNil []bool
+	n, err := decodeBlock(payload, sc, func(r *Record) error {
+		got = append(got, *r)
+		gotKwNil = append(gotKwNil, r.Keywords == nil)
+		gotAllNil = append(gotAllNil, r.AllKeywords == nil)
+		return nil
+	})
+	if err != nil || n != len(recs) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	for i := range recs {
+		want, _ := json.Marshal(recs[i])
+		have, _ := json.Marshal(got[i])
+		if string(want) != string(have) {
+			t.Fatalf("record %d round-trip:\n want %s\n have %s", i, want, have)
+		}
+		if gotKwNil[i] != (recs[i].Keywords == nil) || gotAllNil[i] != (recs[i].AllKeywords == nil) {
+			t.Fatalf("record %d nil-ness not preserved", i)
+		}
+	}
+	// The zone filter admits every keyword that appears.
+	for _, kw := range []string{"alpha", "beta", "gamma"} {
+		if !zone.bf.mayContain(kw) {
+			t.Fatalf("zone bloom false negative for %q", kw)
+		}
+	}
+}
+
+// TestBlockDecodeScratchReuse decodes two different blocks through one
+// scratch and verifies the first block's handed-out slices survive —
+// the aliasing contract the query engine depends on.
+func TestBlockDecodeScratchReuse(t *testing.T) {
+	var enc blockEncoder
+	p1, _, err := enc.encode([]Record{rec(1, 0, 1, "first-kw", "shared")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 = append([]byte(nil), p1...) // encoder reuses its buffer
+	p2, _, err := enc.encode([]Record{rec(2, 0, 1, "second-kw")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := new(blockScratch)
+	var first Record
+	if _, err := decodeBlock(p1, sc, func(r *Record) error { first = *r; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBlock(p2, sc, func(*Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if first.Keywords[0] != "first-kw" || first.Keywords[1] != "shared" || first.State != "ended" {
+		t.Fatalf("first block's strings corrupted by scratch reuse: %+v", first)
+	}
+}
+
+// TestBlockDecodeRejectsTruncation: every proper prefix of a valid
+// payload must fail cleanly.
+func TestBlockDecodeRejectsTruncation(t *testing.T) {
+	var enc blockEncoder
+	payload, _, err := enc.encode(variedRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := new(blockScratch)
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := decodeBlock(payload[:cut], sc, func(*Record) error { return nil }); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(payload))
+		}
+	}
+	// And appended garbage is trailing-byte corruption, not ignored.
+	if _, err := decodeBlock(append(append([]byte(nil), payload...), 0), sc, func(*Record) error { return nil }); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+}
+
+func TestWriteAndScanColFile(t *testing.T) {
+	dir := t.TempDir()
+	var recs []Record
+	for i := uint64(1); i <= 700; i++ {
+		recs = append(recs, rec(i, int(i), int(i)+3, fmt.Sprintf("kw-%d", i%50)))
+	}
+	path := filepath.Join(dir, "ev-00000000000000000001.col")
+	m, err := writeSegmentV2(path, recs, 256, bloomSizing(0, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count != 700 || m.FirstSeq != 1 || m.LastSeq != 700 || len(m.Blocks) != 3 {
+		t.Fatalf("meta = %+v", m)
+	}
+	var got []Record
+	var zones []blockZone
+	hdr, err := scanColFile(path, func(r *Record) error {
+		got = append(got, *r)
+		return nil
+	}, func(z blockZone) { zones = append(zones, z) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.count != 700 || len(got) != 700 || len(zones) != 3 {
+		t.Fatalf("scan: hdr=%+v got=%d zones=%d", hdr, len(got), len(zones))
+	}
+	for i := range recs {
+		want, _ := json.Marshal(recs[i])
+		have, _ := json.Marshal(got[i])
+		if string(want) != string(have) {
+			t.Fatalf("record %d: want %s have %s", i, want, have)
+		}
+	}
+	// Rebuilt zones agree with the writer's on everything but the Bloom
+	// encoding (sized differently from the duplicate-counting bound).
+	for i, z := range zones {
+		w := m.Blocks[i]
+		if z.Off != w.Off || z.Len != w.Len || z.Count != w.Count ||
+			z.FirstSeq != w.FirstSeq || z.LastSeq != w.LastSeq ||
+			z.MinQuantum != w.MinQuantum || z.MaxQuantum != w.MaxQuantum ||
+			z.MaxRank != w.MaxRank || z.MaxSupport != w.MaxSupport {
+			t.Fatalf("zone %d rebuilt %+v != written %+v", i, z, w)
+		}
+	}
+}
+
+// TestBloomSizingConfigurable pins the bits-per-key sizing arithmetic
+// and the no-false-negative property at a non-default shape.
+func TestBloomSizingConfigurable(t *testing.T) {
+	p := bloomSizing(0, 512)
+	if p.bits != defaultBloomBits || p.hashes != defaultBloomHashes {
+		t.Fatalf("legacy sizing = %+v", p)
+	}
+	p = bloomSizing(10, 512)
+	if p.bits != 5120 || p.hashes != 7 {
+		t.Fatalf("10 bits/key × 512 = %+v, want 5120 bits / 7 hashes", p)
+	}
+	if q := bloomSizing(1, 64); q.bits != 512 || q.hashes != 1 {
+		t.Fatalf("floor sizing = %+v", q)
+	}
+	bf := newBloomSized(p)
+	for i := 0; i < 512; i++ {
+		bf.add(fmt.Sprintf("kw-%d", i))
+	}
+	for i := 0; i < 512; i++ {
+		if !bf.mayContain(fmt.Sprintf("kw-%d", i)) {
+			t.Fatalf("false negative at configured sizing for kw-%d", i)
+		}
+	}
+}

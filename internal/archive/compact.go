@@ -1,0 +1,248 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+)
+
+// The background compactor: merges runs of small adjacent sealed
+// segments into one v2 columnar segment (time-bucket defragmentation)
+// and rewrites cold v1 JSONL segments into v2 in place (same ordinal
+// range, same name seq, .col extension). Appends keep landing in v1 —
+// the torn-tail crash story of the active segment is unchanged — so the
+// archive steady-state is a v1 head being filled and a v2 body being
+// read.
+//
+// Commit protocol (crash-safe at every step, verified by the
+// Compaction crash tests):
+//
+//  1. write the merged v2 data file at ev-<run[0].File>.col via
+//     tmp+fsync+rename — the commit point. From here Open's
+//     supersession pass treats the inputs as dead.
+//  2. write its sidecar (tmp+rename; rebuilt from the data file if a
+//     crash lands between 1 and 2).
+//  3. splice the in-memory sealed list under the lock.
+//  4. delete the input data files and sidecars (redone by Open's
+//     supersession pass and orphan-sidecar sweep if a crash lands
+//     mid-deletion). In-flight scans holding views of the deleted
+//     inputs fall back to the merged segment, filtered to their
+//     original ordinal range (SegmentView.rescanCompacted).
+
+// CompactStats sums what compaction steps accomplished.
+type CompactStats struct {
+	// Compactions counts committed rewrites; SegmentsIn the input
+	// segments they consumed (a merge consumes ≥ 2, a format rewrite 1).
+	Compactions int
+	SegmentsIn  int
+	// Records is the number of records rewritten.
+	Records int
+	// BytesReclaimed is input minus output file bytes (≥ 0; a rewrite
+	// that grows the data — possible only for tiny segments where fixed
+	// overhead dominates — counts as 0).
+	BytesReclaimed uint64
+}
+
+// CompactOnce performs at most one compaction step — one merge of an
+// adjacent run of small sealed segments, or one v1→v2 rewrite of the
+// oldest JSONL segment — and reports whether it did anything. The step
+// reads and writes outside the archive lock; only the final metadata
+// splice holds it, so ingest and queries proceed throughout. Steps are
+// serialized against each other.
+func (l *Log) CompactOnce() (CompactStats, bool, error) {
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+
+	l.mu.Lock()
+	sealed := make([]segMeta, len(l.sealed))
+	copy(sealed, l.sealed)
+	l.mu.Unlock()
+
+	lo, hi := pickCompactRun(sealed, l.opt)
+	if lo < 0 {
+		return CompactStats{}, false, nil
+	}
+	run := sealed[lo:hi]
+
+	// Read every input record, in ordinal order (inputs are adjacent and
+	// ordinal-disjoint, so concatenation in list order is sorted).
+	var recs []Record
+	var bytesIn int64
+	for i := range run {
+		m := &run[i]
+		path := l.segPath(m.File)
+		if m.Format == 2 {
+			path = l.colPath(m.File)
+		}
+		if st, err := os.Stat(path); err == nil {
+			bytesIn += st.Size()
+		}
+		if st, err := os.Stat(l.sidecarPath(m)); err == nil {
+			bytesIn += st.Size()
+		}
+		before := len(recs)
+		var err error
+		if m.Format == 2 {
+			_, err = scanColFile(path, func(rec *Record) error {
+				recs = append(recs, *rec)
+				return nil
+			}, nil)
+		} else {
+			_, err = l.scanSegment(m.File, func(rec Record) error {
+				recs = append(recs, rec)
+				return nil
+			})
+		}
+		if err != nil {
+			return CompactStats{}, false, fmt.Errorf("archive: compact: read segment %d: %w", m.File, err)
+		}
+		if len(recs)-before != m.Count {
+			return CompactStats{}, false, fmt.Errorf("archive: compact: segment %d has %d of %d records",
+				m.File, len(recs)-before, m.Count)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq <= recs[i-1].Seq {
+			return CompactStats{}, false, fmt.Errorf("archive: compact: records out of order at seq %d", recs[i].Seq)
+		}
+	}
+
+	// Commit: data file, then sidecar.
+	newPath := l.colPath(run[0].File)
+	m, err := writeSegmentV2(newPath, recs, l.opt.BlockEvents, l.bloomPar)
+	if err != nil {
+		return CompactStats{}, false, err
+	}
+	m.File = run[0].File
+	if err := l.writeMeta(&m, m.File); err != nil {
+		return CompactStats{}, false, err
+	}
+	var bytesOut int64
+	if st, err := os.Stat(newPath); err == nil {
+		bytesOut += st.Size()
+	}
+	if st, err := os.Stat(l.colMetaPath(m.File)); err == nil {
+		bytesOut += st.Size()
+	}
+
+	// Splice the sealed list. Only the compactor rewrites it and we hold
+	// compactMu, so the run is still where we found it; rotations only
+	// append behind it.
+	st := CompactStats{Compactions: 1, SegmentsIn: len(run), Records: len(recs)}
+	if bytesIn > bytesOut {
+		st.BytesReclaimed = uint64(bytesIn - bytesOut)
+	}
+	l.mu.Lock()
+	spliced := append([]segMeta{}, l.sealed[:lo]...)
+	spliced = append(spliced, m)
+	spliced = append(spliced, l.sealed[hi:]...)
+	l.sealed = spliced
+	l.compactions++
+	l.segsCompacted += uint64(len(run))
+	l.recordsCompacted += uint64(len(recs))
+	l.bytesReclaimed += st.BytesReclaimed
+	l.mu.Unlock()
+
+	// Cleanup: inputs are dead. The merged file itself (a re-compacted
+	// .col keeps its name) was just renamed over, not an input to delete.
+	for i := range run {
+		in := &run[i]
+		if in.Format == 2 && in.File == m.File {
+			continue
+		}
+		l.removeSegmentFiles(*in)
+	}
+	return st, true, nil
+}
+
+// CompactAll runs compaction steps until none applies — the one-shot
+// migration mode (cmd/serve -archive-migrate) and the test/bench
+// helper. Seal the active segment first (Close) to migrate everything.
+func (l *Log) CompactAll() (CompactStats, error) {
+	var total CompactStats
+	for {
+		st, worked, err := l.CompactOnce()
+		if err != nil {
+			return total, err
+		}
+		if !worked {
+			return total, nil
+		}
+		total.Compactions += st.Compactions
+		total.SegmentsIn += st.SegmentsIn
+		total.Records += st.Records
+		total.BytesReclaimed += st.BytesReclaimed
+	}
+}
+
+// pickCompactRun chooses the next compaction step over a sealed-list
+// snapshot: the first (oldest) maximal run of ≥ 2 adjacent segments
+// that merged stay within the segment-size and time-bucket bounds, else
+// the first v1 segment (format rewrite), else nothing ([-1, -1)).
+func pickCompactRun(sealed []segMeta, opt Options) (int, int) {
+	for i := 0; i < len(sealed); i++ {
+		if sealed[i].Count == 0 {
+			continue
+		}
+		count := sealed[i].Count
+		minQ, maxQ := sealed[i].MinQuantum, sealed[i].MaxQuantum
+		j := i + 1
+		for ; j < len(sealed); j++ {
+			s := &sealed[j]
+			if s.Count == 0 {
+				break
+			}
+			nc := count + s.Count
+			nMin, nMax := minQ, maxQ
+			if s.MinQuantum < nMin {
+				nMin = s.MinQuantum
+			}
+			if s.MaxQuantum > nMax {
+				nMax = s.MaxQuantum
+			}
+			if nc > opt.SegmentEvents || nMax-nMin >= opt.BucketQuanta {
+				break
+			}
+			count, minQ, maxQ = nc, nMin, nMax
+		}
+		if j-i >= 2 {
+			return i, j
+		}
+	}
+	for i := 0; i < len(sealed); i++ {
+		if sealed[i].Format != 2 && sealed[i].Count > 0 {
+			return i, i + 1
+		}
+	}
+	return -1, -1
+}
+
+// sidecarPath returns the sidecar path for a segment of either format.
+func (l *Log) sidecarPath(m *segMeta) string {
+	if m.Format == 2 {
+		return l.colMetaPath(m.File)
+	}
+	return l.metaPath(m.File)
+}
+
+// CompactTotals reports the compactor's lifetime counters for this Log:
+// committed compactions, input segments consumed, records rewritten,
+// and bytes reclaimed (data + sidecar files, input minus output).
+func (l *Log) CompactTotals() (compactions, segmentsIn, records, bytesReclaimed uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactions, l.segsCompacted, l.recordsCompacted, l.bytesReclaimed
+}
+
+// ColumnarSegmentCount returns how many sealed segments are in the v2
+// columnar format.
+func (l *Log) ColumnarSegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.sealed {
+		if l.sealed[i].Format == 2 {
+			n++
+		}
+	}
+	return n
+}

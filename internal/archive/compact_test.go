@@ -1,0 +1,537 @@
+package archive
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// queryJSON snapshots a query's full result set as JSON — the
+// byte-identity oracle the compaction tests compare against.
+func queryJSON(t *testing.T, l *Log, from, to int, kw string) string {
+	t.Helper()
+	recs, _, err := l.Query(from, to, kw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// seedArchive fills dir with n records through tiny rotation bounds so
+// the sealed list holds many small v1 segments, then closes the Log.
+func seedArchive(t *testing.T, dir string, n int, opt Options) {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		r := rec(uint64(i), i%40, i%40+3, "common", fmt.Sprintf("kw-%d", i%7))
+		if i%5 == 0 {
+			r.Keywords = nil // exercise nil-vs-empty through the rewrite
+			r.AllKeywords = []string{}
+		}
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// snapshotDir reads every file in dir into memory.
+func snapshotDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = raw
+	}
+	return out
+}
+
+// restoreDir resets dir to exactly the given snapshot.
+func restoreDir(t *testing.T, dir string, snap map[string][]byte) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, raw := range snap {
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+func TestCompactionMergesSmallSegments(t *testing.T) {
+	dir := t.TempDir()
+	seedArchive(t, dir, 9, Options{SegmentEvents: 2}) // {1,2}{3,4}{5,6}{7,8} sealed + {9}
+	l, err := Open(dir, Options{SegmentEvents: 100, BucketQuanta: 1024, BlockEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	before := queryJSON(t, l, 0, -1, "")
+	beforeKw := queryJSON(t, l, 0, -1, "kw-3")
+
+	st, worked, err := l.CompactOnce()
+	if err != nil || !worked {
+		t.Fatalf("CompactOnce: worked=%v err=%v", worked, err)
+	}
+	if st.Compactions != 1 || st.SegmentsIn != 4 || st.Records != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesReclaimed == 0 {
+		t.Fatal("merge reclaimed no bytes")
+	}
+	if n := l.ColumnarSegmentCount(); n != 1 {
+		t.Fatalf("columnar segments = %d", n)
+	}
+	if n := l.SegmentCount(); n != 2 { // merged v2 + active
+		t.Fatalf("segments = %d, want 2", n)
+	}
+	if got := queryJSON(t, l, 0, -1, ""); got != before {
+		t.Fatalf("full query changed:\n before %s\n after  %s", before, got)
+	}
+	if got := queryJSON(t, l, 0, -1, "kw-3"); got != beforeKw {
+		t.Fatalf("keyword query changed:\n before %s\n after  %s", beforeKw, got)
+	}
+	c, segs, recs, bytes := l.CompactTotals()
+	if c != 1 || segs != 4 || recs != 8 || bytes == 0 {
+		t.Fatalf("totals = %d/%d/%d/%d", c, segs, recs, bytes)
+	}
+	// The singleton v2 segment is never re-picked: compaction converges.
+	if _, worked, err := l.CompactOnce(); err != nil || worked {
+		t.Fatalf("second CompactOnce: worked=%v err=%v", worked, err)
+	}
+	// Inputs are gone from disk.
+	if _, err := os.Stat(l.segPath(1)); !os.IsNotExist(err) {
+		t.Fatal("input jsonl segment survived compaction")
+	}
+}
+
+// TestCompactionRewritesColdSegments covers the format-rewrite path:
+// segments too far apart in time to merge are still rewritten v1→v2
+// one at a time, and CompactAll converges to an all-columnar body.
+func TestCompactionRewritesColdSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentEvents: 2, BucketQuanta: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ { // buckets 1000 quanta apart: no merge run
+		q := i / 2 * 1000
+		if err := l.Append(rec(uint64(i), q, q+3, "common", fmt.Sprintf("kw-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, Options{SegmentEvents: 2, BucketQuanta: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	before := queryJSON(t, l, 0, -1, "")
+	beforeMid := queryJSON(t, l, 2000, 2999, "")
+
+	st, err := l.CompactAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compactions != 3 || st.SegmentsIn != 3 { // three sealed v1 rewrites, 1:1
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := l.ColumnarSegmentCount(); n != 3 {
+		t.Fatalf("columnar segments = %d, want 3", n)
+	}
+	if got := queryJSON(t, l, 0, -1, ""); got != before {
+		t.Fatalf("full query changed after rewrite:\n before %s\n after  %s", before, got)
+	}
+	if got := queryJSON(t, l, 2000, 2999, ""); got != beforeMid {
+		t.Fatalf("range query changed after rewrite")
+	}
+	// Time skipping still works across the rewritten segments.
+	_, qs, err := l.Query(2000, 2999, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.SkippedByTime == 0 {
+		t.Fatalf("no time skips after rewrite: %+v", qs)
+	}
+}
+
+// TestCompactionCrashRecovery stages the on-disk state a kill -9 leaves
+// at each step of the compaction commit protocol and verifies Open
+// converges every one of them to the same exactly-once record set.
+func TestCompactionCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	seedArchive(t, dir, 9, Options{SegmentEvents: 2})
+	opt := Options{SegmentEvents: 100, BucketQuanta: 1024, BlockEvents: 4}
+	pre := snapshotDir(t, dir)
+
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queryJSON(t, l, 0, -1, "")
+	wantKw := queryJSON(t, l, 0, -1, "kw-2")
+	if _, worked, err := l.CompactOnce(); err != nil || !worked {
+		t.Fatalf("CompactOnce: worked=%v err=%v", worked, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	post := snapshotDir(t, dir)
+	colName := filepath.Base(l.colPath(1))
+	sideName := filepath.Base(l.colMetaPath(1))
+	if _, ok := post[colName]; !ok {
+		t.Fatalf("no merged col file in %v", post)
+	}
+
+	windows := []struct {
+		name  string
+		stage func()
+	}{
+		{"BeforeRename", func() { // crash mid-write: only a tmp exists
+			restoreDir(t, dir, pre)
+			if err := os.WriteFile(filepath.Join(dir, colName+".tmp"), []byte("torn"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"AfterRenameBeforeSidecar", func() { // col committed, sidecar missing, inputs alive
+			restoreDir(t, dir, pre)
+			if err := os.WriteFile(filepath.Join(dir, colName), post[colName], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"AfterSidecarBeforeDeletes", func() { // everything written, inputs alive
+			restoreDir(t, dir, pre)
+			for _, name := range []string{colName, sideName} {
+				if err := os.WriteFile(filepath.Join(dir, name), post[name], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}},
+		{"MidDeletes", func() { // data files of inputs gone, their sidecars orphaned
+			restoreDir(t, dir, post)
+			for name, raw := range pre {
+				if strings.HasSuffix(name, metaExt) && pre[strings.TrimSuffix(name, metaExt)+segExt] != nil {
+					if name == sideName {
+						continue
+					}
+					if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}},
+	}
+	for _, w := range windows {
+		t.Run(w.name, func(t *testing.T) {
+			w.stage()
+			l, err := Open(dir, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			if n := l.EventCount(); n != 9 {
+				t.Fatalf("events = %d, want 9 (lost or duplicated records)", n)
+			}
+			if got := queryJSON(t, l, 0, -1, ""); got != want {
+				t.Fatalf("recovered query differs:\n want %s\n have %s", want, got)
+			}
+			if got := queryJSON(t, l, 0, -1, "kw-2"); got != wantKw {
+				t.Fatalf("recovered keyword query differs")
+			}
+			// Recovery converged the directory: no tmp files, no superseded
+			// inputs, no orphan sidecars.
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				if strings.HasSuffix(e.Name(), ".tmp") {
+					t.Fatalf("tmp file %s survived recovery", e.Name())
+				}
+				if e.Name() == "ev-00000000000000000001.jsonl" && w.name != "BeforeRename" {
+					t.Fatal("superseded input segment survived recovery")
+				}
+			}
+		})
+	}
+}
+
+// TestCompactionCrashStaleSidecarReopen stages the nastiest window: a
+// re-compaction renamed a NEW data file over an existing .col path and
+// died before rewriting the sidecar, leaving zone maps that describe
+// the old bytes. Open must detect the header mismatch and rebuild.
+func TestCompactionCrashStaleSidecarReopen(t *testing.T) {
+	dir := t.TempDir()
+	var oldRecs, allRecs []Record
+	for i := 1; i <= 6; i++ {
+		r := rec(uint64(i), i, i+2, "kw")
+		allRecs = append(allRecs, r)
+		if i <= 4 {
+			oldRecs = append(oldRecs, r)
+		}
+	}
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old merged segment: records 1..4, sidecar in agreement.
+	m, err := writeSegmentV2(l.colPath(1), oldRecs, 2, l.bloomPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.File = 1
+	if err := l.writeMeta(&m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	staleSidecar, err := os.ReadFile(l.colMetaPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-merge commits records 1..6 over the same path...
+	if _, err := writeSegmentV2(l.colPath(1), allRecs, 2, l.bloomPar); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the crash leaves the 4-record sidecar in place.
+	if err := os.WriteFile(l.colMetaPath(1), staleSidecar, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, _, err := l2.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("recovered %d records, want 6 (stale sidecar trusted?)", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("order broken: %+v", recs)
+		}
+	}
+	// The rebuilt sidecar now agrees with the data file.
+	raw, err := os.ReadFile(l2.colMetaPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt segMeta
+	if err := json.Unmarshal(raw, &rebuilt); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Count != 6 || rebuilt.LastSeq != 6 {
+		t.Fatalf("sidecar not rebuilt: %+v", rebuilt)
+	}
+}
+
+// TestCompactionScanFallback takes views, compacts their segments away
+// underneath them, and verifies in-flight scans still return exactly
+// the original record sets via the covering-segment fallback.
+func TestCompactionScanFallback(t *testing.T) {
+	dir := t.TempDir()
+	seedArchive(t, dir, 9, Options{SegmentEvents: 2})
+	l, err := Open(dir, Options{SegmentEvents: 100, BucketQuanta: 1024, BlockEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	views := l.Segments()
+	if len(views) != 5 {
+		t.Fatalf("views = %d, want 5", len(views))
+	}
+	if _, worked, err := l.CompactOnce(); err != nil || !worked {
+		t.Fatalf("CompactOnce: worked=%v err=%v", worked, err)
+	}
+	var got []uint64
+	for i := range views {
+		v := &views[i]
+		if _, _, err := v.ScanPred(matchAll(), func(r *Record) error {
+			got = append(got, r.Seq)
+			return nil
+		}); err != nil {
+			t.Fatalf("stale view %d scan: %v", i, err)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("stale views yielded %d records, want 9: %v", len(got), got)
+	}
+	seen := map[uint64]bool{}
+	for _, s := range got {
+		if seen[s] {
+			t.Fatalf("duplicate seq %d through fallback", s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestCompactionFootprint pins the v2 format's size win: the same event
+// set is ≥ 5× smaller as a compacted columnar body than as the v1
+// JSONL segments (data + sidecars) it replaced.
+func TestCompactionFootprint(t *testing.T) {
+	dir := t.TempDir()
+	n := 4096 // multiple of SegmentEvents: everything seals, nothing stays active
+	seedArchive(t, dir, n, Options{SegmentEvents: 16, BucketQuanta: 1024})
+	v1Bytes := dirSize(t, dir)
+
+	l, err := Open(dir, Options{SegmentEvents: n, BucketQuanta: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	v2Bytes := dirSize(t, dir)
+	if l.EventCount() != n {
+		t.Fatalf("events = %d, want %d", l.EventCount(), n)
+	}
+	if v2Bytes*5 > v1Bytes {
+		t.Fatalf("footprint: v1 %d B → v2 %d B (%.1f×), want ≥ 5×",
+			v1Bytes, v2Bytes, float64(v1Bytes)/float64(v2Bytes))
+	}
+}
+
+// TestCompactionBlockSkipping verifies ScanPred prunes below segment
+// granularity on every zone-map dimension.
+func TestCompactionBlockSkipping(t *testing.T) {
+	dir := t.TempDir()
+	// SegmentEvents 16: the 16th append rotates, so the whole batch is a
+	// sealed v1 segment the compactor can rewrite (no reopen — that would
+	// resume the only JSONL segment as active again).
+	l, err := Open(dir, Options{SegmentEvents: 16, BucketQuanta: 1 << 20, BlockEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// 16 records → 4 blocks of 4: quanta 0-3, 100-103, 200-203, 300-303;
+	// ranks rise with seq; block-local keywords.
+	for i := 0; i < 16; i++ {
+		q := i / 4 * 100
+		r := rec(uint64(i+1), q+i%4, q+i%4, fmt.Sprintf("blk-%d", i/4))
+		r.PeakRank = float64(i)
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, worked, err := l.CompactOnce(); err != nil || !worked {
+		t.Fatalf("CompactOnce: worked=%v err=%v", worked, err)
+	}
+	views := l.Segments()
+	if len(views) != 1 || views[0].Format != 2 || views[0].Blocks() != 4 {
+		t.Fatalf("views = %+v", views)
+	}
+	v := &views[0]
+
+	cases := []struct {
+		name    string
+		pred    Pred
+		records int
+		scanned int
+		skipped func(BlockStats) int
+	}{
+		{"time", Pred{From: 100, To: 103}, 4, 1, func(b BlockStats) int { return b.SkippedByTime }},
+		{"rank", Pred{To: -1, MinRank: 12.5}, 4, 1, func(b BlockStats) int { return b.SkippedByRank }},
+		{"keyword", Pred{To: -1, Keywords: []string{"blk-2"}}, 4, 1, func(b BlockStats) int { return b.SkippedByKeyword }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := 0
+			bs, _, err := v.ScanPred(c.pred, func(*Record) error { n++; return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bs.Blocks != 4 || bs.Scanned != c.scanned || c.skipped(bs) != 3 {
+				t.Fatalf("stats = %+v", bs)
+			}
+			if n != c.records || bs.Records != c.records {
+				t.Fatalf("records = %d (stats %d), want %d", n, bs.Records, c.records)
+			}
+		})
+	}
+}
+
+// TestCompactionMixedFormatReopen: a directory holding v1 and v2
+// segments side by side answers identically before and after a restart.
+func TestCompactionMixedFormatReopen(t *testing.T) {
+	dir := t.TempDir()
+	seedArchive(t, dir, 13, Options{SegmentEvents: 2})
+	opt := Options{SegmentEvents: 4, BucketQuanta: 1024, BlockEvents: 4}
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One merge only: sealed list is now v2, v1, v1... mixed.
+	if _, worked, err := l.CompactOnce(); err != nil || !worked {
+		t.Fatalf("CompactOnce: worked=%v err=%v", worked, err)
+	}
+	if l.ColumnarSegmentCount() == 0 || l.ColumnarSegmentCount() == len(l.Segments()) {
+		t.Fatalf("directory not mixed-format: %d columnar of %d", l.ColumnarSegmentCount(), len(l.Segments()))
+	}
+	want := queryJSON(t, l, 0, -1, "")
+	wantKw := queryJSON(t, l, 0, -1, "kw-4")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := queryJSON(t, l, 0, -1, ""); got != want {
+		t.Fatalf("mixed-format reopen differs:\n want %s\n have %s", want, got)
+	}
+	if got := queryJSON(t, l, 0, -1, "kw-4"); got != wantKw {
+		t.Fatalf("mixed-format keyword reopen differs")
+	}
+}

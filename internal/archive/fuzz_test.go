@@ -1,0 +1,59 @@
+package archive
+
+import (
+	"testing"
+)
+
+// FuzzBlockDecode drives decodeBlock with arbitrary bytes: corrupt or
+// truncated payloads must return an error, never panic, never run away.
+// (In production a CRC-32C frame check sits in front of the decoder,
+// so this is defense in depth for the untrusted-bytes path.)
+func FuzzBlockDecode(f *testing.F) {
+	var enc blockEncoder
+	seeds := [][]Record{
+		{rec(1, 0, 5, "alpha", "beta"), rec(2, 3, 9, "alpha"), rec(7, -2, 100)},
+		variedRecords(),
+		{rec(1, 0, 0)},
+	}
+	for _, recs := range seeds {
+		payload, _, err := enc.encode(recs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		p := append([]byte(nil), payload...)
+		f.Add(p)
+		f.Add(p[:len(p)/2])    // truncation
+		f.Add(append(p, 0xff)) // trailing garbage
+		mut := append([]byte(nil), p...)
+		mut[len(mut)/3] ^= 0x40 // bit flip
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		sc := new(blockScratch)
+		emitted := 0
+		n, err := decodeBlock(payload, sc, func(r *Record) error {
+			emitted++
+			// Touching every field catches out-of-bounds arena slices.
+			_ = r.State
+			for _, kw := range r.Keywords {
+				_ = kw
+			}
+			for _, kw := range r.AllKeywords {
+				_ = kw
+			}
+			return nil
+		})
+		if err != nil {
+			return // rejected cleanly — the only requirement
+		}
+		if n != emitted {
+			t.Fatalf("decode reported %d records, emitted %d", n, emitted)
+		}
+		if n > maxBlockRecords {
+			t.Fatalf("decode emitted %d records from a %d-byte payload", n, len(payload))
+		}
+	})
+}

@@ -77,6 +77,12 @@ const (
 	// StageQueryArchiveScan is the archive segment scan (including the
 	// sidecar skip decisions).
 	StageQueryArchiveScan
+	// StageArchiveBlockScan is the columnar (v2) portion of an archive
+	// scan: zone-map evaluation plus block decode of the survivors.
+	StageArchiveBlockScan
+	// StageArchiveCompact is one background archive compaction step
+	// (segment merge or v1→v2 rewrite).
+	StageArchiveCompact
 
 	numStages
 )
@@ -100,6 +106,8 @@ var stageNames = [numStages]string{
 	"query_plan",
 	"query_snapshot_scan",
 	"query_archive_scan",
+	"archive_block_scan",
+	"archive_compact",
 }
 
 // String returns the stage's exposition label (snake_case).

@@ -8,13 +8,16 @@ import (
 	"repro/internal/detect"
 )
 
-// benchArchive builds a 4096-record archive in 256 sealed segments,
-// each spanning 16 quanta, with one rare keyword confined to a handful
-// of segments — enough structure for every planner path (time skip,
-// Bloom skip, limit pushdown) to show up in the numbers.
-func benchArchive(b *testing.B) *archive.Log {
+// buildBenchArchive fills dir with 4096 records in 256 sealed v1
+// segments, each spanning 16 quanta, with one rare keyword confined to
+// a handful of segments — enough structure for every planner path
+// (time skip, Bloom skip, limit pushdown) to show up in the numbers.
+func buildBenchArchive(b *testing.B, dir string) {
 	b.Helper()
-	l := openArchive(b, 16)
+	l, err := archive.Open(dir, archive.Options{SegmentEvents: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
 	seq := uint64(0)
 	for s := 0; s < 256; s++ {
 		for i := 0; i < 16; i++ {
@@ -25,6 +28,34 @@ func benchArchive(b *testing.B) *archive.Log {
 				kws = append(kws, "rare")
 			}
 			appendAll(b, l, rec(seq, seq, q, q, kws...))
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchArchive opens the 256-segment archive as-is (v1 JSONL body) or
+// compacted into v2 columnar segments of 512 records.
+func benchArchive(b *testing.B, compact bool) *archive.Log {
+	b.Helper()
+	dir := b.TempDir()
+	buildBenchArchive(b, dir)
+	opt := archive.Options{SegmentEvents: 16}
+	if compact {
+		opt = archive.Options{SegmentEvents: 512, BucketQuanta: 1 << 20}
+	}
+	l, err := archive.Open(dir, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { l.Close() })
+	if compact {
+		if _, err := l.CompactAll(); err != nil {
+			b.Fatal(err)
+		}
+		if l.ColumnarSegmentCount() == 0 {
+			b.Fatal("bench archive did not compact")
 		}
 	}
 	return l
@@ -41,12 +72,12 @@ func benchSnap() *fakeSnap {
 }
 
 // BenchmarkUnifiedQuery measures the executor over a 256-segment
-// archive plus a 64-event live overlay. The headline comparison is
-// limit10 vs fullscan: LIMIT pushdown must scan strictly fewer
-// segments (reported as segscanned/op).
+// archive plus a 64-event live overlay, in both archive body formats.
+// The headline comparisons: limit10 vs fullscan (LIMIT pushdown must
+// scan strictly fewer segments, reported as segscanned/op), and
+// v1/fullscan vs v2/fullscan (the columnar decode must cut both time
+// and allocations).
 func BenchmarkUnifiedQuery(b *testing.B) {
-	arch := benchArchive(b)
-	snap := benchSnap()
 	cases := []struct {
 		name string
 		req  Request
@@ -56,22 +87,37 @@ func BenchmarkUnifiedQuery(b *testing.B) {
 		{"keyword-rare", Request{To: -1, Keywords: []string{"rare"}, Limit: 10}},
 		{"timerange", Request{From: 4000, To: 4100, Limit: 100}},
 	}
-	for _, c := range cases {
-		b.Run(c.name, func(b *testing.B) {
-			var segs, scanned, events float64
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				res, err := Run(snap, arch, c.req)
-				if err != nil {
-					b.Fatal(err)
-				}
-				segs += float64(res.Stats.Segments)
-				scanned += float64(res.Stats.SegmentsScanned)
-				events += float64(len(res.Events))
+	for _, format := range []struct {
+		name    string
+		compact bool
+	}{{"v1", false}, {"v2", true}} {
+		b.Run(format.name, func(b *testing.B) {
+			arch := benchArchive(b, format.compact)
+			snap := benchSnap()
+			for _, c := range cases {
+				b.Run(c.name, func(b *testing.B) {
+					var segs, scanned, blocks, blkScanned, events float64
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						res, err := Run(snap, arch, c.req)
+						if err != nil {
+							b.Fatal(err)
+						}
+						segs += float64(res.Stats.Segments)
+						scanned += float64(res.Stats.SegmentsScanned)
+						blocks += float64(res.Stats.Blocks)
+						blkScanned += float64(res.Stats.BlocksScanned)
+						events += float64(len(res.Events))
+					}
+					b.ReportMetric(segs/float64(b.N), "segments/op")
+					b.ReportMetric(scanned/float64(b.N), "segscanned/op")
+					if blocks > 0 {
+						b.ReportMetric(blocks/float64(b.N), "blocks/op")
+						b.ReportMetric(blkScanned/float64(b.N), "blkscanned/op")
+					}
+					b.ReportMetric(events/float64(b.N), "events/op")
+				})
 			}
-			b.ReportMetric(segs/float64(b.N), "segments/op")
-			b.ReportMetric(scanned/float64(b.N), "segscanned/op")
-			b.ReportMetric(events/float64(b.N), "events/op")
 		})
 	}
 }

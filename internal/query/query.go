@@ -134,6 +134,19 @@ type Stats struct {
 	// heap held Limit candidates all provably better than anything the
 	// remaining segments could contain — the LIMIT pushdown.
 	SkippedByLimit int `json:"skipped_by_limit"`
+	// SkippedByRank counts segments pruned because the sidecar's rank
+	// bound proves no record reaches the requested MinRank.
+	SkippedByRank int `json:"skipped_by_rank,omitempty"`
+	// Blocks counts v2 columnar blocks covered by the scanned segments;
+	// BlocksScanned the blocks actually decoded. The difference is
+	// itemised by the BlocksSkippedBy* counters — the zone-map pushdown
+	// working below segment granularity. All zero over a v1-only
+	// archive (a JSONL segment has no blocks to skip).
+	Blocks                 int `json:"blocks,omitempty"`
+	BlocksScanned          int `json:"blocks_scanned,omitempty"`
+	BlocksSkippedByTime    int `json:"blocks_skipped_by_time,omitempty"`
+	BlocksSkippedByRank    int `json:"blocks_skipped_by_rank,omitempty"`
+	BlocksSkippedByKeyword int `json:"blocks_skipped_by_keyword,omitempty"`
 	// RecordsScanned counts archive records decoded.
 	RecordsScanned int `json:"records_scanned"`
 	// Truncated marks a partial scan: matching events beyond this page
@@ -234,8 +247,9 @@ func Run(snap Snapshot, arch Archive, req Request) (Result, error) {
 		t, err := scanArchive(arch, dedup, req, from, to, cur, hasCur, p, &res.Stats)
 		clk(obs.StageQueryArchiveScan)
 		if req.Trace != nil {
-			req.Trace.Annotate(fmt.Sprintf("hits=%d segments=%d/%d records=%d",
-				res.Stats.ArchiveHits, res.Stats.SegmentsScanned, res.Stats.Segments, res.Stats.RecordsScanned))
+			req.Trace.Annotate(fmt.Sprintf("hits=%d segments=%d/%d blocks=%d/%d records=%d",
+				res.Stats.ArchiveHits, res.Stats.SegmentsScanned, res.Stats.Segments,
+				res.Stats.BlocksScanned, res.Stats.Blocks, res.Stats.RecordsScanned))
 		}
 		if err != nil {
 			return res, err
@@ -313,6 +327,10 @@ func snapshotCandidates(snap Snapshot, req Request, floor int) []*detect.Event {
 // LastQuantum ≥ its BornQuantum ≥ the segment's MinQuantum, so the
 // segment's smallest possible sort key is (MinQuantum, 0)).
 func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur key, hasCur bool, p *pool, st *Stats) (trunc bool, err error) {
+	// timed gates the block-scan stage clock on telemetry being
+	// attached, like Run's clk.
+	timed := req.Trace != nil || req.Obs != nil
+	var colDur time.Duration
 	segs := arch.Segments()
 	st.Segments = len(segs)
 	slices.SortStableFunc(segs, func(a, b archive.SegmentView) int {
@@ -349,8 +367,21 @@ func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur ke
 			st.SkippedByBloom++
 			continue
 		}
+		if req.MinRank > 0 && v.MaxPeakRank < req.MinRank {
+			st.SkippedByRank++
+			continue
+		}
 		st.SegmentsScanned++
-		_, _, err := v.Scan(func(rec archive.Record) error {
+		// The surviving predicate is pushed below segment granularity:
+		// a v2 scan skips whole blocks on their zone maps. Block
+		// skipping is conservative, so the record-level filter below is
+		// unchanged — it is what makes answers format-independent.
+		var colStart time.Time
+		if timed && v.Format == 2 {
+			colStart = time.Now()
+		}
+		pred := archive.Pred{From: from, To: to, MinRank: req.MinRank, Keywords: req.Keywords}
+		bs, _, err := v.ScanPred(pred, func(rec *archive.Record) error {
 			st.RecordsScanned++
 			if rec.LastQuantum < from || rec.BornQuantum > to {
 				return nil
@@ -376,9 +407,22 @@ func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur ke
 			p.add(eventOfRecord(rec), k)
 			return nil
 		})
+		if v.Format == 2 {
+			st.Blocks += bs.Blocks
+			st.BlocksScanned += bs.Scanned
+			st.BlocksSkippedByTime += bs.SkippedByTime
+			st.BlocksSkippedByRank += bs.SkippedByRank
+			st.BlocksSkippedByKeyword += bs.SkippedByKeyword
+			if timed {
+				colDur += time.Since(colStart)
+			}
+		}
 		if err != nil {
 			return false, err
 		}
+	}
+	if colDur > 0 {
+		req.Obs.Observe(obs.StageArchiveBlockScan, colDur)
 	}
 	return false, nil
 }
@@ -410,7 +454,7 @@ func viewHasKeywords(ev *detect.Event, kws []string) bool {
 	return true
 }
 
-func recordHasKeywords(rec archive.Record, kws []string) bool {
+func recordHasKeywords(rec *archive.Record, kws []string) bool {
 	for _, kw := range kws {
 		set := rec.AllKeywords
 		if len(set) == 0 {
@@ -423,7 +467,7 @@ func recordHasKeywords(rec archive.Record, kws []string) bool {
 	return true
 }
 
-func eventOfRecord(rec archive.Record) Event {
+func eventOfRecord(rec *archive.Record) Event {
 	return Event{
 		ID:            rec.ID,
 		State:         rec.State,

@@ -28,6 +28,14 @@ type TenantMetrics struct {
 	ArchiveEvents   int    `json:"archive_events,omitempty"`
 	ArchiveErrors   uint64 `json:"archive_errors,omitempty"`
 	ArchiveGaps     uint64 `json:"archive_gaps,omitempty"`
+	// ArchiveColumnarSegments counts sealed segments already in the v2
+	// columnar format; the Compact* counters are the background
+	// compactor's lifetime totals for this tenant (committed steps,
+	// input segments consumed, and bytes reclaimed, data + sidecars).
+	ArchiveColumnarSegments  int    `json:"archive_columnar_segments,omitempty"`
+	ArchiveCompactions       uint64 `json:"archive_compactions,omitempty"`
+	ArchiveSegmentsCompacted uint64 `json:"archive_segments_compacted,omitempty"`
+	ArchiveBytesReclaimed    uint64 `json:"archive_bytes_reclaimed,omitempty"`
 
 	// SLO / admission-control counters. AcceptedBatches counts batches
 	// (and flush markers) admitted to the queue; ShedRateLimit and
@@ -53,8 +61,11 @@ type MetricsTotals struct {
 	WALSegments     int    `json:"wal_segments"`
 	ArchiveSegments int    `json:"archive_segments"`
 	ArchiveEvents   int    `json:"archive_events"`
-	ShedBatches     uint64 `json:"shed_batches"`
-	ShedMessages    uint64 `json:"shed_messages"`
+	// ArchiveBytesReclaimed sums what background compaction has shaved
+	// off the archives' on-disk footprint across all tenants.
+	ArchiveBytesReclaimed uint64 `json:"archive_bytes_reclaimed"`
+	ShedBatches           uint64 `json:"shed_batches"`
+	ShedMessages          uint64 `json:"shed_messages"`
 }
 
 // PoolMetrics is the GET /metrics response body.
@@ -91,6 +102,8 @@ func (t *Tenant) Metrics() TenantMetrics {
 		m.ArchiveEvents = ar.EventCount()
 		m.ArchiveErrors = t.storage.archErrs.Load()
 		m.ArchiveGaps = ar.Gaps()
+		m.ArchiveColumnarSegments = ar.ColumnarSegmentCount()
+		m.ArchiveCompactions, m.ArchiveSegmentsCompacted, _, m.ArchiveBytesReclaimed = ar.CompactTotals()
 	}
 	return m
 }
@@ -120,6 +133,7 @@ func totalsOf(tenants []TenantMetrics) MetricsTotals {
 		tot.WALSegments += m.WALSegments
 		tot.ArchiveSegments += m.ArchiveSegments
 		tot.ArchiveEvents += m.ArchiveEvents
+		tot.ArchiveBytesReclaimed += m.ArchiveBytesReclaimed
 		tot.ShedBatches += m.ShedRateLimit + m.ShedQueueDepth
 		tot.ShedMessages += m.ShedMessages
 	}

@@ -99,6 +99,20 @@ type PoolConfig struct {
 	// (default 512); ArchiveBucketQuanta by time span (default 1024).
 	ArchiveSegmentEvents int
 	ArchiveBucketQuanta  int
+	// ArchiveBlockEvents sizes the record blocks inside v2 columnar
+	// segments (default 256) — the unit of zone-map skipping and of
+	// decode work. ArchiveBloomBitsPerKey sizes each sealed segment's
+	// keyword Bloom filter proportionally to its record count (zero
+	// keeps the legacy fixed 8192-bit filter).
+	ArchiveBlockEvents     int
+	ArchiveBloomBitsPerKey int
+	// ArchiveCompactInterval, when positive, runs a background
+	// compactor: every interval it performs at most one compaction step
+	// per tenant — merging runs of small adjacent sealed segments or
+	// rewriting a cold v1 JSONL segment into the v2 columnar format.
+	// Zero disables background compaction (the archive stays readable;
+	// cmd/serve -archive-migrate offers a one-shot rewrite instead).
+	ArchiveCompactInterval time.Duration
 
 	// RateLimit, when positive, caps each tenant's sustained ingest rate
 	// in messages per second via a per-tenant token bucket. A batch that
@@ -992,6 +1006,12 @@ type Pool struct {
 	shutdownOnce sync.Once
 	shutdownDone chan struct{}
 	shutdownErr  error
+
+	// Background archive compactor lifecycle: nil channels when the
+	// compactor is disabled; compactOff makes stopCompactor idempotent.
+	compactStop chan struct{}
+	compactDone chan struct{}
+	compactOff  sync.Once
 }
 
 // NewPool builds a pool and restores tenants from disk: first by WAL
@@ -1017,7 +1037,9 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	abandon := func() {
 		// Don't leak scheduler workers, the group committer, or tenants
-		// already restored.
+		// already restored. (The compactor starts only after restore
+		// succeeds, so stopCompactor here is a no-op safety net.)
+		p.stopCompactor()
 		for _, t := range p.tenants {
 			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
 		}
@@ -1132,7 +1154,64 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 			p.tenants[name] = t
 		}
 	}
+	if cfg.ArchiveDir != "" && cfg.ArchiveCompactInterval > 0 {
+		p.compactStop = make(chan struct{})
+		p.compactDone = make(chan struct{})
+		go p.compactLoop()
+	}
 	return p, nil
+}
+
+// compactLoop is the background archive compactor: each tick it takes
+// one compaction step per tenant (merge a run of small sealed segments,
+// or rewrite one cold v1 segment to the v2 columnar format). One step
+// per tick bounds the IO burst a tick can cause; an idle archive makes
+// the step a no-op. Failures count into the tenant's archive error
+// counter and the loop moves on — compaction is an optimization, never
+// a correctness requirement.
+func (p *Pool) compactLoop() {
+	defer close(p.compactDone)
+	tick := time.NewTicker(p.cfg.ArchiveCompactInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.compactStop:
+			return
+		case <-tick.C:
+		}
+		for _, t := range p.tenantsSorted() {
+			select {
+			case <-p.compactStop:
+				return
+			default:
+			}
+			ar := t.archLog()
+			if ar == nil {
+				continue
+			}
+			start := time.Now()
+			_, worked, err := ar.CompactOnce()
+			if err != nil {
+				t.storage.archErrs.Add(1)
+				continue
+			}
+			if worked {
+				t.obs.Observe(obs.StageArchiveCompact, time.Since(start))
+			}
+		}
+	}
+}
+
+// stopCompactor halts the background compactor and waits for any
+// in-flight step to finish; safe to call multiple times and when the
+// compactor was never started. Must run before tenant archives close so
+// a step never races a Close.
+func (p *Pool) stopCompactor() {
+	if p.compactStop == nil {
+		return
+	}
+	p.compactOff.Do(func() { close(p.compactStop) })
+	<-p.compactDone
 }
 
 // tenantObs resolves (creating on first use) the named tenant's
@@ -1163,8 +1242,10 @@ func (p *Pool) openStorage(name string) (*tenantStorage, error) {
 	}
 	if p.cfg.ArchiveDir != "" {
 		ar, err := archive.Open(filepath.Join(p.cfg.ArchiveDir, name), archive.Options{
-			SegmentEvents: p.cfg.ArchiveSegmentEvents,
-			BucketQuanta:  p.cfg.ArchiveBucketQuanta,
+			SegmentEvents:   p.cfg.ArchiveSegmentEvents,
+			BucketQuanta:    p.cfg.ArchiveBucketQuanta,
+			BlockEvents:     p.cfg.ArchiveBlockEvents,
+			BloomBitsPerKey: p.cfg.ArchiveBloomBitsPerKey,
 		})
 		if err != nil {
 			if st.wal != nil {
@@ -1422,6 +1503,10 @@ func (p *Pool) BeginShutdown() []*Tenant {
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.shutdownOnce.Do(func() {
 		defer close(p.shutdownDone)
+		// Stop the background compactor before any archive closes: a
+		// compaction step racing ar.Close would splice segments into a
+		// log whose files are gone.
+		p.stopCompactor()
 		tenants := p.BeginShutdown()
 		var first error
 		drainFailed := false

@@ -82,6 +82,14 @@ var promTenantMetrics = []promMetric{
 		func(m *TenantMetrics) float64 { return float64(m.ArchiveErrors) }},
 	{"eventdetect_archive_gaps_total", "counter", "Archive ordinal holes skipped (records lost to a crash).",
 		func(m *TenantMetrics) float64 { return float64(m.ArchiveGaps) }},
+	{"eventdetect_archive_columnar_segments", "gauge", "Sealed archive segments in the v2 columnar format.",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveColumnarSegments) }},
+	{"eventdetect_archive_compactions_total", "counter", "Committed archive compaction steps (merges and v1→v2 rewrites).",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveCompactions) }},
+	{"eventdetect_archive_segments_compacted_total", "counter", "Input segments consumed by archive compaction.",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveSegmentsCompacted) }},
+	{"eventdetect_archive_bytes_reclaimed_total", "counter", "Archive bytes reclaimed by compaction (data + sidecars).",
+		func(m *TenantMetrics) float64 { return float64(m.ArchiveBytesReclaimed) }},
 	{"eventdetect_accepted_batches_total", "counter", "Batches (and flush markers) admitted to the queue.",
 		func(m *TenantMetrics) float64 { return float64(m.AcceptedBatches) }},
 	{"eventdetect_shed_rate_limit_total", "counter", "Batches shed by the token bucket.",
@@ -113,6 +121,8 @@ var promPoolMetrics = []struct {
 		func(t *MetricsTotals) float64 { return float64(t.ArchiveSegments) }},
 	{"eventdetect_pool_archive_events", "gauge", "Archived events across all tenants.",
 		func(t *MetricsTotals) float64 { return float64(t.ArchiveEvents) }},
+	{"eventdetect_pool_archive_bytes_reclaimed_total", "counter", "Archive bytes reclaimed by compaction across all tenants.",
+		func(t *MetricsTotals) float64 { return float64(t.ArchiveBytesReclaimed) }},
 	{"eventdetect_pool_shed_batches_total", "counter", "Batches shed across all tenants and gates.",
 		func(t *MetricsTotals) float64 { return float64(t.ShedBatches) }},
 	{"eventdetect_pool_shed_messages_total", "counter", "Messages shed across all tenants.",
