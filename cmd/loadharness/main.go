@@ -1,11 +1,16 @@
 // Command loadharness drives the adversarial load harness: it
 // materializes a deterministic traffic plan per scenario (uniform
-// control, zipf-hot skew, flash-crowd keyword flood), replays it over
-// HTTP against a server — an in-process instance by default, or an
+// control, zipf-hot skew, flash-crowd keyword flood, and disk-pressure
+// — benign traffic over an injected mid-run ENOSPC window), replays it
+// over HTTP against a server — an in-process instance by default, or an
 // external one via -url — and emits per-tenant SLO metrics as JSON:
 // ingest-to-SSE latency percentiles, query latency percentiles, shed
 // and error counts, and the plan SHA-256 that proves two runs sent
-// byte-identical traffic.
+// byte-identical traffic. The disk-pressure scenario needs the
+// in-process server (it injects storage faults through the pool's
+// filesystem seam) and gates on graceful degradation: zero non-503 5xx,
+// Retry-After on every shed, reads serving throughout, in-process
+// recovery once space frees.
 //
 // Usage (in-process, the CI smoke and `make bench-load` path):
 //
@@ -43,6 +48,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/loadharness"
 	"repro/internal/server"
+	"repro/internal/vfs"
 )
 
 type output struct {
@@ -62,7 +68,7 @@ func main() {
 		batches   = flag.Int("batches", 0, "total batch budget per scenario (0 = 64 per tenant)")
 		batchSize = flag.Int("batch-size", 8, "messages per ingest POST; equals the in-process detector's Δ")
 		queryEvr  = flag.Int("query-every", 4, "one GET query per tenant every N batches (-1 disables)")
-		scenarios = flag.String("scenarios", "uniform,zipf-hot,flash-flood",
+		scenarios = flag.String("scenarios", "uniform,zipf-hot,flash-flood,disk-pressure",
 			"comma-separated scenario list; slo gates need uniform to run first as the control")
 		outPath = flag.String("out", "", "write the JSON report here (empty = stdout)")
 		urlFlag = flag.String("url", "", "drive an external server at this base URL instead of an in-process one")
@@ -106,10 +112,18 @@ func main() {
 			os.Exit(2)
 		}
 
+		if sc == loadharness.ScenarioDiskPressure && *urlFlag != "" {
+			fmt.Fprintf(os.Stderr, "loadharness: %s needs an in-process server (storage fault injection); skipping under -url\n", sc)
+			continue
+		}
+
 		baseURL := *urlFlag
 		var shutdown func()
+		var pool *server.Pool
+		var ffs *vfs.FaultFS
+		var walDir string
 		if baseURL == "" {
-			baseURL, shutdown, err = startInProc(server.PoolConfig{
+			cfg := server.PoolConfig{
 				Detector: detect.Config{
 					Delta: *batchSize,
 					AKG:   akg.Config{Tau: 3, Beta: 0.2, Window: 5},
@@ -122,7 +136,24 @@ func main() {
 				RateBurst:     *rateBur,
 				RetainEvents:  *retain,
 				ArchiveDir:    archiveDirFor(*archDir, string(sc)),
-			})
+			}
+			if sc == loadharness.ScenarioDiskPressure {
+				// The fault window needs a WAL to fill and a fault layer
+				// to fill it with; fast probes keep the run short.
+				tmp, err := os.MkdirTemp("", "loadharness-wal-*")
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "loadharness: wal dir:", err)
+					os.Exit(1)
+				}
+				defer os.RemoveAll(tmp) //nolint:errcheck // best-effort temp cleanup
+				walDir = tmp
+				ffs = vfs.NewFaultFS(nil)
+				cfg.WALDir = walDir
+				cfg.FS = ffs
+				cfg.StorageRetryBackoff = time.Millisecond
+				cfg.DegradedProbeInterval = 10 * time.Millisecond
+			}
+			baseURL, pool, shutdown, err = startInProc(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "loadharness: start server:", err)
 				os.Exit(1)
@@ -131,7 +162,23 @@ func main() {
 
 		fmt.Fprintf(os.Stderr, "loadharness: scenario %s: %d tenants, %d batches × %d msgs (plan %.12s…)\n",
 			sc, plan.Config.Tenants, plan.Config.Batches, plan.Config.BatchSize, plan.Digest)
-		rep, err := (&loadharness.Runner{Plan: plan, BaseURL: baseURL}).Run(context.Background())
+		ctx, cancel := context.WithCancel(context.Background())
+		pcErr := make(chan error, 1)
+		if sc == loadharness.ScenarioDiskPressure {
+			pc := &loadharness.PressureController{
+				Pool: pool, FFS: ffs, PathSubstring: walDir,
+				AfterAccepted: uint64(2 * plan.Config.Tenants),
+			}
+			go func() { pcErr <- pc.Run(ctx) }()
+		} else {
+			pcErr <- nil
+		}
+		rep, err := (&loadharness.Runner{Plan: plan, BaseURL: baseURL}).Run(ctx)
+		// The recovery probe can land after the last batch; let the
+		// controller observe it (its stage timeouts bound the wait)
+		// before tearing the context down.
+		werr := <-pcErr
+		cancel()
 		if shutdown != nil {
 			shutdown()
 		}
@@ -139,16 +186,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "loadharness: run:", err)
 			os.Exit(1)
 		}
+		if werr != nil && werr != context.Canceled {
+			fmt.Fprintln(os.Stderr, "loadharness:", werr)
+			hardFail = true
+		}
 		doc.Runs = append(doc.Runs, rep)
 		if sc == loadharness.ScenarioUniform {
 			uniform = rep
 			continue
 		}
-		if uniform == nil {
+		var res loadharness.SLOResult
+		if sc == loadharness.ScenarioDiskPressure {
+			res = loadharness.CheckDiskPressureSLO(rep)
+		} else if uniform == nil {
 			fmt.Fprintf(os.Stderr, "loadharness: %s ran without a uniform control; skipping SLO gates\n", sc)
 			continue
+		} else {
+			res = loadharness.CheckSLO(rep, uniform, *sloFloor)
 		}
-		res := loadharness.CheckSLO(rep, uniform, *sloFloor)
 		doc.SLO[string(sc)] = res
 		if !res.Pass {
 			doc.Pass = false
@@ -157,7 +212,8 @@ func main() {
 			}
 		}
 		if rep.Totals.HTTP5xx > 0 || rep.Totals.ShedNoRetryAfter > 0 ||
-			rep.Totals.OtherErrors > 0 || rep.Totals.SSELost > 0 {
+			rep.Totals.OtherErrors > 0 || rep.Totals.SSELost > 0 ||
+			(sc == loadharness.ScenarioDiskPressure && !res.Pass) {
 			hardFail = true
 		} else if !res.Pass {
 			timingFail = true
@@ -185,17 +241,18 @@ func main() {
 }
 
 // startInProc assembles a real pool behind a loopback listener and
-// returns its base URL plus a shutdown function that drains the pool.
+// returns its base URL, the pool itself (the disk-pressure controller
+// watches its metrics), and a shutdown function that drains the pool.
 // Each scenario gets a fresh instance so queue state, token buckets and
 // archive contents never leak across runs.
-func startInProc(cfg server.PoolConfig) (string, func(), error) {
+func startInProc(cfg server.PoolConfig) (string, *server.Pool, func(), error) {
 	pool, err := server.NewPool(cfg)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	srv := &http.Server{Handler: server.NewHandler(pool)}
 	go srv.Serve(ln) //nolint:errcheck // exits on Close below
@@ -208,7 +265,7 @@ func startInProc(cfg server.PoolConfig) (string, func(), error) {
 			fmt.Fprintln(os.Stderr, "loadharness: pool shutdown:", err)
 		}
 	}
-	return "http://" + ln.Addr().String(), shutdown, nil
+	return "http://" + ln.Addr().String(), pool, shutdown, nil
 }
 
 // archiveDirFor keeps per-scenario archives apart under the given root

@@ -168,6 +168,15 @@ func main() {
 				"Acks wait for the shared flush+fsync: power-safe durability at a "+
 				"fraction of the per-append fsync cost; overrides -wal-sync")
 		snapEvr = flag.Int("snapshot-every", 256, "WAL snapshot cadence in quanta")
+		stRetry = flag.Int("storage-retries", 3,
+			"inline retry turns on a transient storage IO error before the "+
+				"tenant degrades to read-only (-1 disables inline retries)")
+		stBack = flag.Duration("storage-retry-backoff", 5*time.Millisecond,
+			"first storage-retry backoff (doubles per turn, capped at 32x)")
+		degProbe = flag.Duration("degraded-probe-interval", time.Second,
+			"degradation supervisor probe cadence: how often fail-stopped "+
+				"WALs are reopened and degraded tenants' devices write-probed; "+
+				"also the Retry-After hint on degraded-shed responses")
 		archDir = flag.String("archive-dir", "", "evicted-event archive directory (empty discards evicted events)")
 		archSeg = flag.Int("archive-segment-events", 512, "archive segment rotation by record count")
 		archBkt = flag.Int("archive-bucket-quanta", 1024, "archive segment rotation by quantum span")
@@ -236,6 +245,9 @@ func main() {
 	req(*walSync >= 0, "-wal-sync must be non-negative (0 = page cache)")
 	req(*walGC >= 0, "-wal-group-commit-interval must be non-negative (0 = disabled)")
 	req(*snapEvr > 0, "-snapshot-every must be a positive quantum count")
+	req(*stRetry >= -1, "-storage-retries must be -1 (disabled) or a turn count")
+	req(*stBack > 0, "-storage-retry-backoff must be positive")
+	req(*degProbe > 0, "-degraded-probe-interval must be positive")
 	req(*archSeg > 0, "-archive-segment-events must be positive")
 	req(*archBkt > 0, "-archive-bucket-quanta must be positive")
 	req(*archBlk > 0, "-archive-block-events must be positive")
@@ -267,6 +279,12 @@ func main() {
 	if ringSize == 0 {
 		ringSize = -1
 	}
+	// Same for retries: 0 on the command line means "no retries", which
+	// the pool spells negative (its 0 selects the default budget).
+	retries := *stRetry
+	if retries == 0 {
+		retries = -1
+	}
 
 	srv, err := server.New(server.Config{
 		Addr:          *addr,
@@ -293,6 +311,9 @@ func main() {
 			WALSyncEvery:           *walSync,
 			WALGroupCommitInterval: *walGC,
 			SnapshotEvery:          *snapEvr,
+			StorageRetries:         retries,
+			StorageRetryBackoff:    *stBack,
+			DegradedProbeInterval:  *degProbe,
 			ArchiveDir:             *archDir,
 			ArchiveSegmentEvents:   *archSeg,
 			ArchiveBucketQuanta:    *archBkt,

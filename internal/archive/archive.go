@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -32,6 +33,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/vfs"
 )
 
 const (
@@ -151,6 +154,9 @@ type Options struct {
 	// optimum). Zero selects the legacy fixed 8192-bit/4-hash filter.
 	// Existing sidecars keep the shape they were written with.
 	BloomBitsPerKey int
+	// FS overrides the filesystem behind every file operation — the
+	// fault-injection seam for tests. Nil selects the real one.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +169,7 @@ func (o Options) withDefaults() Options {
 	if o.BlockEvents <= 0 {
 		o.BlockEvents = defaultBlockEvents
 	}
+	o.FS = vfs.Default(o.FS)
 	return o
 }
 
@@ -173,15 +180,19 @@ func (o Options) withDefaults() Options {
 type Log struct {
 	dir      string
 	opt      Options
+	fs       vfs.FS
 	bloomPar bloomParams // sizing for new segment-level filters
 
 	mu     sync.Mutex
 	sealed []segMeta // rotated segments, ascending FirstSeq
 	active *segMeta  // nil when no active segment
-	f      *os.File  // active segment data file
+	f      vfs.File  // active segment data file
 	w      *bufio.Writer
 	seq    uint64 // last appended ordinal
 	gaps   uint64 // ordinal gaps observed (records lost before a crash)
+	// quarantined counts sealed segments renamed aside after a scan hit
+	// corruption — history the service keeps serving around.
+	quarantined uint64
 
 	// Compaction bookkeeping: compactMu serializes compactor steps (the
 	// sealed-list splice assumes one compactor); the counters (guarded by
@@ -204,17 +215,17 @@ type Log struct {
 // converge to exactly-once records.
 func Open(dir string, opt Options) (*Log, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt, bloomPar: bloomSizing(opt.BloomBitsPerKey, opt.SegmentEvents)}
+	l := &Log{dir: dir, opt: opt, fs: opt.FS, bloomPar: bloomSizing(opt.BloomBitsPerKey, opt.SegmentEvents)}
 	// Sweep temp files a crash between write and rename left.
-	if orphans, err := filepath.Glob(filepath.Join(dir, "*.tmp")); err == nil {
+	if orphans, err := l.fs.Glob(filepath.Join(dir, "*.tmp")); err == nil {
 		for _, o := range orphans {
-			os.Remove(o) //nolint:errcheck // best effort
+			l.fs.Remove(o) //nolint:errcheck // best effort
 		}
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := l.fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("archive: list %s: %w", dir, err)
 	}
@@ -341,12 +352,12 @@ func supersededBy(m segMeta, metas []segMeta) int {
 // removeSegmentFiles deletes a segment's data file and sidecar.
 func (l *Log) removeSegmentFiles(m segMeta) {
 	if m.Format == 2 {
-		os.Remove(l.colPath(m.File))     //nolint:errcheck // best effort
-		os.Remove(l.colMetaPath(m.File)) //nolint:errcheck // best effort
+		l.fs.Remove(l.colPath(m.File))     //nolint:errcheck // best effort
+		l.fs.Remove(l.colMetaPath(m.File)) //nolint:errcheck // best effort
 		return
 	}
-	os.Remove(l.segPath(m.File))  //nolint:errcheck // best effort
-	os.Remove(l.metaPath(m.File)) //nolint:errcheck // best effort
+	l.fs.Remove(l.segPath(m.File))  //nolint:errcheck // best effort
+	l.fs.Remove(l.metaPath(m.File)) //nolint:errcheck // best effort
 }
 
 // sweepOrphanSidecars removes sidecars whose data file is gone — the
@@ -367,8 +378,8 @@ func (l *Log) sweepOrphanSidecars(entries []os.DirEntry) {
 		default:
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(l.dir, data)); os.IsNotExist(err) {
-			os.Remove(filepath.Join(l.dir, name)) //nolint:errcheck // best effort
+		if _, err := l.fs.Stat(filepath.Join(l.dir, data)); os.IsNotExist(err) {
+			l.fs.Remove(filepath.Join(l.dir, name)) //nolint:errcheck // best effort
 		}
 	}
 }
@@ -379,7 +390,7 @@ func (l *Log) sweepOrphanSidecars(entries []os.DirEntry) {
 // worst one record is dropped and the WAL replay re-archives it.
 func (l *Log) resumeActive(start uint64) (segMeta, error) {
 	path := l.segPath(start)
-	data, err := os.ReadFile(path)
+	data, err := l.fs.ReadFile(path)
 	if err != nil {
 		return segMeta{}, fmt.Errorf("archive: resume segment: %w", err)
 	}
@@ -401,7 +412,7 @@ func (l *Log) resumeActive(start uint64) (segMeta, error) {
 		valid += nl + 1
 	}
 	if valid < len(data) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
+		if err := l.fs.Truncate(path, int64(valid)); err != nil {
 			return segMeta{}, fmt.Errorf("archive: truncate torn tail: %w", err)
 		}
 	}
@@ -409,7 +420,7 @@ func (l *Log) resumeActive(start uint64) (segMeta, error) {
 	if m.Count == 0 {
 		m.FirstSeq = start
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return segMeta{}, fmt.Errorf("archive: reopen active segment: %w", err)
 	}
@@ -420,7 +431,7 @@ func (l *Log) resumeActive(start uint64) (segMeta, error) {
 // loadOrRebuildMeta reads a v1 segment's sidecar, or scans the data
 // file and rewrites the sidecar when it is missing or unreadable.
 func (l *Log) loadOrRebuildMeta(start uint64) (segMeta, error) {
-	raw, err := os.ReadFile(l.metaPath(start))
+	raw, err := l.fs.ReadFile(l.metaPath(start))
 	if err == nil {
 		var m segMeta
 		if jerr := json.Unmarshal(raw, &m); jerr == nil && m.Count > 0 && m.Format == 0 {
@@ -454,7 +465,7 @@ func (l *Log) loadOrRebuildMeta(start uint64) (segMeta, error) {
 // re-compaction renamed a new data file over this path but died before
 // rewriting the sidecar, leaving zone maps that describe the old bytes.
 func (l *Log) loadOrRebuildColMeta(start uint64) (segMeta, error) {
-	raw, err := os.ReadFile(l.colMetaPath(start))
+	raw, err := l.fs.ReadFile(l.colMetaPath(start))
 	if err == nil {
 		var m segMeta
 		if jerr := json.Unmarshal(raw, &m); jerr == nil && m.Count > 0 && m.Format == 2 && len(m.Blocks) > 0 &&
@@ -469,7 +480,7 @@ func (l *Log) loadOrRebuildColMeta(start uint64) (segMeta, error) {
 	}
 	m := segMeta{Format: 2, BloomK: l.bloomPar.hashes}
 	m.bf = newBloomSized(l.bloomPar)
-	_, err = scanColFile(l.colPath(start), func(rec *Record) error {
+	_, err = scanColFile(l.fs, l.colPath(start), func(rec *Record) error {
 		m.observeBounds(rec)
 		for _, kw := range rec.Keywords {
 			m.bf.add(kw)
@@ -494,7 +505,7 @@ func (l *Log) loadOrRebuildColMeta(start uint64) (segMeta, error) {
 // colHeaderMatches reports whether a v2 sidecar agrees with its data
 // file's fixed header on the ordinal range and count.
 func (l *Log) colHeaderMatches(start uint64, m *segMeta) bool {
-	f, err := os.Open(l.colPath(start))
+	f, err := l.fs.Open(l.colPath(start))
 	if err != nil {
 		return false
 	}
@@ -554,7 +565,7 @@ func (l *Log) Append(rec Record) error {
 }
 
 func (l *Log) startSegment(firstSeq uint64) error {
-	f, err := os.OpenFile(l.segPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.fs.OpenFile(l.segPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("archive: new segment: %w", err)
 	}
@@ -599,10 +610,10 @@ func (l *Log) writeMeta(m *segMeta, start uint64) error {
 		path = l.colMetaPath(start)
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	if err := l.fs.WriteFile(tmp, raw, 0o644); err != nil {
 		return fmt.Errorf("archive: write sidecar: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := l.fs.Rename(tmp, path); err != nil {
 		return fmt.Errorf("archive: write sidecar: %w", err)
 	}
 	return nil
@@ -667,11 +678,30 @@ type QueryStats struct {
 	SkippedByTime  int  `json:"skipped_by_time"`  // pruned on quantum range
 	SkippedByBloom int  `json:"skipped_by_bloom"` // pruned on keyword Bloom
 	Truncated      bool `json:"truncated"`        // scan stopped at the limit; stats partial
+	// Quarantined counts sealed segments this query hit corruption in
+	// and renamed aside; Degraded flags that the results are therefore
+	// missing that history — served, but incomplete.
+	Quarantined int  `json:"quarantined,omitempty"`
+	Degraded    bool `json:"degraded,omitempty"`
 }
 
 // ErrStop, returned by a SegmentView.Scan callback, stops the scan
 // early without error — the LIMIT-pushdown signal.
 var ErrStop = fmt.Errorf("archive: stop scan")
+
+// ErrCorrupt marks structural damage inside a sealed segment's data
+// file — a CRC mismatch, a torn frame, a record count that disagrees
+// with the sidecar. Errors wrapping it are the quarantine signal: the
+// damage is in the bytes, not the device, so retrying the read cannot
+// help, but the rest of the archive is still good. Device-level read
+// errors (EIO) deliberately do NOT wrap it.
+var ErrCorrupt = errors.New("segment corrupt")
+
+// quarantineSuffix is appended to a corrupt segment's data file and
+// sidecar names. Open ignores the renamed files (wrong extension), so
+// the damage survives for offline forensics without ever being served
+// again.
+const quarantineSuffix = ".quarantine"
 
 // SegmentView is a point-in-time handle on one segment: the sidecar
 // bounds for planning (time-range, rank-floor, and Bloom data skipping)
@@ -708,6 +738,10 @@ type SegmentView struct {
 
 // Blocks returns the number of v2 blocks the view covers (0 for v1).
 func (v *SegmentView) Blocks() int { return len(v.zones) }
+
+// Quarantine sets this view's segment aside in its parent Log after a
+// scan returned an error wrapping ErrCorrupt — see Log.Quarantine.
+func (v *SegmentView) Quarantine() bool { return v.l.Quarantine(v) }
 
 // MayContain reports whether the segment's keyword Bloom filter admits
 // kw (false positives possible, false negatives not). A view with no
@@ -854,8 +888,8 @@ func (v *SegmentView) scanWithPred(pred Pred, depth int, fn func(*Record) error)
 		return bs, false, serr
 	}
 	if v.Sealed && raw != v.Count {
-		return bs, false, fmt.Errorf("archive: segment %d corrupt: %d of %d records readable",
-			v.file, raw, v.Count)
+		return bs, false, fmt.Errorf("archive: segment %d: %d of %d records readable: %w",
+			v.file, raw, v.Count, ErrCorrupt)
 	}
 	return bs, false, nil
 }
@@ -863,7 +897,7 @@ func (v *SegmentView) scanWithPred(pred Pred, depth int, fn func(*Record) error)
 // scanColWithPred is the v2 scan: zone-map skipping, then CRC-checked
 // column-at-a-time decode of only the surviving blocks.
 func (v *SegmentView) scanColWithPred(pred Pred, depth int, fn func(*Record) error) (bs BlockStats, stopped bool, err error) {
-	f, err := os.Open(v.l.colPath(v.file))
+	f, err := v.l.fs.Open(v.l.colPath(v.file))
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) && depth < maxRescanDepth {
 			return v.rescanCompacted(pred, depth, fn)
@@ -878,11 +912,16 @@ func (v *SegmentView) scanColWithPred(pred Pred, depth int, fn func(*Record) err
 	// file, so fall back as if it had vanished.
 	var hdrBuf [colHeaderLen]byte
 	if _, err := f.ReadAt(hdrBuf[:], 0); err != nil {
-		return bs, false, fmt.Errorf("archive: segment %d: short header: %w", v.file, err)
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// The file is shorter than its own fixed header: structural
+			// damage, not a device error.
+			err = fmt.Errorf("short header: %w", ErrCorrupt)
+		}
+		return bs, false, fmt.Errorf("archive: segment %d: %w", v.file, err)
 	}
 	hdr, err := parseColHeader(hdrBuf[:])
 	if err != nil {
-		return bs, false, fmt.Errorf("archive: segment %d: %w", v.file, err)
+		return bs, false, fmt.Errorf("archive: segment %d: %w: %w", v.file, err, ErrCorrupt)
 	}
 	if hdr.firstSeq != v.FirstSeq || hdr.lastSeq != v.LastSeq || hdr.count != v.Count {
 		if depth < maxRescanDepth {
@@ -923,11 +962,14 @@ func (v *SegmentView) scanColWithPred(pred Pred, depth int, fn func(*Record) err
 			return bs, true, nil
 		}
 		if derr != nil {
+			if errors.Is(derr, errBlockCorrupt) {
+				derr = fmt.Errorf("%w: %w", derr, ErrCorrupt)
+			}
 			return bs, false, fmt.Errorf("archive: segment %d: block at %d: %w", v.file, z.Off, derr)
 		}
 		if n != z.Count {
-			return bs, false, fmt.Errorf("archive: segment %d corrupt: block at %d has %d of %d records",
-				v.file, z.Off, n, z.Count)
+			return bs, false, fmt.Errorf("archive: segment %d: block at %d has %d of %d records: %w",
+				v.file, z.Off, n, z.Count, ErrCorrupt)
 		}
 	}
 	return bs, false, nil
@@ -1004,6 +1046,55 @@ func (l *Log) Segments() []SegmentView {
 	return views
 }
 
+// Quarantine renames a corrupt sealed segment's data file and sidecar
+// aside (quarantineSuffix) and drops the segment from the sealed list,
+// so every later query serves the surviving history instead of
+// re-hitting the damage. The damaged bytes stay on disk for forensics.
+// Reports whether the view named a segment still in the sealed list
+// (false for active views, already-quarantined segments, or views of a
+// compacted-away file — in all of those there is nothing to remove).
+// Safe against a concurrent compaction: it takes the compactor's mutex,
+// so the splice never invalidates a compaction step mid-flight.
+func (l *Log) Quarantine(v *SegmentView) bool {
+	if !v.Sealed {
+		return false
+	}
+	l.compactMu.Lock()
+	defer l.compactMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := -1
+	for i := range l.sealed {
+		if l.sealed[i].File == v.file && l.sealed[i].Format == v.Format {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	data, side := l.segPath(v.file), l.metaPath(v.file)
+	if v.Format == 2 {
+		data, side = l.colPath(v.file), l.colMetaPath(v.file)
+	}
+	// Rename failures are tolerated: the segment leaves the sealed list
+	// either way, which is what stops the bleeding. A file that could
+	// not be renamed is swept as superseded-or-orphaned on next Open.
+	l.fs.Rename(data, data+quarantineSuffix) //nolint:errcheck // best effort
+	l.fs.Rename(side, side+quarantineSuffix) //nolint:errcheck // best effort
+	l.sealed = append(l.sealed[:idx], l.sealed[idx+1:]...)
+	l.quarantined++
+	return true
+}
+
+// QuarantinedSegments returns how many segments this Log has
+// quarantined since open.
+func (l *Log) QuarantinedSegments() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.quarantined
+}
+
 // rankBound maps a sidecar's MaxPeakRank to the view bound: 0 means
 // "written before rank bounds existed, or genuinely all-zero" — both
 // unskippable, so surface +Inf (never skip on unknown).
@@ -1050,6 +1141,7 @@ func (l *Log) Query(from, to int, keyword string, limit int) ([]Record, QuerySta
 			continue
 		}
 		stats.Scanned++
+		before := len(out)
 		_, stopped, err := v.Scan(func(rec Record) error {
 			if limit > 0 && len(out) >= limit {
 				return ErrStop
@@ -1064,6 +1156,20 @@ func (l *Log) Query(from, to int, keyword string, limit int) ([]Record, QuerySta
 			return nil
 		})
 		if err != nil {
+			if errors.Is(err, ErrCorrupt) && v.Sealed {
+				// The damage is in this segment's bytes alone: set it
+				// aside and keep serving the surviving history, flagged
+				// as incomplete. Records the scan yielded before hitting
+				// the corruption are dropped — a segment is either
+				// served whole or not at all. A concurrent query may
+				// have already quarantined it (count it only once).
+				if l.Quarantine(v) {
+					stats.Quarantined++
+				}
+				out = out[:before]
+				stats.Degraded = true
+				continue
+			}
 			return nil, stats, err
 		}
 		if stopped {
@@ -1092,7 +1198,7 @@ func recordHasKeyword(rec Record, kw string) bool {
 // path truncates the file to the returned offset so new appends never
 // land after garbage.
 func (l *Log) scanSegment(start uint64, fn func(Record) error) (int64, error) {
-	f, err := os.Open(l.segPath(start))
+	f, err := l.fs.Open(l.segPath(start))
 	if err != nil {
 		return 0, fmt.Errorf("archive: open segment: %w", err)
 	}

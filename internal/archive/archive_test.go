@@ -225,10 +225,12 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
-// TestCorruptSealedSegmentSurfaces flips bytes mid-file in a sealed
-// segment: the sidecar knows the true record count, so a query must
-// report corruption instead of silently serving a truncated history.
-func TestCorruptSealedSegmentSurfaces(t *testing.T) {
+// TestCorruptSealedSegmentQuarantined flips bytes mid-file in a sealed
+// segment: the sidecar knows the true record count, so a query detects
+// the corruption, quarantines the segment (renamed aside, dropped from
+// the sealed list), and keeps serving the surviving history with the
+// degraded flag set — instead of failing every query forever.
+func TestCorruptSealedSegmentQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(dir, Options{SegmentEvents: 3})
 	if err != nil {
@@ -253,8 +255,44 @@ func TestCorruptSealedSegmentSurfaces(t *testing.T) {
 	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := l.Query(0, -1, "", 0); err == nil {
-		t.Fatal("query over corrupt sealed segment reported success")
+	recs, stats, err := l.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatalf("query over corrupt sealed segment: %v", err)
+	}
+	if !stats.Degraded || stats.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want degraded with 1 quarantined", stats)
+	}
+	// Only the active segment's record survives.
+	if len(recs) != 1 || recs[0].Seq != 4 {
+		t.Fatalf("degraded results = %+v, want just seq 4", recs)
+	}
+	if got := l.QuarantinedSegments(); got != 1 {
+		t.Fatalf("QuarantinedSegments = %d, want 1", got)
+	}
+	// The damaged files are renamed aside, not deleted.
+	if _, err := os.Stat(segs[0] + quarantineSuffix); err != nil {
+		t.Fatalf("quarantined data file: %v", err)
+	}
+	if _, err := os.Stat(segs[0]); !os.IsNotExist(err) {
+		t.Fatal("corrupt data file still at its serving path")
+	}
+	// Later queries serve cleanly — the damage is out of the list.
+	recs, stats, err = l.Query(0, -1, "", 0)
+	if err != nil || stats.Degraded || len(recs) != 1 {
+		t.Fatalf("post-quarantine query = %+v, %+v, %v", recs, stats, err)
+	}
+	// And a reopen does not resurrect the quarantined segment.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{SegmentEvents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs, _, err = l2.Query(0, -1, "", 0)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("query after reopen = %+v, %v", recs, err)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/vfs"
 )
 
 // variedRecords exercises every encoding path: nil vs empty keyword
@@ -130,7 +132,7 @@ func TestWriteAndScanColFile(t *testing.T) {
 		recs = append(recs, rec(i, int(i), int(i)+3, fmt.Sprintf("kw-%d", i%50)))
 	}
 	path := filepath.Join(dir, "ev-00000000000000000001.col")
-	m, err := writeSegmentV2(path, recs, 256, bloomSizing(0, 512))
+	m, err := writeSegmentV2(vfs.OS, path, recs, 256, bloomSizing(0, 512))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestWriteAndScanColFile(t *testing.T) {
 	}
 	var got []Record
 	var zones []blockZone
-	hdr, err := scanColFile(path, func(r *Record) error {
+	hdr, err := scanColFile(vfs.OS, path, func(r *Record) error {
 		got = append(got, *r)
 		return nil
 	}, func(z blockZone) { zones = append(zones, z) })

@@ -2,7 +2,6 @@ package archive
 
 import (
 	"fmt"
-	"os"
 )
 
 // The background compactor: merges runs of small adjacent sealed
@@ -73,16 +72,16 @@ func (l *Log) CompactOnce() (CompactStats, bool, error) {
 		if m.Format == 2 {
 			path = l.colPath(m.File)
 		}
-		if st, err := os.Stat(path); err == nil {
+		if st, err := l.fs.Stat(path); err == nil {
 			bytesIn += st.Size()
 		}
-		if st, err := os.Stat(l.sidecarPath(m)); err == nil {
+		if st, err := l.fs.Stat(l.sidecarPath(m)); err == nil {
 			bytesIn += st.Size()
 		}
 		before := len(recs)
 		var err error
 		if m.Format == 2 {
-			_, err = scanColFile(path, func(rec *Record) error {
+			_, err = scanColFile(l.fs, path, func(rec *Record) error {
 				recs = append(recs, *rec)
 				return nil
 			}, nil)
@@ -108,7 +107,7 @@ func (l *Log) CompactOnce() (CompactStats, bool, error) {
 
 	// Commit: data file, then sidecar.
 	newPath := l.colPath(run[0].File)
-	m, err := writeSegmentV2(newPath, recs, l.opt.BlockEvents, l.bloomPar)
+	m, err := writeSegmentV2(l.fs, newPath, recs, l.opt.BlockEvents, l.bloomPar)
 	if err != nil {
 		return CompactStats{}, false, err
 	}
@@ -117,10 +116,10 @@ func (l *Log) CompactOnce() (CompactStats, bool, error) {
 		return CompactStats{}, false, err
 	}
 	var bytesOut int64
-	if st, err := os.Stat(newPath); err == nil {
+	if st, err := l.fs.Stat(newPath); err == nil {
 		bytesOut += st.Size()
 	}
-	if st, err := os.Stat(l.colMetaPath(m.File)); err == nil {
+	if st, err := l.fs.Stat(l.colMetaPath(m.File)); err == nil {
 		bytesOut += st.Size()
 	}
 

@@ -122,8 +122,14 @@ func TestSealedSegmentOverCountIsCorruption(t *testing.T) {
 	if _, _, err := views[0].Scan(func(Record) error { return nil }); err == nil {
 		t.Fatal("over-count sealed segment scanned without error")
 	}
-	if _, _, err := l.Query(0, -1, "", 0); err == nil {
-		t.Fatal("Query over over-count sealed segment succeeded")
+	// Query-level handling: the corrupt segment is quarantined and the
+	// results (now empty — no other segment) are flagged degraded.
+	recs, stats, err := l.Query(0, -1, "", 0)
+	if err != nil {
+		t.Fatalf("Query over over-count sealed segment: %v", err)
+	}
+	if !stats.Degraded || stats.Quarantined != 1 || len(recs) != 0 {
+		t.Fatalf("degraded query = %+v, %+v", recs, stats)
 	}
 	l.Close()
 }

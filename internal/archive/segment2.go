@@ -2,10 +2,13 @@ package archive
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+
+	"repro/internal/vfs"
 )
 
 // A v2 columnar segment file (ev-<seq>.col) is:
@@ -74,7 +77,7 @@ func parseColHeader(b []byte) (colHeader, error) {
 // at path via temp-file + fsync + rename, and returns its complete
 // metadata (Format 2, zone maps, segment-level Bloom sized by bp). The
 // returned meta's File field is left for the caller.
-func writeSegmentV2(path string, recs []Record, blockEvents int, bp bloomParams) (segMeta, error) {
+func writeSegmentV2(fsys vfs.FS, path string, recs []Record, blockEvents int, bp bloomParams) (segMeta, error) {
 	if len(recs) == 0 {
 		return segMeta{}, fmt.Errorf("archive: write v2 segment: no records")
 	}
@@ -94,14 +97,14 @@ func writeSegmentV2(path string, recs []Record, blockEvents int, bp bloomParams)
 	}
 
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return segMeta{}, fmt.Errorf("archive: write v2 segment: %w", err)
 	}
 	defer func() {
 		if f != nil {
-			f.Close()      //nolint:errcheck // already failing
-			os.Remove(tmp) //nolint:errcheck // best effort
+			f.Close()        //nolint:errcheck // already failing
+			fsys.Remove(tmp) //nolint:errcheck // best effort
 		}
 	}()
 	hdr := appendColHeader(nil, colHeader{
@@ -138,12 +141,12 @@ func writeSegmentV2(path string, recs []Record, blockEvents int, bp bloomParams)
 	}
 	if err := f.Close(); err != nil {
 		f = nil
-		os.Remove(tmp) //nolint:errcheck // best effort
+		fsys.Remove(tmp) //nolint:errcheck // best effort
 		return segMeta{}, fmt.Errorf("archive: write v2 segment: %w", err)
 	}
 	f = nil
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp) //nolint:errcheck // best effort
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp) //nolint:errcheck // best effort
 		return segMeta{}, fmt.Errorf("archive: write v2 segment: %w", err)
 	}
 	return m, nil
@@ -151,19 +154,24 @@ func writeSegmentV2(path string, recs []Record, blockEvents int, bp bloomParams)
 
 // readFrame reads and CRC-verifies the block frame z points at,
 // returning the payload (aliasing *buf, which is grown as needed).
-func readFrame(f *os.File, z *blockZone, buf *[]byte) ([]byte, error) {
+func readFrame(f io.ReaderAt, z *blockZone, buf *[]byte) ([]byte, error) {
 	if z.Len < frameHdrLen+1 || z.Len > maxBlockFrame {
-		return nil, fmt.Errorf("archive: block at %d: bad frame length %d", z.Off, z.Len)
+		return nil, fmt.Errorf("archive: block at %d: bad frame length %d: %w", z.Off, z.Len, ErrCorrupt)
 	}
 	*buf = grow(*buf, z.Len)
 	if _, err := f.ReadAt(*buf, z.Off); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// The file ends inside a frame the zone map says exists:
+			// structural damage, not a device error.
+			err = fmt.Errorf("truncated frame: %w", ErrCorrupt)
+		}
 		return nil, fmt.Errorf("archive: block at %d: %w", z.Off, err)
 	}
 	ln := binary.LittleEndian.Uint32(*buf)
 	crc := binary.LittleEndian.Uint32((*buf)[4:])
 	payload := (*buf)[frameHdrLen:z.Len]
 	if int(ln) != len(payload) || crc32.Checksum(payload, castagnoli) != crc {
-		return nil, fmt.Errorf("archive: block at %d: frame corrupt", z.Off)
+		return nil, fmt.Errorf("archive: block at %d: frame %w", z.Off, ErrCorrupt)
 	}
 	return payload, nil
 }
@@ -172,8 +180,8 @@ func readFrame(f *os.File, z *blockZone, buf *[]byte) ([]byte, error) {
 // sequentially (no zone maps needed — the rebuild and compaction read
 // path). fn may be nil to only validate frames. zoneFn, when non-nil,
 // receives each block's reconstructed zone map.
-func scanColFile(path string, fn func(*Record) error, zoneFn func(blockZone)) (colHeader, error) {
-	f, err := os.Open(path)
+func scanColFile(fsys vfs.FS, path string, fn func(*Record) error, zoneFn func(blockZone)) (colHeader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return colHeader{}, fmt.Errorf("archive: open v2 segment: %w", err)
 	}

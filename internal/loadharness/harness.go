@@ -159,6 +159,16 @@ func (r *Runner) driveTenant(ctx context.Context, client *http.Client, base stri
 				rep.ShedNoRetryAfter++
 			}
 			sleepCtx(ctx, backoff)
+		case status == http.StatusServiceUnavailable:
+			// Degraded-mode shed: storage is sick and the server refuses
+			// the write to protect its acked history. Same client
+			// contract as admission sheds — Retry-After or it's a
+			// violation.
+			rep.Shed503++
+			if retryAfter == "" {
+				rep.ShedNoRetryAfter++
+			}
+			sleepCtx(ctx, backoff)
 		case status >= 500:
 			rep.HTTP5xx++
 		default:

@@ -3,6 +3,7 @@ package loadharness
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/akg"
 	"repro/internal/detect"
 	"repro/internal/server"
+	"repro/internal/vfs"
 )
 
 // startServer brings up a real pool behind a real HTTP listener with
@@ -150,6 +152,82 @@ func TestRunShedsCarryRetryAfter(t *testing.T) {
 	}
 	if tr.SSELost != 0 {
 		t.Fatalf("%d accepted batches never acknowledged", tr.SSELost)
+	}
+}
+
+// The graceful-degradation acceptance: an ENOSPC window injected into
+// the WAL mid-run produces zero non-503 5xx, Retry-After on every shed,
+// reads keep serving, the server recovers in-process, and a replay of
+// the WAL recovers exactly the acked batches — nothing shed, nothing
+// extra.
+func TestRunDiskPressureMeetsSLO(t *testing.T) {
+	dir := t.TempDir()
+	walDir := filepath.Join(dir, "wal")
+	ffs := vfs.NewFaultFS(nil)
+	det := detect.Config{Delta: 8, AKG: akg.Config{Tau: 3, Beta: 0.2, Window: 5}}
+	pool, err := server.NewPool(server.PoolConfig{
+		Detector:              det,
+		WALDir:                walDir,
+		FS:                    ffs,
+		StorageRetryBackoff:   time.Millisecond,
+		DegradedProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(server.NewHandler(pool))
+
+	plan, err := BuildPlan(Config{Scenario: ScenarioDiskPressure, Seed: 5, Tenants: 2, Batches: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	pc := &PressureController{
+		Pool: pool, FFS: ffs, PathSubstring: walDir,
+		AfterAccepted: 6, Hold: 40 * time.Millisecond,
+	}
+	pcErr := make(chan error, 1)
+	go func() { pcErr <- pc.Run(ctx) }()
+	rep, err := (&Runner{Plan: plan, BaseURL: srv.URL, DrainTimeout: 20 * time.Second}).Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-pcErr; err != nil {
+		t.Fatalf("pressure window never played out: %v", err)
+	}
+	if res := CheckDiskPressureSLO(rep); !res.Pass {
+		t.Fatalf("SLO violations: %v", res.Violations)
+	}
+
+	// Replay must equal exactly the acked prefix: shut the faulted pool
+	// down cleanly, reopen the same WAL with a plain filesystem, and
+	// compare recovered messages to accepted batches.
+	srv.CloseClientConnections()
+	srv.Close()
+	pool.BeginShutdown()
+	if err := pool.Shutdown(ctx); err != nil {
+		t.Fatalf("clean shutdown after recovery: %v", err)
+	}
+	re, err := server.NewPool(server.PoolConfig{Detector: det, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := re.Shutdown(ctx); err != nil {
+			t.Errorf("replay pool shutdown: %v", err)
+		}
+	}()
+	for _, tr := range rep.PerTenant {
+		m, ok := re.MetricsFor(tr.Tenant)
+		if !ok {
+			t.Fatalf("tenant %s did not replay", tr.Tenant)
+		}
+		want := uint64(tr.Accepted) * uint64(plan.Config.BatchSize)
+		if got := m.Tenants[0].Messages; got != want {
+			t.Fatalf("tenant %s replayed %d messages, want %d (acked prefix: %d accepted × %d)",
+				tr.Tenant, got, want, tr.Accepted, plan.Config.BatchSize)
+		}
 	}
 }
 

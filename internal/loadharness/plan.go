@@ -40,11 +40,19 @@ const (
 	// flood: maximal cluster churn per quantum and Bloom-sidecar
 	// inflation in the archive.
 	ScenarioFlashFlood Scenario = "flash-flood"
+	// ScenarioDiskPressure sends benign uniform traffic — the adversity
+	// is not in the plan but under it: the runner injects an ENOSPC
+	// window into the server's storage mid-run (see PressureController).
+	// The graceful-degradation acceptance scenario: writes during the
+	// window shed with 503 + Retry-After (never a bare 5xx), reads keep
+	// serving, and after space frees the tenant recovers in-process with
+	// the replayable WAL equal to exactly the acked batches.
+	ScenarioDiskPressure Scenario = "disk-pressure"
 )
 
 // Scenarios lists every defined scenario in report order.
 func Scenarios() []Scenario {
-	return []Scenario{ScenarioUniform, ScenarioZipfHot, ScenarioFlashFlood}
+	return []Scenario{ScenarioUniform, ScenarioZipfHot, ScenarioFlashFlood, ScenarioDiskPressure}
 }
 
 // Config shapes one harness run.
@@ -133,6 +141,10 @@ func (s Scenario) arrivalKind() (tracegen.ArrivalKind, error) {
 		return tracegen.ArrivalZipf, nil
 	case ScenarioFlashFlood:
 		return tracegen.ArrivalFlash, nil
+	case ScenarioDiskPressure:
+		// Benign arrivals: the pressure comes from the storage fault
+		// window, and skewed traffic would conflate the two.
+		return tracegen.ArrivalUniform, nil
 	}
 	return 0, fmt.Errorf("loadharness: unknown scenario %q", string(s))
 }

@@ -1,0 +1,90 @@
+package loadharness
+
+import (
+	"context"
+	"fmt"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/vfs"
+)
+
+// PressureController runs the storage-fault choreography of the
+// disk-pressure scenario against an in-process pool, concurrently with
+// the Runner driving traffic: wait until the pool has accepted some
+// work, fill the disk (inject ENOSPC on every write under the WAL
+// path), hold it full until the pool reports a degraded tenant plus a
+// dwell of a few probe cycles, then free the space and wait for the
+// in-process recovery. Each stage is observed through the pool's own
+// metrics, not timers, so the choreography cannot miss a fast run.
+type PressureController struct {
+	Pool *server.Pool
+	FFS  *vfs.FaultFS
+	// PathSubstring scopes the injected fault (typically the WAL root);
+	// it must also cover the supervisor's write-probe path or the pool
+	// un-degrades the moment the probe lands on healthy bytes.
+	PathSubstring string
+	// AfterAccepted arms the fault once the pool has accepted this many
+	// batches (0 = after the first). Leaving room before the window
+	// proves healthy ingest, leaving budget after it proves recovery.
+	AfterAccepted uint64
+	// Hold is the dwell with the disk full after degradation is
+	// observed (default 50ms — a few supervisor probe cycles).
+	Hold time.Duration
+	// StageTimeout bounds each observed stage (default 15s); a stage
+	// that never happens is a server bug, not a timing accident.
+	StageTimeout time.Duration
+}
+
+// Run blocks until the full window has played out: accept → full →
+// degraded → dwell → freed → recovered.
+func (pc *PressureController) Run(ctx context.Context) error {
+	hold := pc.Hold
+	if hold <= 0 {
+		hold = 50 * time.Millisecond
+	}
+	stage := pc.StageTimeout
+	if stage <= 0 {
+		stage = 15 * time.Second
+	}
+	accepted := func() uint64 {
+		var n uint64
+		for _, t := range pc.Pool.Metrics().Tenants {
+			n += t.AcceptedBatches
+		}
+		return n
+	}
+	degraded := func() int { return pc.Pool.Metrics().Totals.DegradedTenants }
+
+	if err := pc.waitFor(ctx, stage, func() bool { return accepted() > pc.AfterAccepted },
+		"healthy ingest before the fault window"); err != nil {
+		return err
+	}
+	rule := pc.FFS.Inject(vfs.Rule{Op: vfs.OpWrite, Path: pc.PathSubstring, Err: syscall.ENOSPC})
+	if err := pc.waitFor(ctx, stage, func() bool { return degraded() > 0 },
+		"a degraded tenant after filling the disk"); err != nil {
+		return err
+	}
+	sleepCtx(ctx, hold)
+	pc.FFS.ClearRule(rule)
+	if err := pc.waitFor(ctx, stage, func() bool { return degraded() == 0 },
+		"in-process recovery after freeing space"); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func (pc *PressureController) waitFor(ctx context.Context, timeout time.Duration, cond func() bool, what string) error {
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadharness: disk pressure: timed out waiting for %s", what)
+		}
+		sleepCtx(ctx, 2*time.Millisecond)
+	}
+	return nil
+}

@@ -28,13 +28,16 @@ type TenantReport struct {
 	Tenant  string `json:"tenant"`
 	Planned int    `json:"planned_batches"`
 	// Accepted counts 202s; Shed429 counts admission rejections (the
-	// server's 429s), of which ShedNoRetryAfter arrived without a
-	// Retry-After header — an SLO violation in itself, since clients
-	// can't back off blind. HTTP5xx counts 5xx responses and
-	// OtherErrors everything else (transport failures included).
+	// server's 429s) and Shed503 degraded-mode rejections (storage sick,
+	// writes refused to protect the acked history), of which
+	// ShedNoRetryAfter arrived without a Retry-After header — an SLO
+	// violation in itself, since clients can't back off blind. HTTP5xx
+	// counts remaining 5xx responses and OtherErrors everything else
+	// (transport failures included).
 	Accepted         int `json:"accepted_batches"`
 	Shed429          int `json:"shed_429"`
-	ShedNoRetryAfter int `json:"shed_429_missing_retry_after"`
+	Shed503          int `json:"shed_503"`
+	ShedNoRetryAfter int `json:"shed_missing_retry_after"`
 	HTTP5xx          int `json:"http_5xx"`
 	OtherErrors      int `json:"other_errors"`
 	// SSEReceived counts quantum events observed on the tenant's stream;
@@ -66,7 +69,8 @@ type ReportTotals struct {
 	Planned          int `json:"planned_batches"`
 	Accepted         int `json:"accepted_batches"`
 	Shed429          int `json:"shed_429"`
-	ShedNoRetryAfter int `json:"shed_429_missing_retry_after"`
+	Shed503          int `json:"shed_503"`
+	ShedNoRetryAfter int `json:"shed_missing_retry_after"`
 	HTTP5xx          int `json:"http_5xx"`
 	OtherErrors      int `json:"other_errors"`
 	SSELost          int `json:"sse_lost"`
@@ -93,6 +97,7 @@ func (r *Report) fillTotals() {
 		r.Totals.Planned += t.Planned
 		r.Totals.Accepted += t.Accepted
 		r.Totals.Shed429 += t.Shed429
+		r.Totals.Shed503 += t.Shed503
 		r.Totals.ShedNoRetryAfter += t.ShedNoRetryAfter
 		r.Totals.HTTP5xx += t.HTTP5xx
 		r.Totals.OtherErrors += t.OtherErrors
@@ -158,6 +163,10 @@ func CheckSLO(skewed, uniform *Report, floorMs float64) SLOResult {
 	if skewed.Totals.OtherErrors > 0 {
 		fail("%s: %d unexpected responses/transport errors", skewed.Scenario, skewed.Totals.OtherErrors)
 	}
+	if skewed.Totals.Shed503 > 0 {
+		fail("%s: %d degraded-mode 503 sheds (storage reported sick under pure load skew)",
+			skewed.Scenario, skewed.Totals.Shed503)
+	}
 	if skewed.Totals.ShedNoRetryAfter > 0 {
 		fail("%s: %d sheds missing a Retry-After header", skewed.Scenario, skewed.Totals.ShedNoRetryAfter)
 	}
@@ -181,6 +190,52 @@ func CheckSLO(skewed, uniform *Report, floorMs float64) SLOResult {
 			fail("%s: cold tenant %s ingest-to-SSE p99 %.2fms exceeds 2× uniform p99 %.2fms (floor %.0fms)",
 				skewed.Scenario, t.Tenant, t.IngestP99Ms, base, floorMs)
 		}
+	}
+	return res
+}
+
+// CheckDiskPressureSLO evaluates the graceful-degradation gates over a
+// disk-pressure run (an ENOSPC window injected mid-run):
+//
+//   - zero non-503 5xx: storage failure must degrade, never error out;
+//   - every shed — 429 or 503 — carried a Retry-After header;
+//   - the pressure window actually bit (at least one 503 shed) and the
+//     server kept accepting around it (the fault must not wedge ingest
+//     permanently — that would be the restart this scenario forbids);
+//   - queries kept serving (degraded mode is read-only, not read-broken);
+//   - no accepted batch lost its SSE acknowledgement: everything the
+//     server acked survived the fault window.
+//
+// The replay check — on-disk WAL equals exactly the acked prefix — needs
+// the server's filesystem and lives with the run driver, not the report.
+func CheckDiskPressureSLO(rep *Report) SLOResult {
+	res := SLOResult{Pass: true}
+	fail := func(format string, args ...any) {
+		res.Pass = false
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+	if rep.Totals.HTTP5xx > 0 {
+		fail("%s: %d non-503 HTTP 5xx responses (want 0: storage faults must shed, not fail)",
+			rep.Scenario, rep.Totals.HTTP5xx)
+	}
+	if rep.Totals.OtherErrors > 0 {
+		fail("%s: %d unexpected responses/transport errors", rep.Scenario, rep.Totals.OtherErrors)
+	}
+	if rep.Totals.ShedNoRetryAfter > 0 {
+		fail("%s: %d sheds missing a Retry-After header", rep.Scenario, rep.Totals.ShedNoRetryAfter)
+	}
+	if rep.Totals.Shed503 == 0 {
+		fail("%s: no degraded-mode sheds observed — the pressure window missed the run", rep.Scenario)
+	}
+	if rep.Totals.Accepted == 0 {
+		fail("%s: nothing accepted — the server never served around the fault window", rep.Scenario)
+	}
+	if rep.Totals.QueryErrors > 0 {
+		fail("%s: %d query errors (reads must keep serving through degradation)",
+			rep.Scenario, rep.Totals.QueryErrors)
+	}
+	if rep.Totals.SSELost > 0 {
+		fail("%s: %d accepted batches never acknowledged on SSE", rep.Scenario, rep.Totals.SSELost)
 	}
 	return res
 }

@@ -83,6 +83,13 @@ const (
 	// StageArchiveCompact is one background archive compaction step
 	// (segment merge or v1→v2 rewrite).
 	StageArchiveCompact
+	// StageStorageRetry is one storage-retry turn on the ingest path:
+	// the backoff sleep plus the in-place WAL repair and re-append after
+	// a transient device error.
+	StageStorageRetry
+	// StageWALReopen is one supervised quarantine-and-reopen of a
+	// fail-stopped WAL (truncate to the acked prefix, seal, resume).
+	StageWALReopen
 
 	numStages
 )
@@ -108,6 +115,8 @@ var stageNames = [numStages]string{
 	"query_archive_scan",
 	"archive_block_scan",
 	"archive_compact",
+	"storage_retry",
+	"wal_reopen",
 }
 
 // String returns the stage's exposition label (snake_case).

@@ -23,6 +23,7 @@
 package query
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -153,6 +154,13 @@ type Stats struct {
 	// may exist (follow Cursor), and the counters above describe only
 	// the work done before the scan stopped.
 	Truncated bool `json:"truncated"`
+	// Degraded flags that the scan hit corruption in a sealed archive
+	// segment: the segment was quarantined (SegmentsQuarantined counts
+	// the ones this request set aside) and the results may be missing
+	// its history. Records the scan CRC-verified before the damage are
+	// still served.
+	Degraded            bool `json:"degraded,omitempty"`
+	SegmentsQuarantined int  `json:"segments_quarantined,omitempty"`
 	// EarlyExit names why the scan ended before exhausting the sources:
 	// "limit" (pushdown stop), "empty-range", or "" (ran to the end).
 	EarlyExit string `json:"early_exit,omitempty"`
@@ -418,6 +426,16 @@ func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur ke
 			}
 		}
 		if err != nil {
+			if errors.Is(err, archive.ErrCorrupt) && v.Sealed {
+				// Structural damage in this one segment: set it aside and
+				// keep serving the rest of the archive, flagged degraded.
+				// A concurrent request may have quarantined it first.
+				if v.Quarantine() {
+					st.SegmentsQuarantined++
+				}
+				st.Degraded = true
+				continue
+			}
 			return false, err
 		}
 	}

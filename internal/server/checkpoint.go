@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/detect"
+	"repro/internal/vfs"
 )
 
 // ckptExt is the checkpoint filename extension; one file per tenant.
@@ -18,13 +19,15 @@ const ckptExt = ".ckpt"
 // Tenant names are validated by the pool, so they are safe as filenames.
 type checkpointStore struct {
 	dir string
+	fs  vfs.FS
 }
 
-func newCheckpointStore(dir string) (*checkpointStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func newCheckpointStore(dir string, fsys vfs.FS) (*checkpointStore, error) {
+	fsys = vfs.Default(fsys)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
 	}
-	return &checkpointStore{dir: dir}, nil
+	return &checkpointStore{dir: dir, fs: fsys}, nil
 }
 
 func (s *checkpointStore) path(tenant string) string {
@@ -33,27 +36,31 @@ func (s *checkpointStore) path(tenant string) string {
 
 // Save checkpoints one tenant's detector. The caller must hold the
 // tenant's detector lock (or otherwise guarantee the detector is idle).
+// A failed write (ENOSPC included) leaves the previous checkpoint
+// untouched and no temp debris: the write goes to a temp file that is
+// removed on any failure, and the rename happens only after a clean
+// sync + close.
 func (s *checkpointStore) Save(tenant string, d *detect.Detector) error {
-	tmp, err := os.CreateTemp(s.dir, tenant+".tmp-*")
+	tmp, err := s.fs.CreateTemp(s.dir, tenant+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
-	defer os.Remove(tmp.Name())
+	defer s.fs.Remove(tmp.Name()) //nolint:errcheck // gone already after the rename
 	if err := d.Save(tmp); err != nil {
-		tmp.Close()
+		tmp.Close() //nolint:errcheck // already failing
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
 	// Sync before the rename: without it a power loss after the rename
 	// can leave the new name pointing at unwritten pages — a truncated
 	// checkpoint replacing the previous good one.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		tmp.Close() //nolint:errcheck // already failing
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(tenant)); err != nil {
+	if err := s.fs.Rename(tmp.Name(), s.path(tenant)); err != nil {
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
 	// Persist the rename itself.
@@ -67,7 +74,7 @@ func (s *checkpointStore) Save(tenant string, d *detect.Detector) error {
 // Load restores a tenant's detector from its checkpoint file. Returns
 // (nil, nil) when no checkpoint exists.
 func (s *checkpointStore) Load(tenant string) (*detect.Detector, error) {
-	f, err := os.Open(s.path(tenant))
+	f, err := s.fs.Open(s.path(tenant))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -85,7 +92,7 @@ func (s *checkpointStore) Load(tenant string) (*detect.Detector, error) {
 // List returns the tenant names with a saved checkpoint, sorted by the
 // directory listing order (ReadDir sorts by filename).
 func (s *checkpointStore) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("server: list checkpoints: %w", err)
 	}

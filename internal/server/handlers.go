@@ -35,6 +35,8 @@ const maxBodyBytes = 64 << 20
 //	                             to the archive source (same parameters)
 //	GET  /v1/tenants             tenant names
 //	GET  /healthz                liveness
+//	GET  /readyz                 readiness: 503 with the degraded tenant
+//	                             list while any tenant is storage-degraded
 //	GET  /statsz                 per-tenant throughput, lag, graph size
 //	GET  /metrics                durability + observability counters
 //	                             (?tenant= filter, ?format=prometheus)
@@ -166,6 +168,25 @@ func NewHandler(p *Pool) http.Handler {
 			"tenants": p.TenantCount(),
 		})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness (/healthz) stays 200 through degradation — the process
+		// is healthy and still serves reads. Readiness flips so a load
+		// balancer can stop routing *writes* at a degraded replica while
+		// operators see exactly which tenants are shedding and why.
+		degraded := p.DegradedTenants()
+		if len(degraded) == 0 {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status":  "ready",
+				"tenants": p.TenantCount(),
+			})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":   "degraded",
+			"tenants":  p.TenantCount(),
+			"degraded": degraded,
+		})
+	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"tenants": p.Stats()})
 	})
@@ -253,6 +274,11 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 			}
 			return
 		}
+	} else if derr := t.DegradedCheck(); derr != nil {
+		// Degraded tenants are read-only; shed before the body parse,
+		// same as the admission gate below.
+		retryableError(w, http.StatusServiceUnavailable, derr.RetryAfter, derr.Error())
+		return
 	} else if se := t.ShedCheck(); se != nil {
 		retryableError(w, http.StatusTooManyRequests, se.RetryAfter, se.Error())
 		return
@@ -297,11 +323,16 @@ func handleIngest(w http.ResponseWriter, r *http.Request, p *Pool) {
 	if err := t.Enqueue(msgs); err != nil {
 		p.offerTrace(t, tr, obs.StageHTTPIngest)
 		var shed *ShedError
+		var deg *DegradedError
 		switch {
 		case errors.Is(err, ErrBatchTooLarge):
 			// Retrying the same batch can never succeed; tell the
 			// client to split it instead.
 			httpError(w, http.StatusRequestEntityTooLarge, err.Error())
+		case errors.As(err, &deg):
+			// Storage is sick; ingest is read-only until the supervisor's
+			// probe clears it. Retry-After carries the probe cadence.
+			retryableError(w, http.StatusServiceUnavailable, deg.RetryAfter, err.Error())
 		case errors.As(err, &shed):
 			// Admission control turned the batch away before the WAL or
 			// the queue saw it: 429, with the server's own estimate of

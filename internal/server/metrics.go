@@ -49,6 +49,17 @@ type TenantMetrics struct {
 	ShedRateLimit    uint64 `json:"shed_rate_limit"`
 	ShedQueueDepth   uint64 `json:"shed_queue_depth"`
 	ShedMessages     uint64 `json:"shed_messages"`
+
+	// Storage-degradation surface. Degraded says whether ingest is
+	// currently shed read-only (the reason is on /readyz); WALReopens
+	// and StorageRetries are lifetime recovery counters (supervised
+	// quarantine-and-reopens of a fail-stopped WAL, inline retry turns
+	// after transient device errors); QuarantinedSegments counts archive
+	// segments sidelined for structural corruption.
+	Degraded            bool   `json:"degraded"`
+	WALReopens          uint64 `json:"wal_reopens,omitempty"`
+	StorageRetries      uint64 `json:"storage_retries,omitempty"`
+	QuarantinedSegments uint64 `json:"quarantined_segments,omitempty"`
 }
 
 // MetricsTotals aggregates the per-tenant metrics for dashboards that
@@ -66,6 +77,9 @@ type MetricsTotals struct {
 	ArchiveBytesReclaimed uint64 `json:"archive_bytes_reclaimed"`
 	ShedBatches           uint64 `json:"shed_batches"`
 	ShedMessages          uint64 `json:"shed_messages"`
+	// DegradedTenants counts tenants currently in read-only degraded
+	// mode — the pool-level "is storage sick anywhere" alert line.
+	DegradedTenants int `json:"degraded_tenants"`
 }
 
 // PoolMetrics is the GET /metrics response body.
@@ -82,6 +96,9 @@ func (t *Tenant) Metrics() TenantMetrics {
 	m.ShedRateLimit = t.shedRateLimit.Load()
 	m.ShedQueueDepth = t.shedQueue.Load()
 	m.ShedMessages = t.shedMsgs.Load()
+	m.Degraded, _ = t.Degraded()
+	m.WALReopens = t.health.walReopens.Load()
+	m.StorageRetries = t.health.storageRetries.Load()
 	if wl := t.walLog(); wl != nil {
 		m.WALEnabled = true
 		m.WALSegments = wl.SegmentCount()
@@ -104,6 +121,7 @@ func (t *Tenant) Metrics() TenantMetrics {
 		m.ArchiveGaps = ar.Gaps()
 		m.ArchiveColumnarSegments = ar.ColumnarSegmentCount()
 		m.ArchiveCompactions, m.ArchiveSegmentsCompacted, _, m.ArchiveBytesReclaimed = ar.CompactTotals()
+		m.QuarantinedSegments = ar.QuarantinedSegments()
 	}
 	return m
 }
@@ -136,6 +154,9 @@ func totalsOf(tenants []TenantMetrics) MetricsTotals {
 		tot.ArchiveBytesReclaimed += m.ArchiveBytesReclaimed
 		tot.ShedBatches += m.ShedRateLimit + m.ShedQueueDepth
 		tot.ShedMessages += m.ShedMessages
+		if m.Degraded {
+			tot.DegradedTenants++
+		}
 	}
 	return tot
 }

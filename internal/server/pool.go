@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
@@ -22,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/stream"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -89,6 +89,25 @@ type PoolConfig struct {
 	// SnapshotEvery is the WAL snapshot cadence in quanta (default 256).
 	// Smaller = faster recovery, more snapshot IO.
 	SnapshotEvery int
+
+	// FS is the filesystem every storage layer (WAL, archive,
+	// checkpoints) goes through. Nil selects the real OS filesystem;
+	// tests inject a vfs.FaultFS here to exercise EIO/ENOSPC/torn-write
+	// paths without privileged mounts.
+	FS vfs.FS
+	// StorageRetries bounds the inline retry turns Enqueue spends on a
+	// transient device IO error before degrading the tenant: each turn
+	// backs off, repairs the WAL in place, and re-appends. Zero selects
+	// 3; negative disables inline retries (first error degrades).
+	StorageRetries int
+	// StorageRetryBackoff is the first retry's backoff (doubling each
+	// turn, capped at 32×). Zero selects 5ms.
+	StorageRetryBackoff time.Duration
+	// DegradedProbeInterval is the degradation supervisor's probe
+	// cadence: how often it tries to reopen fail-stopped WALs and write-
+	// probe degraded tenants' devices. It doubles as the Retry-After
+	// hint on degraded-shed responses. Zero selects 1s.
+	DegradedProbeInterval time.Duration
 
 	// ArchiveDir, when non-empty, routes events evicted by the
 	// RetainEvents policy into a per-tenant on-disk archive (time-bucketed
@@ -171,6 +190,19 @@ func (c PoolConfig) withDefaults() PoolConfig {
 	}
 	if c.SnapshotEvery <= 0 {
 		c.SnapshotEvery = 256
+	}
+	c.FS = vfs.Default(c.FS)
+	switch {
+	case c.StorageRetries == 0:
+		c.StorageRetries = 3
+	case c.StorageRetries < 0:
+		c.StorageRetries = 0
+	}
+	if c.StorageRetryBackoff <= 0 {
+		c.StorageRetryBackoff = 5 * time.Millisecond
+	}
+	if c.DegradedProbeInterval <= 0 {
+		c.DegradedProbeInterval = time.Second
 	}
 	return c
 }
@@ -356,14 +388,20 @@ type Tenant struct {
 	// Group commit removes that exception: the append under qmu is a
 	// memory copy, and the durability wait (Log.Commit) happens after
 	// qmu is released.
-	qmu       sync.Mutex
-	pending   []walBatch // FIFO; pendHead is the ring start
-	pendHead  int
-	maxDepth  int  // accepted-but-unapplied batch bound
-	scheduled bool // t is in the scheduler's runnable queue or mid-apply
-	closed    bool
-	drainDone bool
-	drained   chan struct{} // closed when closed and fully drained
+	qmu      sync.Mutex
+	pending  []walBatch // FIFO; pendHead is the ring start
+	pendHead int
+	// inflightSeq is the WAL seq of the batch currently mid-apply (0 =
+	// none); qmu held to read or write. A supervised reopen must not
+	// discard a record whose batch is between pop and Commit — the
+	// Commit has to observe the fail-stop, or a fresh record reusing
+	// the seq could commit it spuriously.
+	inflightSeq uint64
+	maxDepth    int  // accepted-but-unapplied batch bound
+	scheduled   bool // t is in the scheduler's runnable queue or mid-apply
+	closed      bool
+	drainDone   bool
+	drained     chan struct{} // closed when closed and fully drained
 	// runnableAt is when the tenant entered the scheduler's runnable
 	// queue (zero once a worker picked it up, or when telemetry is off);
 	// the delta feeds the sched-wait histogram.
@@ -396,6 +434,17 @@ type Tenant struct {
 	snapEvery       int
 	lastSnapQuantum atomic.Int64
 
+	// Storage-degradation state (see supervisor.go): health carries the
+	// read-only degraded flag plus recovery counters; retryMax and
+	// retryBackoff bound the inline retry loop on transient IO errors;
+	// probeEvery is the supervisor cadence (the Retry-After hint on
+	// degraded sheds); kick nudges the pool supervisor to probe now.
+	health       tenantHealth
+	retryMax     int
+	retryBackoff time.Duration
+	probeEvery   time.Duration
+	kick         func()
+
 	// Wait-free read state. snap is the latest epoch snapshot; lastEvent
 	// the newest SSE payload (for catch-up); msgs mirrors det.Processed()
 	// per applied message; elapsed/since feed the throughput stats.
@@ -409,7 +458,7 @@ type Tenant struct {
 	det *detect.Detector
 }
 
-func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage, sched *scheduler, tob *obs.TenantObs) *Tenant {
+func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStorage, sched *scheduler, tob *obs.TenantObs, kick func()) *Tenant {
 	t := &Tenant{
 		name:          name,
 		broker:        newBroker(),
@@ -423,6 +472,10 @@ func newTenant(name string, det *detect.Detector, cfg PoolConfig, st *tenantStor
 		snapEvery:     cfg.SnapshotEvery,
 		admit:         newAdmission(cfg, nil),
 		obs:           tob,
+		retryMax:      cfg.StorageRetries,
+		retryBackoff:  cfg.StorageRetryBackoff,
+		probeEvery:    cfg.DegradedProbeInterval,
+		kick:          kick,
 	}
 	st.attachEvict(det)
 	det.SetSnapshotRankHistory(cfg.SnapshotRankHistory)
@@ -551,11 +604,13 @@ func (t *Tenant) runOne() {
 		return
 	}
 	batch := t.popLocked()
+	t.inflightSeq = batch.seq
 	t.qmu.Unlock()
 
 	t.apply(batch)
 
 	t.qmu.Lock()
+	t.inflightSeq = 0
 	if t.queueLenLocked() > 0 {
 		if t.obs != nil {
 			t.runnableAt = time.Now()
@@ -660,6 +715,17 @@ func (t *Tenant) maybeSnapshot() {
 		if t.storage.walErrs != nil {
 			t.storage.walErrs.Add(1)
 		}
+		// A failed snapshot is not fatal — the WAL still holds the full
+		// history — but ENOSPC means the device is out of space and the
+		// next append will fail too. Degrade proactively so ingest sheds
+		// instead of burning retry budgets, and let the supervisor's
+		// write probe decide when space is back.
+		if vfs.Classify(err) == vfs.ClassNoSpace {
+			t.enterDegraded(degradedNoSpace)
+			if t.kick != nil {
+				t.kick()
+			}
+		}
 		return
 	}
 	if q > int(t.lastSnapQuantum.Load()) {
@@ -694,6 +760,13 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if t.closed {
 		t.qmu.Unlock()
 		return ErrClosed
+	}
+	// Degraded tenants are read-only: shed before the admission gates so
+	// a sick device never sees another write and the client gets the
+	// supervisor's probe cadence as its Retry-After.
+	if derr := t.DegradedCheck(); derr != nil {
+		t.qmu.Unlock()
+		return derr
 	}
 	if int64(len(msgs)) > t.maxQueuedMsgs {
 		t.qmu.Unlock()
@@ -742,8 +815,11 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	if wl != nil {
 		var err error
 		if seq, err = wl.Append(msgs); err != nil {
+			seq, err = t.retryAppend(wl, msgs, err)
+		}
+		if err != nil {
 			t.qmu.Unlock()
-			return fmt.Errorf("server: tenant %s: %w", t.name, err)
+			return t.failStorage(err)
 		}
 		if o != nil {
 			now := time.Now()
@@ -760,13 +836,67 @@ func (t *Tenant) Enqueue(msgs []stream.Message) error {
 	// the whole point is that many Enqueues wait on one fsync together.
 	if wl != nil {
 		if err := wl.Commit(seq); err != nil {
-			return fmt.Errorf("server: tenant %s: %w", t.name, err)
+			// A commit failure fail-stopped the log; the batch was never
+			// acked and will be dropped unapplied. The supervisor owns the
+			// reopen — degrade now so the client's retry sheds cheaply
+			// instead of fail-stopping again.
+			return t.failStorage(err)
 		}
 		if o != nil {
 			o.Observe(obs.StageWALCommit, time.Since(t1))
 		}
 	}
 	return nil
+}
+
+// retryAppend is the inline storage-retry loop for transient device IO
+// errors on the WAL append path: back off (capped exponential), repair
+// the log in place (Reopen is a no-op when the failed append already
+// rolled back cleanly), and re-append. A controller hiccup or a
+// transient path error thus recovers without shedding a single request.
+// Runs under qmu — the sleeps briefly hold up this tenant's producers,
+// never another tenant's; with the default budget (3 turns from 5ms)
+// the worst case is ~35ms. Only ClassIO errors are retried: ENOSPC
+// cannot succeed until space frees, and logic errors never will.
+func (t *Tenant) retryAppend(wl *wal.Log, msgs []stream.Message, err error) (uint64, error) {
+	backoff := t.retryBackoff
+	maxBackoff := 32 * t.retryBackoff
+	for turn := 0; turn < t.retryMax; turn++ {
+		if vfs.Classify(err) != vfs.ClassIO {
+			return 0, err
+		}
+		t0 := time.Now()
+		t.health.storageRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		var seq uint64
+		if rerr := t.reopenWALLocked(wl); rerr != nil {
+			err = rerr
+		} else {
+			seq, err = wl.Append(msgs)
+		}
+		t.obs.Observe(obs.StageStorageRetry, time.Since(t0))
+		if err == nil {
+			return seq, nil
+		}
+	}
+	return 0, err
+}
+
+// failStorage is the terminal storage-error path for an ingest request:
+// device conditions flip the tenant into read-only degraded mode (the
+// supervisor is kicked to begin probing for recovery) and the request is
+// shed with the DegradedError; anything else surfaces as a plain error.
+func (t *Tenant) failStorage(err error) error {
+	if derr := t.storageFailed(err); derr != err {
+		if t.kick != nil {
+			t.kick()
+		}
+		return derr
+	}
+	return fmt.Errorf("server: tenant %s: %w", t.name, err)
 }
 
 // drainEstimate estimates how long the tenant's current backlog takes
@@ -862,6 +992,10 @@ func (t *Tenant) Flush(ctx context.Context) error {
 			t.qmu.Unlock()
 			return ErrClosed
 		}
+		if derr := t.DegradedCheck(); derr != nil {
+			t.qmu.Unlock()
+			return derr
+		}
 		if t.queueLenLocked() < t.maxDepth {
 			var seq uint64
 			wl := t.walLog()
@@ -869,7 +1003,7 @@ func (t *Tenant) Flush(ctx context.Context) error {
 				s, err := wl.AppendFlush()
 				if err != nil {
 					t.qmu.Unlock()
-					return fmt.Errorf("server: tenant %s: %w", t.name, err)
+					return t.failStorage(err)
 				}
 				seq = s
 			}
@@ -880,7 +1014,7 @@ func (t *Tenant) Flush(ctx context.Context) error {
 			if wl != nil {
 				// Same durability contract as Enqueue under group commit.
 				if err := wl.Commit(seq); err != nil {
-					return fmt.Errorf("server: tenant %s: %w", t.name, err)
+					return t.failStorage(err)
 				}
 			}
 			break
@@ -991,6 +1125,7 @@ type Pool struct {
 	sched *scheduler          // shared worker pool applying every tenant's batches
 	gc    *wal.GroupCommitter // nil unless WALGroupCommitInterval is set
 	tel   *obs.Telemetry      // nil when ObsDisabled
+	fs    vfs.FS              // the storage layers' filesystem (never nil)
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -1012,6 +1147,14 @@ type Pool struct {
 	compactStop chan struct{}
 	compactDone chan struct{}
 	compactOff  sync.Once
+
+	// Degradation supervisor lifecycle (see supervisor.go): nil channels
+	// when the supervisor never started (no WAL); superviseKick nudges it
+	// to probe now; superviseOff makes stopSupervisor idempotent.
+	superviseStop chan struct{}
+	superviseKick chan struct{}
+	superviseDone chan struct{}
+	superviseOff  sync.Once
 }
 
 // NewPool builds a pool and restores tenants from disk: first by WAL
@@ -1025,6 +1168,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		tenants:      make(map[string]*Tenant),
 		creating:     make(map[string]chan struct{}),
 		shutdownDone: make(chan struct{}),
+		fs:           cfg.FS,
 	}
 	if !cfg.ObsDisabled {
 		p.tel = obs.New(obs.Config{
@@ -1037,8 +1181,10 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	}
 	abandon := func() {
 		// Don't leak scheduler workers, the group committer, or tenants
-		// already restored. (The compactor starts only after restore
-		// succeeds, so stopCompactor here is a no-op safety net.)
+		// already restored. (The compactor and supervisor start only
+		// after restore succeeds, so stopping them here is a no-op
+		// safety net.)
+		p.stopSupervisor()
 		p.stopCompactor()
 		for _, t := range p.tenants {
 			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
@@ -1047,17 +1193,17 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		p.gc.Stop()
 	}
 	if cfg.CheckpointDir != "" {
-		store, err := newCheckpointStore(cfg.CheckpointDir)
+		store, err := newCheckpointStore(cfg.CheckpointDir, cfg.FS)
 		if err != nil {
 			return nil, err
 		}
 		p.ckpt = store
 	}
 	if cfg.WALDir != "" {
-		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+		if err := p.fs.MkdirAll(cfg.WALDir, 0o755); err != nil {
 			return nil, fmt.Errorf("server: wal dir: %w", err)
 		}
-		entries, err := os.ReadDir(cfg.WALDir)
+		entries, err := p.fs.ReadDir(cfg.WALDir)
 		if err != nil {
 			return nil, fmt.Errorf("server: list wal dir: %w", err)
 		}
@@ -1115,7 +1261,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 						return nil, err
 					}
 				}
-				t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name))
+				t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name), p.kickSupervisor)
 				if st.wal != nil {
 					t.lastApplied.Store(st.wal.LastSeq())
 				}
@@ -1148,7 +1294,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 					return nil, err
 				}
 			}
-			t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name))
+			t := newTenant(name, det, cfg, st, p.sched, p.tenantObs(name), p.kickSupervisor)
 			t.lastApplied.Store(0)
 			t.lastSnapQuantum.Store(int64(det.AKG().Quantum()))
 			p.tenants[name] = t
@@ -1158,6 +1304,15 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		p.compactStop = make(chan struct{})
 		p.compactDone = make(chan struct{})
 		go p.compactLoop()
+	}
+	if cfg.WALDir != "" {
+		// The degradation supervisor only has work when a WAL exists to
+		// reopen and a device to probe; without one, storage errors are
+		// limited to checkpoints/archives and stay on their error paths.
+		p.superviseStop = make(chan struct{})
+		p.superviseKick = make(chan struct{}, 1)
+		p.superviseDone = make(chan struct{})
+		go p.superviseLoop()
 	}
 	return p, nil
 }
@@ -1234,6 +1389,7 @@ func (p *Pool) openStorage(name string) (*tenantStorage, error) {
 			SyncEvery:    p.cfg.WALSyncEvery,
 			GroupCommit:  p.gc,
 			OnFlush:      onFlush,
+			FS:           p.fs,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: tenant %s: %w", name, err)
@@ -1246,6 +1402,7 @@ func (p *Pool) openStorage(name string) (*tenantStorage, error) {
 			BucketQuanta:    p.cfg.ArchiveBucketQuanta,
 			BlockEvents:     p.cfg.ArchiveBlockEvents,
 			BloomBitsPerKey: p.cfg.ArchiveBloomBitsPerKey,
+			FS:              p.fs,
 		})
 		if err != nil {
 			if st.wal != nil {
@@ -1317,7 +1474,7 @@ func (p *Pool) recoverTenant(name string) (*Tenant, error) {
 	}); err != nil {
 		return fail(err)
 	}
-	t := newTenant(name, det, p.cfg, st, p.sched, p.tenantObs(name))
+	t := newTenant(name, det, p.cfg, st, p.sched, p.tenantObs(name), p.kickSupervisor)
 	t.lastApplied.Store(st.wal.LastSeq())
 	t.lastSnapQuantum.Store(int64(baseQuantum))
 	// If the tail replay crossed a snapshot cadence, snapshot now so a
@@ -1436,7 +1593,7 @@ func (p *Pool) buildTenant(name string) (*Tenant, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st, p.sched, p.tenantObs(name)), nil
+	return newTenant(name, detect.New(p.cfg.Detector), p.cfg, st, p.sched, p.tenantObs(name), p.kickSupervisor), nil
 }
 
 // Names returns the tenant names, sorted.
@@ -1503,9 +1660,12 @@ func (p *Pool) BeginShutdown() []*Tenant {
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.shutdownOnce.Do(func() {
 		defer close(p.shutdownDone)
-		// Stop the background compactor before any archive closes: a
+		// Stop the supervisor before anything closes: a probe's Reopen
+		// racing a WAL Close would resurrect file handles Shutdown just
+		// released. Then the compactor, before any archive closes: a
 		// compaction step racing ar.Close would splice segments into a
 		// log whose files are gone.
+		p.stopSupervisor()
 		p.stopCompactor()
 		tenants := p.BeginShutdown()
 		var first error

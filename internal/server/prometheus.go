@@ -98,6 +98,14 @@ var promTenantMetrics = []promMetric{
 		func(m *TenantMetrics) float64 { return float64(m.ShedQueueDepth) }},
 	{"eventdetect_shed_messages_total", "counter", "Messages across all shed batches.",
 		func(m *TenantMetrics) float64 { return float64(m.ShedMessages) }},
+	{"eventdetect_degraded", "gauge", "1 while the tenant is in read-only storage-degraded mode.",
+		func(m *TenantMetrics) float64 { return b2f(m.Degraded) }},
+	{"eventdetect_wal_reopens_total", "counter", "Supervised quarantine-and-reopen recoveries of a fail-stopped WAL.",
+		func(m *TenantMetrics) float64 { return float64(m.WALReopens) }},
+	{"eventdetect_storage_retries_total", "counter", "Inline retry turns after transient storage device errors.",
+		func(m *TenantMetrics) float64 { return float64(m.StorageRetries) }},
+	{"eventdetect_quarantined_segments", "gauge", "Archive segments quarantined for structural corruption.",
+		func(m *TenantMetrics) float64 { return float64(m.QuarantinedSegments) }},
 }
 
 // promPoolMetrics is the pool-totals series table.
@@ -127,6 +135,8 @@ var promPoolMetrics = []struct {
 		func(t *MetricsTotals) float64 { return float64(t.ShedBatches) }},
 	{"eventdetect_pool_shed_messages_total", "counter", "Messages shed across all tenants.",
 		func(t *MetricsTotals) float64 { return float64(t.ShedMessages) }},
+	{"eventdetect_pool_degraded_tenants", "gauge", "Tenants currently in read-only storage-degraded mode.",
+		func(t *MetricsTotals) float64 { return float64(t.DegradedTenants) }},
 }
 
 // promEscape escapes a label value per the exposition format.

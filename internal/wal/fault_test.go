@@ -1,0 +1,343 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/vfs"
+)
+
+// TestReopenAfterTornWrite: a torn synchronous append fail-stops the
+// log; Reopen truncates back to the acked prefix and appends resume.
+// Replay after a real close/reopen must equal exactly the acked
+// records — the torn bytes and the failed record must be gone.
+func TestReopenAfterTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{SyncEvery: 1, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]stream.Message{}
+	for i := 1; i <= 3; i++ {
+		seq, err := l.Append(batch(i, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seq] = batch(i, 2)
+	}
+
+	// Tear the next write 5 bytes in, then break the rollback truncate
+	// too so the log actually fail-stops (a successful rollback keeps a
+	// synchronous log healthy).
+	wr := ff.Inject(vfs.Rule{Op: vfs.OpWrite, Path: ".wal", TornBytes: 5, Count: 1})
+	tr := ff.Inject(vfs.Rule{Op: vfs.OpTruncate, Path: ".wal", Count: 1})
+	if _, err := l.Append(batch(4, 2)); err == nil {
+		t.Fatal("append through torn write should fail")
+	}
+	ff.ClearRule(wr)
+	ff.ClearRule(tr)
+	if l.Failed() == nil {
+		t.Fatal("log should be fail-stopped after torn write + failed rollback")
+	}
+	if _, err := l.Append(batch(5, 2)); err == nil {
+		t.Fatal("fail-stopped log must refuse appends")
+	}
+
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l.Failed() != nil {
+		t.Fatalf("Failed after reopen = %v", l.Failed())
+	}
+	if got := l.CommittedSeq(); got != 3 {
+		t.Fatalf("CommittedSeq after reopen = %d, want 3", got)
+	}
+	for i := 4; i <= 6; i++ {
+		seq, err := l.Append(batch(i, 2))
+		if err != nil {
+			t.Fatalf("append %d after reopen: %v", i, err)
+		}
+		want[seq] = batch(i, 2)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after recovery: %v", err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestReopenAfterGroupFsyncFailure: a failed group-commit fsync
+// fail-stops the log and fails every Commit waiter; Reopen recovers
+// in-process and the re-submitted batch is not duplicated.
+func TestReopenAfterGroupFsyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	ff := vfs.NewFaultFS(nil)
+	gc := NewGroupCommitter(200 * time.Microsecond)
+	defer gc.Stop()
+	l, err := Open(dir, Options{GroupCommit: gc, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]stream.Message{}
+	for i := 1; i <= 2; i++ {
+		seq, err := l.Append(batch(i, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(seq); err != nil {
+			t.Fatal(err)
+		}
+		want[seq] = batch(i, 2)
+	}
+
+	rule := ff.Inject(vfs.Rule{Op: vfs.OpSync, Path: ".wal"})
+	seq, err := l.Append(batch(3, 2))
+	if err != nil {
+		t.Fatalf("group append buffers in memory, got %v", err)
+	}
+	if err := l.Commit(seq); err == nil {
+		t.Fatal("commit through failed fsync should fail")
+	}
+	ff.ClearRule(rule)
+	if l.Failed() == nil {
+		t.Fatal("log should be fail-stopped after group fsync failure")
+	}
+
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	// The client retries the failed batch; it must appear exactly once.
+	seq, err = l.Append(batch(3, 2))
+	if err != nil {
+		t.Fatalf("retry after reopen: %v", err)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatalf("commit retry: %v", err)
+	}
+	if seq != 3 {
+		t.Fatalf("retried batch landed at seq %d, want 3 (no duplicate)", seq)
+	}
+	want[seq] = batch(3, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestReopenENOSPCFirstWrite: the very first write of a fresh segment
+// hits ENOSPC (plus a failed rollback). Reopen must recover even though
+// the poisoned segment holds no acked record at all.
+func TestReopenENOSPCFirstWrite(t *testing.T) {
+	dir := t.TempDir()
+	ff := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{SyncEvery: 1, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := ff.Inject(vfs.Rule{Op: vfs.OpWrite, Path: ".wal", Err: syscall.ENOSPC, Count: 1})
+	tr := ff.Inject(vfs.Rule{Op: vfs.OpTruncate, Path: ".wal", Err: syscall.ENOSPC, Count: 1})
+	if _, err := l.Append(batch(1, 2)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append = %v, want ENOSPC", err)
+	}
+	ff.ClearRule(wr)
+	ff.ClearRule(tr)
+	if l.Failed() == nil {
+		t.Fatal("log should be fail-stopped")
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	seq, err := l.Append(batch(1, 2))
+	if err != nil || seq != 1 {
+		t.Fatalf("append after reopen = (%d, %v), want (1, nil)", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 0)
+	if len(got) != 1 || !reflect.DeepEqual(got[1], batch(1, 2)) {
+		t.Fatalf("replay = %v, want just batch 1", got)
+	}
+}
+
+// TestReopenStaysFailedWhileDiskSick: Reopen on a still-broken disk
+// returns an error and leaves the log fail-stopped; a later Reopen
+// after the fault clears succeeds — the probe loop's contract.
+func TestReopenStaysFailedWhileDiskSick(t *testing.T) {
+	dir := t.TempDir()
+	ff := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{SyncEvery: 1, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(batch(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Persistent EIO on every wal write and truncate: the append fails,
+	// the rollback fails (fail-stop), and Reopen's own truncate fails.
+	rule := ff.Inject(vfs.Rule{Op: vfs.OpTruncate, Path: ".wal"})
+	wr := ff.Inject(vfs.Rule{Op: vfs.OpWrite, Path: ".wal", Count: 1})
+	if _, err := l.Append(batch(2, 2)); err == nil {
+		t.Fatal("append should fail")
+	}
+	ff.ClearRule(wr)
+	if l.Failed() == nil {
+		t.Fatal("log should be fail-stopped")
+	}
+	if err := l.Reopen(); err == nil {
+		t.Fatal("reopen with sick disk should fail")
+	}
+	if l.Failed() == nil {
+		t.Fatal("failed reopen must leave the log fail-stopped")
+	}
+	ff.ClearRule(rule)
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("reopen after disk heals: %v", err)
+	}
+	seq, err := l.Append(batch(2, 2))
+	if err != nil || seq != 2 {
+		t.Fatalf("append after recovery = (%d, %v), want (2, nil)", seq, err)
+	}
+	l.Close()
+}
+
+// TestSnapshotENOSPCLeavesPreviousIntact: a snapshot write that runs
+// out of space must leave the previous snapshot byte-identical, leave
+// no temp-file debris, keep the log healthy, and keep recovery (replay
+// from the old snapshot) exact.
+func TestSnapshotENOSPCLeavesPreviousIntact(t *testing.T) {
+	dir := t.TempDir()
+	ff := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{SyncEvery: 1, FS: ff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]stream.Message{}
+	for i := 1; i <= 3; i++ {
+		seq, _ := l.Append(batch(i, 2))
+		want[seq] = batch(i, 2)
+	}
+	state := []byte("detector state after seq 3")
+	if err := l.Snapshot(3, func(w io.Writer) error {
+		_, err := w.Write(state)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(filepath.Join(dir, "snap-00000000000000000003.snap"))
+	if err != nil || string(prev) != string(state) {
+		t.Fatalf("baseline snapshot = %q, %v", prev, err)
+	}
+
+	for i := 4; i <= 5; i++ {
+		seq, _ := l.Append(batch(i, 2))
+		want[seq] = batch(i, 2)
+	}
+	rule := ff.Inject(vfs.Rule{Op: vfs.OpWrite, Path: "snap-tmp", Err: syscall.ENOSPC})
+	err = l.Snapshot(5, func(w io.Writer) error {
+		_, werr := w.Write([]byte("state after seq 5 — must not survive"))
+		return werr
+	})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("snapshot = %v, want ENOSPC", err)
+	}
+	ff.ClearRule(rule)
+
+	// No temp debris, previous snapshot byte-identical.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-tmp-") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "snap-00000000000000000003.snap"))
+	if err != nil || string(after) != string(state) {
+		t.Fatalf("previous snapshot corrupted: %q, %v", after, err)
+	}
+
+	// The log is still healthy — a failed snapshot is not a WAL fault.
+	if l.Failed() != nil {
+		t.Fatalf("log failed after snapshot ENOSPC: %v", l.Failed())
+	}
+	seq, err := l.Append(batch(6, 2))
+	if err != nil || seq != 6 {
+		t.Fatalf("append after failed snapshot = (%d, %v)", seq, err)
+	}
+	want[seq] = batch(6, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: latest snapshot is still seq 3, and replaying the tail
+	// reproduces every acked batch exactly.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rc, snapSeq, err := l2.LatestSnapshot()
+	if err != nil || snapSeq != 3 {
+		t.Fatalf("LatestSnapshot = seq %d, %v; want 3", snapSeq, err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(data) != string(state) {
+		t.Fatalf("recovered snapshot = %q, want %q", data, state)
+	}
+	got := collect(t, l2, snapSeq)
+	wantTail := map[uint64][]stream.Message{4: want[4], 5: want[5], 6: want[6]}
+	if !reflect.DeepEqual(got, wantTail) {
+		t.Fatalf("tail replay mismatch:\ngot  %v\nwant %v", got, wantTail)
+	}
+}
+
+// TestReopenHealthyNoOp: Reopen on a healthy log does nothing.
+func TestReopenHealthyNoOp(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(batch(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reopen(); err != nil {
+		t.Fatalf("healthy reopen: %v", err)
+	}
+	if seq, err := l.Append(batch(2, 1)); err != nil || seq != 2 {
+		t.Fatalf("append after no-op reopen = (%d, %v)", seq, err)
+	}
+}

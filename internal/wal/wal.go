@@ -26,6 +26,7 @@ package wal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/stream"
+	"repro/internal/vfs"
 )
 
 const (
@@ -81,12 +83,16 @@ type Options struct {
 	// must not call back into the log. Serving layers hook it to feed
 	// fsync-latency histograms.
 	OnFlush func(time.Duration)
+	// FS overrides the filesystem behind every file operation — the
+	// fault-injection seam for tests. Nil selects the real one.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 4 << 20
 	}
+	o.FS = vfs.Default(o.FS)
 	return o
 }
 
@@ -96,10 +102,11 @@ func (o Options) withDefaults() Options {
 type Log struct {
 	dir string
 	opt Options
+	fs  vfs.FS
 	gc  *GroupCommitter // nil = synchronous appends
 
 	mu       sync.Mutex
-	f        *os.File // active segment
+	f        vfs.File // active segment
 	segStart uint64   // first record seq of the active segment
 	size     int64    // bytes written to the active segment
 	seq      uint64   // last appended record seq (0 = empty log)
@@ -120,6 +127,12 @@ type Log struct {
 	pend      []byte
 	committed uint64
 	commitCh  chan struct{}
+	// waiters counts goroutines blocked in Commit. Reopen refuses to
+	// run until they drain: a waiter woken by fail-stop must observe
+	// l.failed before the reopen clears it, or a fresh record reusing
+	// its seq could release it spuriously — acking a batch whose log
+	// record now holds different data.
+	waiters int
 
 	// Replay scratch (guarded by mu like everything else): the frame
 	// payload buffer and decoded batch slice are reused across records,
@@ -133,15 +146,15 @@ type Log struct {
 // record.
 func Open(dir string, opt Options) (*Log, error) {
 	opt = opt.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt, gc: opt.GroupCommit}
+	l := &Log{dir: dir, opt: opt, fs: opt.FS, gc: opt.GroupCommit}
 	// Sweep temp files a crash mid-snapshot left behind — the defer that
 	// would have removed them never ran, and nothing else ever would.
-	if orphans, err := filepath.Glob(filepath.Join(dir, "snap-tmp-*")); err == nil {
+	if orphans, err := l.fs.Glob(filepath.Join(dir, "snap-tmp-*")); err == nil {
 		for _, o := range orphans {
-			os.Remove(o) //nolint:errcheck // best effort
+			l.fs.Remove(o) //nolint:errcheck // best effort
 		}
 	}
 	segs, snaps, err := l.scanDir()
@@ -162,7 +175,7 @@ func Open(dir string, opt Options) (*Log, error) {
 				if i != len(segs)-1 {
 					return nil, fmt.Errorf("wal: segment %s: %w", l.segPath(start), err)
 				}
-				if terr := os.Truncate(l.segPath(start), validBytes); terr != nil {
+				if terr := l.fs.Truncate(l.segPath(start), validBytes); terr != nil {
 					return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", l.segPath(start), terr)
 				}
 				last = start - 1
@@ -178,7 +191,7 @@ func Open(dir string, opt Options) (*Log, error) {
 			}
 		}
 		active := segs[len(segs)-1]
-		f, err := os.OpenFile(l.segPath(active), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := l.fs.OpenFile(l.segPath(active), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: open active segment: %w", err)
 		}
@@ -291,18 +304,29 @@ func (l *Log) Commit(seq uint64) error {
 		return nil
 	}
 	l.mu.Lock()
-	for l.committed < seq && l.failed == nil {
+	// seq > l.seq means a supervised Reopen discarded the record after
+	// its append (it was pending when the log fail-stopped): it will
+	// never become durable, and waiting would deadlock — or worse,
+	// release spuriously once a fresh record reuses the seq, acking a
+	// batch whose log record holds different data.
+	for l.committed < seq && l.failed == nil && seq <= l.seq {
 		if l.commitCh == nil {
 			l.commitCh = make(chan struct{})
 		}
 		ch := l.commitCh
+		l.waiters++
 		l.mu.Unlock()
 		<-ch
 		l.mu.Lock()
+		l.waiters--
 	}
 	var err error
 	if l.committed < seq {
-		err = fmt.Errorf("wal: commit: %w", l.failed)
+		if l.failed != nil {
+			err = fmt.Errorf("wal: commit: %w", l.failed)
+		} else {
+			err = fmt.Errorf("wal: commit: record %d discarded by reopen", seq)
+		}
 	}
 	l.mu.Unlock()
 	return err
@@ -414,7 +438,7 @@ func (l *Log) rotate(firstSeq uint64) error {
 	// failed write, and only append-mode writes land at the new EOF
 	// rather than at the stale positional offset (which would leave a
 	// zero-filled hole that parses as a phantom record).
-	f, err := os.OpenFile(l.segPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(l.segPath(firstSeq), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: new segment: %w", err)
 	}
@@ -446,11 +470,11 @@ func (l *Log) Snapshot(seq uint64, write func(io.Writer) error) error {
 		return err
 	}
 	l.mu.Unlock()
-	tmp, err := os.CreateTemp(l.dir, "snap-tmp-*")
+	tmp, err := l.fs.CreateTemp(l.dir, "snap-tmp-*")
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer l.fs.Remove(tmp.Name())
 	if err := write(tmp); err != nil {
 		tmp.Close()
 		return fmt.Errorf("wal: snapshot: %w", err)
@@ -467,14 +491,14 @@ func (l *Log) Snapshot(seq uint64, write func(io.Writer) error) error {
 	if l.hasSnap && seq < l.snapSeq {
 		return fmt.Errorf("wal: snapshot seq %d behind existing snapshot %d", seq, l.snapSeq)
 	}
-	if err := os.Rename(tmp.Name(), l.snapPath(seq)); err != nil {
+	if err := l.fs.Rename(tmp.Name(), l.snapPath(seq)); err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	l.syncDir()
 	prev, hadPrev := l.snapSeq, l.hasSnap
 	l.snapSeq, l.hasSnap = seq, true
 	if hadPrev && prev != seq {
-		os.Remove(l.snapPath(prev)) //nolint:errcheck // superseded; best effort
+		l.fs.Remove(l.snapPath(prev)) //nolint:errcheck // superseded; best effort
 	}
 	return l.compact()
 }
@@ -496,7 +520,7 @@ func (l *Log) compact() error {
 			last = segs[i+1] - 1
 		}
 		if last <= l.snapSeq {
-			if err := os.Remove(l.segPath(start)); err != nil {
+			if err := l.fs.Remove(l.segPath(start)); err != nil {
 				return fmt.Errorf("wal: compact: %w", err)
 			}
 			l.segCount--
@@ -516,7 +540,7 @@ func (l *Log) LatestSnapshot() (io.ReadCloser, uint64, error) {
 	if !l.hasSnap {
 		return nil, 0, nil
 	}
-	f, err := os.Open(l.snapPath(l.snapSeq))
+	f, err := l.fs.Open(l.snapPath(l.snapSeq))
 	if err != nil {
 		return nil, 0, fmt.Errorf("wal: open snapshot: %w", err)
 	}
@@ -583,6 +607,130 @@ func (l *Log) LastSeq() uint64 {
 	return l.seq
 }
 
+// CommittedSeq returns the sequence number of the newest durably
+// committed record — the acked prefix Reopen recovers to.
+func (l *Log) CommittedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.committed
+}
+
+// Failed returns the fail-stop error, or nil while the log is healthy.
+// A failed log refuses appends until Reopen succeeds.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// Reopen recovers a fail-stopped log in process, without losing any
+// acknowledged record: the poisoned active segment — which may hold
+// torn bytes or frames whose fsync never completed — is truncated back
+// to the acked prefix (records ≤ committed; everything past it was
+// reported failed to its callers, so a client retry must not find it on
+// disk), sealed, and appends resume in a fresh segment. Pending
+// group-commit buffers are discarded for the same reason: their Commit
+// waiters already saw the failure. On success the log accepts appends
+// again; on error it stays fail-stopped and Reopen can be retried —
+// exactly what the serving layer's degradation supervisor does on a
+// probe cadence. A healthy log is a no-op.
+func (l *Log) Reopen() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed == nil {
+		return nil
+	}
+	if l.waiters > 0 {
+		// Commit waiters woken by the fail-stop have not re-acquired the
+		// mutex yet. They must observe l.failed — clearing it now could
+		// let a later append reuse their seq and release them spuriously.
+		// They drain in microseconds; the supervisor retries next probe.
+		return fmt.Errorf("wal: reopen: %d commit waiters still draining", l.waiters)
+	}
+	l.pend = l.pend[:0]
+	if l.f != nil {
+		l.f.Close() //nolint:errcheck // handle may already be poisoned
+		l.f = nil
+	}
+	segs, _, err := l.scanDir()
+	if err != nil {
+		return err
+	}
+	l.seq = l.committed
+	if len(segs) == 0 || segs[len(segs)-1] > l.committed+1 {
+		// No segment on disk, or the newest segment holds no acked
+		// record at all (the failure was its very first write): nothing
+		// to truncate that an O_EXCL re-create won't replace. Drop a
+		// fully-unacked newest segment so the name is free again.
+		if len(segs) > 0 && segs[len(segs)-1] > l.committed+1 {
+			if err := l.fs.Remove(l.segPath(segs[len(segs)-1])); err != nil {
+				return fmt.Errorf("wal: reopen: drop unacked segment: %w", err)
+			}
+			l.segCount--
+		}
+		l.failed = nil
+		l.f, l.segStart, l.size, l.unsynced = nil, 0, 0, 0
+		return nil
+	}
+	start := segs[len(segs)-1]
+	// Find the byte offset of the acked prefix: intact frames with
+	// seq ≤ committed. A torn tail stops the scan, which is fine — the
+	// torn bytes are past the prefix by construction (committed frames
+	// were written and fsynced whole).
+	var keep int64
+	if _, _, err := l.scanSegment(start, func(seq uint64, payload []byte) error {
+		if seq <= l.committed {
+			keep += frameHdr + int64(len(payload))
+		}
+		return nil
+	}); err != nil {
+		// A torn tail (or trailing garbage) is exactly the damage being
+		// repaired: the truncate below cuts it away. Only a segment that
+		// cannot be opened at all aborts — scanSegment surfaces that as
+		// an open error with keep still 0, and truncating an unreadable
+		// file would guess.
+		if keep == 0 && errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: reopen: %w", err)
+		}
+	}
+	if err := l.fs.Truncate(l.segPath(start), keep); err != nil {
+		return fmt.Errorf("wal: reopen: truncate to acked prefix: %w", err)
+	}
+	if start == l.committed+1 && keep == 0 {
+		// The poisoned segment held no acked records; it is now empty and
+		// already named for the next record — resume appending into it.
+		f, err := l.fs.OpenFile(l.segPath(start), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: reopen: %w", err)
+		}
+		l.f, l.segStart, l.size, l.unsynced = f, start, 0, 0
+		l.failed = nil
+		return nil
+	}
+	// Seal the truncated segment — it is complete through committed and
+	// must be fsynced before new appends land elsewhere — then start a
+	// fresh segment for the next record.
+	f, err := l.fs.OpenFile(l.segPath(start), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen: %w", err)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if serr != nil {
+		return fmt.Errorf("wal: reopen: seal: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: reopen: seal: %w", cerr)
+	}
+	prevFailed := l.failed
+	l.failed = nil
+	if err := l.rotate(l.committed + 1); err != nil {
+		l.failed = prevFailed
+		return err
+	}
+	return nil
+}
+
 // SnapshotSeq returns the sequence number of the latest snapshot.
 func (l *Log) SnapshotSeq() uint64 {
 	l.mu.Lock()
@@ -642,7 +790,7 @@ func (l *Log) snapPath(seq uint64) string {
 
 // syncDir fsyncs the directory so renames/removes survive power loss.
 func (l *Log) syncDir() {
-	if d, err := os.Open(l.dir); err == nil {
+	if d, err := l.fs.Open(l.dir); err == nil {
 		d.Sync() //nolint:errcheck // best-effort directory fsync
 		d.Close()
 	}
@@ -650,7 +798,7 @@ func (l *Log) syncDir() {
 
 // scanDir lists segment start seqs and snapshot seqs, each ascending.
 func (l *Log) scanDir() (segs, snaps []uint64, err error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: list %s: %w", l.dir, err)
 	}
@@ -680,7 +828,7 @@ func (l *Log) scanDir() (segs, snaps []uint64, err error) {
 // were intact; a torn or corrupt frame yields that offset plus an error,
 // so the caller can distinguish "truncate here" from "refuse".
 func (l *Log) scanSegment(start uint64, fn func(seq uint64, payload []byte) error) (last uint64, validBytes int64, err error) {
-	f, err := os.Open(l.segPath(start))
+	f, err := l.fs.Open(l.segPath(start))
 	if err != nil {
 		return 0, 0, err
 	}
