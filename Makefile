@@ -8,11 +8,17 @@ test:
 	go test ./...
 
 # Static gates: formatting (fails on any unformatted file, matching the
-# CI gate — bare `gofmt -l` exits 0 even when it lists files) and vet.
+# CI gate — bare `gofmt -l` exits 0 even when it lists files; `|| exit`
+# also propagates gofmt's own failure, which the bare substitution
+# swallows), vet, and the repo's custom invariant suite (repro-lint:
+# determinism, durability-seam and retryable-API checks — see
+# docs/DETERMINISM.md).
 lint:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	@out="$$(gofmt -l .)" || exit; if [ -n "$$out" ]; then \
 		echo "gofmt needs running on:" >&2; echo "$$out" >&2; exit 1; fi
 	go vet ./...
+	go build -o bin/repro-lint ./cmd/repro-lint
+	go vet -vettool=bin/repro-lint ./...
 
 check: lint
 	go build ./...

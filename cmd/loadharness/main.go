@@ -145,6 +145,7 @@ func main() {
 					fmt.Fprintln(os.Stderr, "loadharness: wal dir:", err)
 					os.Exit(1)
 				}
+				//repro:vfs-exempt harness-local scratch and report files; tenant I/O goes through the injected fault FS
 				defer os.RemoveAll(tmp) //nolint:errcheck // best-effort temp cleanup
 				walDir = tmp
 				ffs = vfs.NewFaultFS(nil)
@@ -228,7 +229,7 @@ func main() {
 	enc = append(enc, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(enc)
-	} else if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, enc, 0o644); err != nil { //repro:vfs-exempt harness-local scratch and report files; tenant I/O goes through the injected fault FS
 		fmt.Fprintln(os.Stderr, "loadharness: write:", err)
 		os.Exit(1)
 	} else {
@@ -275,7 +276,7 @@ func archiveDirFor(root, scenario string) string {
 		return ""
 	}
 	dir := root + string(os.PathSeparator) + scenario
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil { //repro:vfs-exempt harness-local scratch and report files; tenant I/O goes through the injected fault FS
 		fmt.Fprintln(os.Stderr, "loadharness: archive dir:", err)
 		os.Exit(1)
 	}

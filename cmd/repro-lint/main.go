@@ -1,0 +1,28 @@
+// Command repro-lint is the repo's custom static-analysis vettool: it
+// enforces the replay-determinism, durability-seam and retryable-API
+// invariants that generic linters cannot know about (docs/DETERMINISM.md).
+//
+// Run it standalone over package patterns — it delegates loading to
+// the go command by re-invoking itself as a vettool:
+//
+//	go build -o bin/repro-lint ./cmd/repro-lint
+//	bin/repro-lint ./...
+//
+// or wire it into go vet directly (what `make lint` and CI do):
+//
+//	go vet -vettool=bin/repro-lint ./...
+//
+// Individual analyzers can be switched off (-maporder=false); findings
+// are suppressed in source with //repro:<directive> <reason> comments,
+// where every suppression must carry a reason and unused suppressions
+// are themselves findings.
+package main
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	analysis.Main(suite.Analyzers())
+}

@@ -44,7 +44,7 @@ func main() {
 
 	msgs, gt := tracegen.Generate(cfg)
 
-	f, err := os.Create(*out)
+	f, err := os.Create(*out) //repro:vfs-exempt CLI output file; not the server storage layer
 	if err != nil {
 		fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 	if gtPath == "" {
 		gtPath = *out + ".gt.json"
 	}
-	gf, err := os.Create(gtPath)
+	gf, err := os.Create(gtPath) //repro:vfs-exempt CLI output file; not the server storage layer
 	if err != nil {
 		fatal(err)
 	}

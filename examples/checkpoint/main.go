@@ -33,7 +33,7 @@ func main() {
 		d1.Ingest(m)
 	}
 	path := filepath.Join(os.TempDir(), "detector.ckpt")
-	f, err := os.Create(path)
+	f, err := os.Create(path) //repro:vfs-exempt example scratch file; not the server storage layer
 	if err != nil {
 		panic(err)
 	}
@@ -76,5 +76,5 @@ func main() {
 	if !same {
 		os.Exit(1)
 	}
-	os.Remove(path)
+	os.Remove(path) //repro:vfs-exempt example scratch file; not the server storage layer
 }

@@ -1,0 +1,158 @@
+// Package analysis is the repo's static-enforcement toolkit: a small,
+// dependency-free reimplementation of the go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the driver that speaks the
+// `go vet -vettool` command-line protocol. The analyzers themselves
+// live in subpackages (maporder, walltime, vfsseam, retryafter) and
+// are compiled into cmd/repro-lint.
+//
+// The suite exists because the system's headline property — bit-
+// identical deterministic replay of the detection pipeline from the
+// WAL — has been broken twice by map-iteration-order bugs, and its
+// fault-injection coverage only holds while storage I/O flows through
+// the internal/vfs seam. Those invariants are codebase-specific; no
+// generic linter checks them. See docs/DETERMINISM.md for the
+// contract, the annotation grammar, and how to extend the suite.
+//
+// golang.org/x/tools is deliberately not imported: the module is
+// dependency-free and stays that way. Everything here is built on
+// go/ast, go/types, go/parser and go/importer from the standard
+// library; the vettool protocol (vet.cfg files, -flags, export-data
+// import via PackageFile) is implemented in unitchecker.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. It is a cut-down mirror of
+// golang.org/x/tools/go/analysis.Analyzer: no facts, no requires graph
+// — every analyzer here is a single self-contained pass over one
+// type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -flags output and
+	// the per-analyzer enable flag (-maporder=false).
+	Name string
+	// Doc is the one-paragraph description shown by -help.
+	Doc string
+	// Directive is the //repro: suppression directive this analyzer
+	// honors (e.g. "order-insensitive"), or "" if findings cannot be
+	// suppressed. A directive comment on the flagged line, or the line
+	// immediately above it, with a non-empty reason suppresses the
+	// finding; the driver reports annotations that suppress nothing.
+	Directive string
+	// Run reports findings on pass via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the canonical import path with any " [pkg.test]"
+	// build-variant suffix stripped, so package-set membership checks
+	// see the same path for a package and its test variant.
+	PkgPath string
+
+	annots *annotIndex
+	diags  *[]Diagnostic
+}
+
+// A Diagnostic is one finding, attributed to the analyzer that made it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding unless a valid suppression annotation for
+// the analyzer's directive covers pos (same line or the line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Analyzer.Directive != "" && p.annots.suppress(p.Analyzer.Directive, p.Fset.Position(pos)) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. maporder, walltime and retryafter skip test files (tests may
+// legitimately read clocks and enumerate maps); vfsseam deliberately
+// does not — corruption-setup bypasses in tests must be annotated.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// runPackage executes every analyzer over one package, then audits the
+// package's //repro: annotations: unknown directives, missing reasons
+// and suppressions that suppressed nothing are all findings themselves
+// — a suppression may never be silent or stale.
+func runPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	annots := buildAnnotIndex(fset, files)
+	var diags []Diagnostic
+	ran := make(map[string]bool) // directive → an owning analyzer ran
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			PkgPath:   pkgPath,
+			annots:    annots,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+		if a.Directive != "" {
+			ran[a.Directive] = true
+		}
+	}
+	for _, ann := range annots.all {
+		switch {
+		case !knownDirectives[ann.directive]:
+			diags = append(diags, Diagnostic{
+				Pos:      ann.pos,
+				Analyzer: "reproanno",
+				Message:  fmt.Sprintf("unknown //repro: directive %q (known: %s)", ann.directive, strings.Join(directiveNames(), ", ")),
+			})
+		case ann.reason == "":
+			diags = append(diags, Diagnostic{
+				Pos:      ann.pos,
+				Analyzer: "reproanno",
+				Message:  fmt.Sprintf("//repro:%s needs a reason: a suppression must say why the invariant holds here", ann.directive),
+			})
+		case ran[ann.directive] && !ann.used:
+			diags = append(diags, Diagnostic{
+				Pos:      ann.pos,
+				Analyzer: "reproanno",
+				Message:  fmt.Sprintf("unused //repro:%s suppression: nothing on this or the next line is flagged — delete it", ann.directive),
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

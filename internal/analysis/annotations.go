@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// The annotation grammar (documented in docs/DETERMINISM.md):
+//
+//	//repro:<directive> <reason>
+//
+// written either at the end of the flagged line or on its own line
+// immediately above it. The reason is mandatory — the driver reports
+// reason-less and unused annotations as findings, so the committed
+// tree can never carry a silent or stale suppression.
+const directivePrefix = "//repro:"
+
+// knownDirectives maps each directive to true; one per analyzer.
+var knownDirectives = map[string]bool{
+	"order-insensitive": true, // maporder
+	"wallclock-exempt":  true, // walltime
+	"vfs-exempt":        true, // vfsseam
+	"retryable-exempt":  true, // retryafter
+}
+
+func directiveNames() []string {
+	names := make([]string, 0, len(knownDirectives))
+	for d := range knownDirectives {
+		names = append(names, d)
+	}
+	sort.Strings(names)
+	return names
+}
+
+type annot struct {
+	directive string
+	reason    string
+	file      string
+	line      int // line the comment sits on
+	pos       token.Pos
+	used      bool
+}
+
+type annotIndex struct {
+	all []*annot
+	// byLoc indexes the lines an annotation covers: its own line and
+	// the next one (so an end-of-line comment covers its statement and
+	// a standalone comment covers the statement below it).
+	byLoc map[fileLine][]*annot
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+func buildAnnotIndex(fset *token.FileSet, files []*ast.File) *annotIndex {
+	idx := &annotIndex{byLoc: make(map[fileLine][]*annot)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				directive, reason, _ := strings.Cut(rest, " ")
+				posn := fset.Position(c.Pos())
+				a := &annot{
+					directive: directive,
+					reason:    strings.TrimSpace(reason),
+					file:      posn.Filename,
+					line:      posn.Line,
+					pos:       c.Pos(),
+				}
+				idx.all = append(idx.all, a)
+				idx.byLoc[fileLine{a.file, a.line}] = append(idx.byLoc[fileLine{a.file, a.line}], a)
+				idx.byLoc[fileLine{a.file, a.line + 1}] = append(idx.byLoc[fileLine{a.file, a.line + 1}], a)
+			}
+		}
+	}
+	return idx
+}
+
+// suppress reports whether a well-formed annotation for directive
+// covers posn, marking it used if so. Malformed annotations (unknown
+// directive, empty reason) never suppress — they are reported instead.
+func (idx *annotIndex) suppress(directive string, posn token.Position) bool {
+	hit := false
+	for _, a := range idx.byLoc[fileLine{posn.Filename, posn.Line}] {
+		if a.directive == directive && a.reason != "" {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
+}

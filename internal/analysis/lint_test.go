@@ -1,0 +1,190 @@
+// The analyzer tests run the real tool through the real driver: they
+// build cmd/repro-lint, run `go vet -vettool` over a throwaway module
+// assembled from testdata/fixmod, and diff the diagnostics against
+// `// want analyzer "regex"` expectations in the fixture sources (the
+// want-above form anchors to the line above, for findings that land on
+// a comment's own line). The analysistest package lives in
+// golang.org/x/tools, which this module deliberately does not import.
+package analysis_test
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cmd/repro-lint once per test binary.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "repro-lint")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/repro-lint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building repro-lint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+// TestCommittedTreeClean is the meta-test: the committed tree must pass
+// the full suite with zero findings — every suppression reasoned, none
+// stale. A new unsorted map range on the replay path fails this test
+// before it fails replay.
+func TestCommittedTreeClean(t *testing.T) {
+	tool := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("repro-lint is not clean over the committed tree: %v\n%s", err, out)
+	}
+}
+
+// diag is one parsed `file:line:col: analyzer: message` stderr line.
+type diag struct {
+	file     string // module-relative, slash-separated
+	line     int
+	analyzer string
+	message  string
+}
+
+// expectation is one `// want analyzer "regex"` comment.
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	re       *regexp.Regexp
+	matched  bool
+}
+
+var (
+	diagRe = regexp.MustCompile(`^(.+\.go):(\d+):\d+: ([a-z]+): (.+)$`)
+	wantRe = regexp.MustCompile(`// want(-above)? ([a-z]+) "([^"]+)"`)
+)
+
+// TestFixtures assembles testdata/fixmod into a temp module named repro
+// (so fixture package paths land inside the analyzers' deterministic
+// sets), runs the vettool over it, and requires an exact match between
+// diagnostics and want-expectations in both directions.
+func TestFixtures(t *testing.T) {
+	tool := buildTool(t)
+	mod := t.TempDir()
+	src := filepath.Join("testdata", "fixmod")
+
+	var wants []*expectation
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil { //repro:vfs-exempt test harness assembling the throwaway fixture module
+			return err
+		}
+		if err := os.WriteFile(dst, data, 0o644); err != nil { //repro:vfs-exempt test harness assembling the throwaway fixture module
+			return err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(lineText, -1) {
+				line := i + 1
+				if m[1] == "-above" {
+					line--
+				}
+				wants = append(wants, &expectation{
+					file:     filepath.ToSlash(rel),
+					line:     line,
+					analyzer: m[2],
+					re:       regexp.MustCompile(m[3]),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want expectations found under testdata/fixmod")
+	}
+	gomod := "module repro\n\ngo 1.24\n"
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte(gomod), 0o644); err != nil { //repro:vfs-exempt test harness assembling the throwaway fixture module
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = mod
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=")
+	out, runErr := cmd.CombinedOutput()
+	// Findings make go vet exit nonzero; that is expected. A build or
+	// driver failure surfaces below as unparseable output.
+	_ = runErr
+
+	var diags []diag
+	for _, lineText := range strings.Split(string(out), "\n") {
+		lineText = strings.TrimSpace(lineText)
+		if lineText == "" || strings.HasPrefix(lineText, "#") || strings.HasPrefix(lineText, "exit status") {
+			continue
+		}
+		m := diagRe.FindStringSubmatch(lineText)
+		if m == nil {
+			t.Fatalf("unparseable go vet output line %q\nfull output:\n%s", lineText, out)
+		}
+		// go vet prints paths relative to its working directory when it
+		// can, absolute otherwise.
+		rel := m[1]
+		if filepath.IsAbs(rel) {
+			var err error
+			if rel, err = filepath.Rel(mod, rel); err != nil || strings.HasPrefix(rel, "..") {
+				t.Fatalf("diagnostic outside the fixture module: %q", lineText)
+			}
+		}
+		n, _ := strconv.Atoi(m[2])
+		diags = append(diags, diag{file: filepath.ToSlash(rel), line: n, analyzer: m[3], message: m[4]})
+	}
+
+	var problems []string
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.file && w.line == d.line && w.analyzer == d.analyzer && w.re.MatchString(d.message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic %s:%d: %s: %s", d.file, d.line, d.analyzer, d.message))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("missing diagnostic %s:%d: %s matching %q", w.file, w.line, w.analyzer, w.re))
+		}
+	}
+	if len(problems) > 0 {
+		t.Fatalf("fixture mismatch:\n%s\nfull output:\n%s", strings.Join(problems, "\n"), out)
+	}
+}

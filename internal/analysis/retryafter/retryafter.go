@@ -1,0 +1,207 @@
+// Package retryafter enforces the API contract on retryable
+// rejections: every handler path that writes 429 Too Many Requests or
+// 503 Service Unavailable must go through the package's retryableError
+// wrapper, which is the one place that emits the Retry-After header
+// mirrored as retry_after_seconds in the JSON body. Hand-rolled
+// header-plus-error combinations drifted once before; clients key
+// their backoff off this shape.
+//
+// The check is a call-path analysis over the package: it seeds the
+// status-sink set with (http.ResponseWriter).WriteHeader and
+// http.Error, then propagates — any package function that forwards one
+// of its own int parameters into a sink's status position becomes a
+// sink itself (writeJSON → httpError → … chains). A constant 429/503
+// flowing into any sink is a finding unless the call is to, or inside,
+// retryableError. Deliberate exceptions (a bare 503 readiness probe)
+// carry //repro:retryable-exempt <reason>.
+package retryafter
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "retryafter",
+	Doc:       "requires 429/503 responses to be written via the retryableError shape",
+	Directive: "retryable-exempt",
+	Run:       run,
+}
+
+// wrapperName is the blessed emitter of the retryable shape. Packages
+// that never write a 429/503 are unaffected; packages that do must
+// either define it or annotate every site.
+const wrapperName = "retryableError"
+
+func run(pass *analysis.Pass) error {
+	sinks := collectSinks(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inWrapper := fn.Name.Name == wrapperName && fn.Recv == nil
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				idx, callee := statusArg(pass, sinks, call)
+				if idx < 0 || idx >= len(call.Args) {
+					return true
+				}
+				status, ok := constIntValue(pass, call.Args[idx])
+				if !ok || (status != 429 && status != 503) {
+					return true
+				}
+				if inWrapper || (callee != nil && callee.Name() == wrapperName && callee.Pkg() == pass.Pkg) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"status %d written without the %s shape (Retry-After header + retry_after_seconds); call %s, or annotate //repro:retryable-exempt <reason>",
+					status, wrapperName, wrapperName)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// statusArg reports which argument of call is a response status headed
+// for the wire, and the callee if it is a package-level function.
+// idx < 0 means call is not a status sink.
+func statusArg(pass *analysis.Pass, sinks map[*types.Func]int, call *ast.CallExpr) (idx int, callee *types.Func) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return -1, nil
+		}
+		if isWriteHeader(obj) {
+			return 0, nil
+		}
+		if isHTTPError(obj) {
+			return 2, nil
+		}
+		if i, ok := sinks[obj]; ok {
+			return i, obj
+		}
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[fun].(*types.Func)
+		if !ok {
+			return -1, nil
+		}
+		if i, ok := sinks[obj]; ok {
+			return i, obj
+		}
+	}
+	return -1, nil
+}
+
+// collectSinks computes, to a fixpoint, the package functions that
+// forward an int parameter into a status sink.
+func collectSinks(pass *analysis.Pass) map[*types.Func]int {
+	sinks := make(map[*types.Func]int)
+	for {
+		changed := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if _, done := sinks[obj]; done {
+					continue
+				}
+				params := paramObjects(pass, fn)
+				if len(params) == 0 {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					idx, _ := statusArg(pass, sinks, call)
+					if idx < 0 || idx >= len(call.Args) {
+						return true
+					}
+					id, ok := call.Args[idx].(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if pi, ok := params[pass.TypesInfo.Uses[id]]; ok {
+						if _, done := sinks[obj]; !done {
+							sinks[obj] = pi
+							changed = true
+						}
+					}
+					return true
+				})
+			}
+		}
+		if !changed {
+			return sinks
+		}
+	}
+}
+
+// paramObjects maps fn's int-typed parameter objects to their index.
+func paramObjects(pass *analysis.Pass, fn *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	i := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies an index
+		}
+		for j := 0; j < n; j++ {
+			if j < len(field.Names) {
+				obj := pass.TypesInfo.Defs[field.Names[j]]
+				if obj != nil {
+					if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						out[obj] = i
+					}
+				}
+			}
+			i++
+		}
+	}
+	return out
+}
+
+func isWriteHeader(fn *types.Func) bool {
+	if fn.Name() != "WriteHeader" {
+		return false
+	}
+	sig := fn.Signature()
+	if sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+func isHTTPError(fn *types.Func) bool {
+	return fn.Name() == "Error" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" &&
+		fn.Signature().Recv() == nil
+}
+
+func constIntValue(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

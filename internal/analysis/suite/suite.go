@@ -1,0 +1,23 @@
+// Package suite assembles the repro-lint analyzers in their canonical
+// order. cmd/repro-lint and the analyzer tests both build from this
+// list, so a new analyzer registered here is automatically in the
+// vettool, `make lint`, and CI.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/retryafter"
+	"repro/internal/analysis/vfsseam"
+	"repro/internal/analysis/walltime"
+)
+
+// Analyzers returns the full repro-lint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		maporder.Analyzer,
+		walltime.Analyzer,
+		vfsseam.Analyzer,
+		retryafter.Analyzer,
+	}
+}

@@ -1,0 +1,41 @@
+// The annotation-audit fixtures: malformed or stale //repro: comments
+// are findings themselves (analyzer "reproanno"). The expectations here
+// use the want-above form because the finding lands on the comment's
+// own line.
+package rank
+
+// typoDirective carries a misspelled directive: it suppresses nothing
+// and the audit flags it as unknown.
+func typoDirective(m map[string]int) int {
+	n := 0
+	//repro:order-insensistive fixture: typo'd directive name
+	// want-above reproanno "unknown //repro: directive"
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// missingReason omits the mandatory reason: the annotation never
+// suppresses (the loop below stays flagged) and is itself reported.
+func missingReason(m map[string]float64) float64 {
+	var s float64
+	//repro:order-insensitive
+	// want-above reproanno "needs a reason"
+	for _, v := range m { // want maporder "order-dependent body"
+		s += v
+	}
+	return s
+}
+
+// staleSuppression annotates a loop the analyzer already proves
+// order-free, so the suppression is unused and must be deleted.
+func staleSuppression(m map[string]int) int {
+	n := 0
+	//repro:order-insensitive fixture: stale — the loop below is provably order-free
+	// want-above reproanno "unused"
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

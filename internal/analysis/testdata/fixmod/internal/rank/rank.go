@@ -1,0 +1,83 @@
+// Package rank is the maporder fixture: repro/internal/rank is in the
+// replay-deterministic set, so order-sensitive map loops here must be
+// flagged. The positive cases seed the regressions the analyzer exists
+// to catch — the first one is the PR-1 rank bug, reintroduced verbatim.
+package rank
+
+import "sort"
+
+// TotalWeight is the PR-1 regression: float accumulation in map order.
+// Rounding depends on iteration order, so replayed ranks diverge.
+func TotalWeight(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights { // want maporder "order-dependent body"
+		total += w
+	}
+	return total
+}
+
+// LastWins leaks whichever entry the runtime happens to visit last.
+func LastWins(m map[string]int) int {
+	best := 0
+	for _, v := range m { // want maporder "order-dependent body"
+		best = v
+	}
+	return best
+}
+
+// UnsortedKeys returns keys in map order — the retirement-order bug class.
+func UnsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder "order-dependent body"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Count is order-free: integer accumulation commutes.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert is order-free: per-key writes, each source key visited once.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AllPositive is a ∀-predicate: a single constant return in an
+// effect-free body yields the same verdict in any order.
+func AllPositive(m map[string]int) bool {
+	for _, v := range m {
+		if v <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Tolerant carries a reasoned suppression, so it is not flagged.
+func Tolerant(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { //repro:order-insensitive fixture: this sum feeds a tolerance check, not replayed state
+		s += v
+	}
+	return s
+}

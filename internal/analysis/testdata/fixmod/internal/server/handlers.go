@@ -1,0 +1,48 @@
+// Package server is the retryafter fixture: every handler path writing
+// 429 or 503 must go through retryableError (Retry-After header +
+// retry_after_seconds body) so shed clients know when to come back.
+package server
+
+import "net/http"
+
+// retryableError is the canonical shape; writing the status inside it
+// is the one sanctioned sink.
+func retryableError(w http.ResponseWriter, status, retryAfter int, msg string) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(status)
+}
+
+// writeJSON forwards its status parameter to WriteHeader, which makes
+// it a sink: constant 429/503 at its call sites are flagged.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	_ = body
+	w.WriteHeader(status)
+}
+
+func direct(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusTooManyRequests) // want retryafter "status 429 written without the retryableError shape"
+}
+
+func viaHTTPError(w http.ResponseWriter) {
+	http.Error(w, "unavailable", http.StatusServiceUnavailable) // want retryafter "status 503 written without the retryableError shape"
+}
+
+func viaHelper(w http.ResponseWriter) {
+	writeJSON(w, 503, nil) // want retryafter "status 503 written without the retryableError shape"
+}
+
+// viaWrapper goes through the sanctioned shape: not flagged.
+func viaWrapper(w http.ResponseWriter) {
+	retryableError(w, 503, 1, "backing off")
+}
+
+// plainError writes a non-retryable status: not the analyzer's business.
+func plainError(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError)
+}
+
+// probe carries a reasoned suppression, so it is not flagged.
+func probe(w http.ResponseWriter) {
+	//repro:retryable-exempt fixture: readiness probe; the body is for load balancers, not retrying clients
+	writeJSON(w, http.StatusServiceUnavailable, nil)
+}

@@ -1,0 +1,30 @@
+// Package storage is the vfsseam fixture: it is outside internal/vfs,
+// so every write-side os call must go through the seam.
+package storage
+
+import "os"
+
+// Persist bypasses the fault seam with a direct write.
+func Persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want vfsseam "os.WriteFile bypasses"
+}
+
+// Move bypasses the seam's rename (the crash-atomicity choke point).
+func Move(a, b string) error {
+	return os.Rename(a, b) // want vfsseam "os.Rename bypasses"
+}
+
+// SyncRaw fsyncs a raw *os.File, dodging injected sync faults.
+func SyncRaw(f *os.File) error {
+	return f.Sync() // want vfsseam "Sync bypasses the internal/vfs fault seam"
+}
+
+// Fetch is fine: read-side calls don't need the seam.
+func Fetch(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Scratch carries a reasoned suppression, so it is not flagged.
+func Scratch(path string) error {
+	return os.Remove(path) //repro:vfs-exempt fixture: tool-local scratch file, not storage-layer I/O
+}

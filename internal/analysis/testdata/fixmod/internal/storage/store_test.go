@@ -1,0 +1,13 @@
+// vfsseam deliberately covers _test.go files: corruption-setup bypasses
+// in tests must be annotated, not silent.
+package storage
+
+import "os"
+
+func corrupt(path string) error {
+	return os.Truncate(path, 3) // want vfsseam "os.Truncate bypasses"
+}
+
+func corruptAnnotated(path string) error {
+	return os.Truncate(path, 3) //repro:vfs-exempt fixture: deliberate out-of-band corruption under test
+}

@@ -1,0 +1,19 @@
+// Package tools sits outside the replay-deterministic set: maporder
+// and walltime do not apply, so nothing here is flagged.
+package tools
+
+import "time"
+
+// Uptime may read derived clocks freely out here.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Keys may iterate maps unsorted out here.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+// Package vfs mirrors the real seam package: it is the one place
+// allowed to touch os directly, so nothing here is flagged.
+package vfs
+
+import "os"
+
+// Create is the seam's own passthrough — exempt by package path.
+func Create(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// Sync fsyncs through the seam — exempt by package path.
+func Sync(f *os.File) error {
+	return f.Sync()
+}

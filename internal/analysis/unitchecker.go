@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// config mirrors the vetConfig JSON that cmd/go writes to
+// <objdir>/vet.cfg for each package before invoking the vettool
+// (see buildVetConfig in cmd/go/internal/work/exec.go). Fields the
+// driver does not consume are omitted; unknown JSON keys are ignored.
+type config struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoVersion  string
+	GoFiles    []string
+
+	ImportMap   map[string]string // import path in source → canonical package path
+	PackageFile map[string]string // canonical package path → export-data file
+	Standard    map[string]bool
+
+	VetxOnly   bool   // facts-only run for a dependency; we have no facts
+	VetxOutput string // file cmd/go expects us to write (it caches it)
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/repro-lint. It speaks three
+// dialects:
+//
+//	repro-lint -flags             → print flag metadata JSON (go vet asks first)
+//	repro-lint [flags] unit.cfg   → analyze one package (go vet per-package run)
+//	repro-lint [flags] [patterns] → standalone: re-exec `go vet -vettool=self`
+//
+// The standalone form is what `make lint` and humans use: it resolves
+// the build graph, export data and test variants by delegating all of
+// that to the go command, exactly as x/tools' unitchecker does.
+func Main(analyzers []*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printflags := fs.Bool("flags", false, "print analyzer flags in JSON (vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit JSON output instead of text diagnostics")
+	fs.Var(versionFlag{}, "V", "print version and exit (vet protocol)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer: "+firstLine(a.Doc))
+	}
+	fs.Parse(os.Args[1:]) //nolint:errcheck // ExitOnError
+
+	if *printflags {
+		printFlagsJSON(fs)
+		return
+	}
+
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runUnit(args[0], active, *jsonFlag)
+		return
+	}
+	standalone(fs, args)
+}
+
+// standalone re-invokes the go command with this binary as the
+// vettool, forwarding patterns and flag settings.
+func standalone(fs *flag.FlagSet, patterns []string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	goArgs := []string{"vet", "-vettool=" + exe}
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "flags" || f.Name == "V" {
+			return
+		}
+		goArgs = append(goArgs, "-"+f.Name+"="+f.Value.String())
+	})
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	goArgs = append(goArgs, patterns...)
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if ok := errorsAs(err, &exit); ok {
+			os.Exit(exit.ExitCode())
+		}
+		log.Fatal(err)
+	}
+}
+
+// errorsAs avoids importing errors just for one As call.
+func errorsAs(err error, target **exec.ExitError) bool {
+	e, ok := err.(*exec.ExitError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+// runUnit analyzes the single package described by cfgFile and exits:
+// 0 for clean (or a facts-only run), 2 when there are findings.
+func runUnit(cfgFile string, analyzers []*Analyzer, jsonOut bool) {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// cmd/go caches VetxOutput as this package's "vet facts" and feeds
+	// it to dependents. The suite is fact-free, so dependencies need no
+	// analysis at all — but the file must exist for the cache entry.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			//repro:vfs-exempt vet-protocol handshake file for cmd/go's cache, not storage-layer I/O
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return
+	}
+
+	fset := token.NewFileSet()
+	diags, err := analyze(fset, cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return
+		}
+		log.Fatal(err)
+	}
+	writeVetx()
+
+	if jsonOut {
+		printJSON(fset, cfg.ID, analyzers, diags)
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+func readConfig(path string) (*config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+func analyze(fset *token.FileSet, cfg *config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already built:
+	// ImportMap canonicalizes the path, PackageFile locates the .a
+	// file, and the standard library's gc importer reads it.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", goarch),
+		GoVersion: strings.TrimSuffix(cfg.GoVersion, " // indirect"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkgPath, _, _ := strings.Cut(cfg.ImportPath, " [") // strip test-variant suffix
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return runPackage(fset, files, pkg, info, pkgPath, analyzers)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// printJSON emits the same shape x/tools' unitchecker produces for
+// -json: {pkgID: {analyzer: [{posn, message}]}}. JSON mode always
+// exits 0 — findings are data for the caller (the fixture harness).
+func printJSON(fset *token.FileSet, pkgID string, analyzers []*Analyzer, diags []Diagnostic) {
+	type jsonDiag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]jsonDiag)
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+			Posn:    fset.Position(d.Pos).String(),
+			Message: d.Message,
+		})
+	}
+	out := map[string]map[string][]jsonDiag{pkgID: byAnalyzer}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "\t")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// printFlagsJSON answers `repro-lint -flags`: go vet runs this before
+// anything else to learn which command-line flags it may forward.
+func printFlagsJSON(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		if f.Name == "flags" || f.Name == "V" {
+			return
+		}
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data) //nolint:errcheck // stdout write to the go command
+	fmt.Println()
+}
+
+// versionFlag answers -V=full with a content hash of the executable,
+// the shape cmd/go's toolID parser accepts for caching.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return false }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close() //nolint:errcheck // read-only
+	fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), h.Sum(nil))
+	os.Exit(0)
+	return nil
+}
+
+func firstLine(s string) string {
+	line, _, _ := strings.Cut(s, "\n")
+	return line
+}

@@ -1,0 +1,105 @@
+// Package vfsseam forbids direct os-package mutation of the filesystem
+// outside internal/vfs. Every byte the storage layer writes must flow
+// through the vfs.FS seam — that is the sole reason the fault-injection
+// suite (EIO, ENOSPC, torn writes) proves anything about production
+// behavior. One raw os.Create in the WAL or archive and the coverage
+// silently rots.
+//
+// The write-side surface is banned: os.Create, os.OpenFile,
+// os.CreateTemp, os.WriteFile, os.Rename, os.Remove, os.RemoveAll,
+// os.Truncate, os.Mkdir, os.MkdirAll, and the Sync/Truncate methods on
+// *os.File. Read-only calls (os.Open, os.ReadFile, os.Stat, …) stay
+// legal: tests routinely inspect real disk state to verify what the
+// seam wrote, and reads do not rot durability coverage.
+//
+// Unlike the other analyzers this one checks _test.go files too —
+// tests that corrupt files on purpose to exercise recovery must carry
+// a //repro:vfs-exempt <reason> annotation, so every bypass is an
+// explicit, justified decision.
+package vfsseam
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "vfsseam",
+	Doc:       "forbids direct os filesystem writes outside the internal/vfs fault seam",
+	Directive: "vfs-exempt",
+	Run:       run,
+}
+
+// bannedOSFuncs is the write-side surface of package os.
+var bannedOSFuncs = map[string]bool{
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+	"WriteFile":  true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Truncate":   true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"Link":       true,
+	"Symlink":    true,
+}
+
+// bannedFileMethods are the durability-relevant methods of *os.File:
+// obtaining the handle is already flagged, but a handle can leak
+// through vfs.File, and a raw Sync is exactly the call torn-write
+// injection must see.
+var bannedFileMethods = map[string]bool{
+	"Sync":     true,
+	"Truncate": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == "repro/internal/vfs" {
+		return nil // the seam itself is the one legal caller
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || obj.Pkg().Path() != "os" {
+				return true
+			}
+			if recv := fn.Signature().Recv(); recv != nil {
+				if bannedFileMethods[fn.Name()] && isOSFile(recv.Type()) {
+					pass.Reportf(sel.Pos(),
+						"(*os.File).%s bypasses the internal/vfs fault seam; use a vfs.File from the seam, or annotate //repro:vfs-exempt <reason>", fn.Name())
+				}
+				return true
+			}
+			if bannedOSFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"os.%s bypasses the internal/vfs fault seam; route the write through vfs.FS, or annotate //repro:vfs-exempt <reason>", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

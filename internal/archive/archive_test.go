@@ -197,7 +197,7 @@ func TestTornTailTruncated(t *testing.T) {
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("segments = %v", segs)
 	}
-	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0o644) //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +252,7 @@ func TestCorruptSealedSegmentQuarantined(t *testing.T) {
 	// Break the structure of the middle record (JSON tolerates stray
 	// bytes inside strings, so corrupt the leading brace).
 	raw[bytes.IndexByte(raw, '\n')+1] = 'X'
-	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 		t.Fatal(err)
 	}
 	recs, stats, err := l.Query(0, -1, "", 0)

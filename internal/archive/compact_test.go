@@ -73,12 +73,12 @@ func restoreDir(t *testing.T, dir string, snap map[string][]byte) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 			t.Fatal(err)
 		}
 	}
 	for name, raw := range snap {
-		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 			t.Fatal(err)
 		}
 	}
@@ -234,20 +234,20 @@ func TestCompactionCrashRecovery(t *testing.T) {
 	}{
 		{"BeforeRename", func() { // crash mid-write: only a tmp exists
 			restoreDir(t, dir, pre)
-			if err := os.WriteFile(filepath.Join(dir, colName+".tmp"), []byte("torn"), 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(dir, colName+".tmp"), []byte("torn"), 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 				t.Fatal(err)
 			}
 		}},
 		{"AfterRenameBeforeSidecar", func() { // col committed, sidecar missing, inputs alive
 			restoreDir(t, dir, pre)
-			if err := os.WriteFile(filepath.Join(dir, colName), post[colName], 0o644); err != nil {
+			if err := os.WriteFile(filepath.Join(dir, colName), post[colName], 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 				t.Fatal(err)
 			}
 		}},
 		{"AfterSidecarBeforeDeletes", func() { // everything written, inputs alive
 			restoreDir(t, dir, pre)
 			for _, name := range []string{colName, sideName} {
-				if err := os.WriteFile(filepath.Join(dir, name), post[name], 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(dir, name), post[name], 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 					t.Fatal(err)
 				}
 			}
@@ -259,7 +259,7 @@ func TestCompactionCrashRecovery(t *testing.T) {
 					if name == sideName {
 						continue
 					}
-					if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+					if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 						t.Fatal(err)
 					}
 				}
@@ -340,7 +340,7 @@ func TestCompactionCrashStaleSidecarReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	// ...and the crash leaves the 4-record sidecar in place.
-	if err := os.WriteFile(l.colMetaPath(1), staleSidecar, 0o644); err != nil {
+	if err := os.WriteFile(l.colMetaPath(1), staleSidecar, 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 		t.Fatal(err)
 	}
 

@@ -110,7 +110,7 @@ func TestSealedSegmentOverCountIsCorruption(t *testing.T) {
 		t.Fatalf("want one sealed segment, got %+v", views)
 	}
 	// Corrupt: splice an extra valid record line into the sealed file.
-	f, err := os.OpenFile(filepath.Join(dir, "ev-00000000000000000001.jsonl"),
+	f, err := os.OpenFile(filepath.Join(dir, "ev-00000000000000000001.jsonl"), //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 		os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)

@@ -95,6 +95,7 @@ func Canonical(g *dygraph.Graph) []EdgeSet {
 // normalised order as Canonical, so the two can be compared directly.
 func (en *Engine) Snapshot() []EdgeSet {
 	out := make([]EdgeSet, 0, len(en.clusters))
+	//repro:order-insensitive each cluster's set is built independently; out is normalised by sortEdgeSets below
 	for _, c := range en.clusters {
 		set := make(EdgeSet, len(c.edges))
 		for e := range c.edges {
@@ -132,7 +133,7 @@ func sortEdgeSets(sets []EdgeSet) {
 	key := func(s EdgeSet) dygraph.Edge {
 		var best dygraph.Edge
 		first := true
-		for e := range s {
+		for e := range s { //repro:order-insensitive minimum selection under a total order; the min is unique
 			if first || less(e, best) {
 				best = e
 				first = false

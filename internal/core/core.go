@@ -137,6 +137,7 @@ func (c *Cluster) AppendEdges(dst []dygraph.Edge) []dygraph.Edge {
 
 // ForEachNode calls fn for every member node in unspecified order.
 func (c *Cluster) ForEachNode(fn func(n dygraph.NodeID)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use Nodes/AppendNodes
 	for n := range c.nodes {
 		fn(n)
 	}
@@ -144,6 +145,7 @@ func (c *Cluster) ForEachNode(fn func(n dygraph.NodeID)) {
 
 // ForEachEdge calls fn for every member edge in unspecified order.
 func (c *Cluster) ForEachEdge(fn func(e dygraph.Edge)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use Edges/AppendEdges
 	for e := range c.edges {
 		fn(e)
 	}

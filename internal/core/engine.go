@@ -81,6 +81,7 @@ func (en *Engine) markTouched(id ClusterID) {
 // in unspecified order — the allocation-free companion of
 // ClustersOfNode for dirty-set consumers.
 func (en *Engine) ForEachClusterOf(n dygraph.NodeID, fn func(id ClusterID)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use ClustersOfNode
 	for id := range en.nodeClusters[n] {
 		fn(id)
 	}
@@ -90,6 +91,7 @@ func (en *Engine) ForEachClusterOf(n dygraph.NodeID, fn func(id ClusterID)) {
 // reusing its capacity — the allocation-amortised companion of
 // Clusters for per-quantum iteration.
 func (en *Engine) AppendClusterIDs(dst []ClusterID) []ClusterID {
+	//repro:order-insensitive documented-unsorted API; the sole replay-path caller sorts the result before use
 	for id := range en.clusters {
 		dst = append(dst, id)
 	}
@@ -156,6 +158,7 @@ func (en *Engine) Clusters() []*Cluster {
 
 // ForEachCluster calls fn for every live cluster in unspecified order.
 func (en *Engine) ForEachCluster(fn func(c *Cluster)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use Clusters
 	for _, c := range en.clusters {
 		fn(c)
 	}
@@ -356,11 +359,13 @@ func (en *Engine) absorb(seeds []dygraph.Edge) *Cluster {
 			continue
 		}
 		en.statMerges++
+		//repro:order-insensitive set union into the target cluster; per-edge inserts commute
 		for e := range c.edges {
 			target.addEdge(e)
 			en.edgeCluster[e] = target.id
 			grew = true
 		}
+		//repro:order-insensitive per-node membership moves commute; each node is handled once
 		for n := range c.nodes {
 			en.dropMembership(n, c.id)
 			en.addMembership(n, target.id)

@@ -40,6 +40,7 @@ func (en *Engine) repair(c *Cluster) {
 	}
 	edges := make([]dygraph.Edge, 0, len(c.edges))
 	index := make(map[dygraph.Edge]int, len(c.edges))
+	//repro:order-insensitive edge indices are arbitrary labels; grouping is by connectivity and the groups are canonicalised below
 	for e := range c.edges {
 		index[e] = len(edges)
 		edges = append(edges, e)
@@ -62,7 +63,7 @@ func (en *Engine) repair(c *Cluster) {
 			nu, nv = nv, nu
 			u, v = v, u
 		}
-		for x := range nu {
+		for x := range nu { //repro:order-insensitive marks and unions are idempotent; the final components are order-independent
 			en.statCycleChecks++
 			if _, ok := nv[x]; ok {
 				mark(e, dygraph.NewEdge(u, x))
@@ -70,11 +71,11 @@ func (en *Engine) repair(c *Cluster) {
 			}
 		}
 		// 4-cycles u–n3–n4–v within the cluster.
-		for n3 := range adj[u] {
+		for n3 := range adj[u] { //repro:order-insensitive marks and unions are idempotent; the final components are order-independent
 			if n3 == v {
 				continue
 			}
-			for n4 := range adj[v] {
+			for n4 := range adj[v] { //repro:order-insensitive marks and unions are idempotent; the final components are order-independent
 				if n4 == u || n4 == n3 {
 					continue
 				}
@@ -115,6 +116,7 @@ func (en *Engine) repair(c *Cluster) {
 	// that event history survives partial decay; the rest become new
 	// clusters; expelled edges become cluster-less.
 	comps := make([][]dygraph.Edge, 0, len(groups))
+	//repro:order-insensitive each component is sorted here and comps is fully ordered by the sort below
 	for _, g := range groups {
 		sortEdges(g) // must precede the tie-break below
 		comps = append(comps, g)
@@ -133,6 +135,7 @@ func (en *Engine) repair(c *Cluster) {
 	})
 
 	oldID := c.id
+	//repro:order-insensitive per-node membership drops commute; each node is handled once
 	for n := range c.nodes {
 		en.dropMembership(n, oldID)
 	}
@@ -177,6 +180,7 @@ func (en *Engine) dissolve(c *Cluster) {
 	for e := range c.edges {
 		delete(en.edgeCluster, e)
 	}
+	//repro:order-insensitive per-node membership drops commute; each node is handled once
 	for n := range c.nodes {
 		en.dropMembership(n, c.id)
 	}

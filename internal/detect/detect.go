@@ -426,7 +426,7 @@ type wordRef struct {
 // user's distinct keywords sorted lexicographically — exactly the
 // interning order of the original string-based pipeline.
 func (d *Detector) prepareQuantumInto(p *prepared, batch []stream.Message) {
-	prepStart := time.Now()
+	prepStart := time.Now() //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 	defer func() { p.prepDur = time.Since(prepStart) }()
 	p.arena = p.arena[:0]
 	p.users = p.users[:0]
@@ -518,7 +518,7 @@ func (d *Detector) processQuantum(batch []stream.Message) QuantumResult {
 // The interner makes the only retained allocations (first-sight words);
 // the per-user keyword lists are carved from a reused arena.
 func (d *Detector) applyQuantum(prep *prepared) QuantumResult {
-	started := time.Now()
+	started := time.Now() //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 	total := 0
 	for ui := range prep.users {
 		total += len(prep.users[ui].refs)
@@ -546,20 +546,20 @@ func (d *Detector) applyQuantum(prep *prepared) QuantumResult {
 	}
 	d.kwArena = kwArena
 	d.uksScratch = uks
-	internDone := time.Now()
+	internDone := time.Now() //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 
 	if d.ckg != nil {
 		d.ckg.AddQuantum(uks)
 	}
 	stats := d.akg.ProcessQuantum(uks)
-	graphDone := time.Now()
+	graphDone := time.Now() //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 
 	res := QuantumResult{
 		Quantum: stats.Quantum,
 		Stats:   stats,
 	}
 	d.reconcileEvents(&res)
-	res.ReconcileElapsed = time.Since(graphDone)
+	res.ReconcileElapsed = time.Since(graphDone) //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 	res.AKGNodes = d.akg.NodeCount()
 	res.AKGEdges = d.akg.EdgeCount()
 	if d.ckg != nil {
@@ -568,7 +568,7 @@ func (d *Detector) applyQuantum(prep *prepared) QuantumResult {
 	}
 	res.PrepElapsed = prep.prepDur + internDone.Sub(started)
 	res.GraphElapsed = graphDone.Sub(internDone)
-	res.Elapsed = time.Since(started)
+	res.Elapsed = time.Since(started) //repro:wallclock-exempt stage-latency telemetry; reported in QuantumResult, never in replayed state
 	if d.onQuantum != nil {
 		d.onQuantum(&res)
 	}
@@ -620,7 +620,7 @@ func (d *Detector) reconcileEvents(res *QuantumResult) {
 	// evicts them, and WAL replay needs that order to be identical run to
 	// run (map iteration order is not).
 	retired := d.retiredScratch[:0]
-	for cid := range d.events {
+	for cid := range d.events { //repro:order-insensitive conditional collect; retired is sorted before any event is touched
 		if eng.Cluster(cid) == nil {
 			retired = append(retired, cid)
 		}
@@ -844,7 +844,7 @@ func (d *Detector) TotalCount() int { return len(d.events) + len(d.finished) }
 // finished, or nil. A linear scan, but without the copy-and-sort cost of
 // AllEvents — serving layers call this per lookup request.
 func (d *Detector) FindEvent(id uint64) *Event {
-	for _, ev := range d.events {
+	for _, ev := range d.events { //repro:order-insensitive event IDs are unique, so at most one entry matches
 		if ev.ID == id {
 			return ev
 		}

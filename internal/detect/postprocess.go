@@ -43,6 +43,7 @@ func (d *Detector) RelatedEvents(minOverlap float64) []RelatedPair {
 		nodes []dygraph.NodeID
 	)
 	eng := d.akg.Engine()
+	//repro:order-insensitive per-event arena segments are self-contained; live is sorted by ID before use
 	for cid, ev := range d.events {
 		if !ev.Reported {
 			continue

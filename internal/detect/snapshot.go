@@ -168,7 +168,7 @@ func (s *Snapshot) keywordIndex() map[string][]uint64 {
 				keyword[kw] = append(keyword[kw], ev.ID)
 			}
 		}
-		for kw := range keyword {
+		for kw := range keyword { //repro:order-insensitive per-key in-place sort; keys are independent
 			slices.Sort(keyword[kw])
 		}
 		s.keyword = keyword
@@ -228,6 +228,7 @@ func (s *Snapshot) keywordHistoryIndex() map[string][]*Event {
 		// list inherits that order without a per-list sort.
 		for _, ev := range s.rangeIndex() {
 			if len(ev.AllKeywords) > 0 {
+				//repro:order-insensitive each keyword key is visited once per event; list order comes from the sorted outer event loop
 				for kw := range ev.AllKeywords {
 					m[kw] = append(m[kw], ev)
 				}

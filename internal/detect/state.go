@@ -133,7 +133,7 @@ func (d *Detector) State() DetectorState {
 		Processed: d.processed,
 		Trimmed:   d.trimmed,
 	}
-	for id, seen := range d.nounSeen {
+	for id, seen := range d.nounSeen { //repro:order-insensitive conditional collect; NounSeen is sorted below
 		if seen {
 			s.NounSeen = append(s.NounSeen, id)
 		}

@@ -68,8 +68,8 @@ func (g *Graph) AddNode(n NodeID) bool {
 	return true
 }
 
-// RemoveNode deletes n and all incident edges, returning the removed edges.
-// Removing an absent node returns nil.
+// RemoveNode deletes n and all incident edges, returning the removed edges
+// sorted by (U,V). Removing an absent node returns nil.
 func (g *Graph) RemoveNode(n NodeID) []Edge {
 	nbrs, ok := g.adj[n]
 	if !ok {
@@ -80,12 +80,14 @@ func (g *Graph) RemoveNode(n NodeID) []Edge {
 		return nil
 	}
 	removed := make([]Edge, 0, len(nbrs))
+	//repro:order-insensitive per-key deletes and an integer decrement; removed is sorted before return
 	for m := range nbrs {
 		delete(g.adj[m], n)
 		g.edgeCount--
 		removed = append(removed, NewEdge(n, m))
 	}
 	delete(g.adj, n)
+	SortEdges(removed)
 	return removed
 }
 
@@ -148,6 +150,7 @@ func (g *Graph) Degree(n NodeID) int { return len(g.adj[n]) }
 // Neighbors calls fn for every neighbor of n with the edge weight.
 // Iteration order is unspecified. fn must not mutate the graph.
 func (g *Graph) Neighbors(n NodeID, fn func(m NodeID, w float64)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use NeighborSlice
 	for m, w := range g.adj[n] {
 		fn(m, w)
 	}
@@ -187,6 +190,7 @@ func (g *Graph) CommonNeighbors(a, b NodeID, fn func(c NodeID)) {
 	if len(na) > len(nb) {
 		na, nb = nb, na
 	}
+	//repro:order-insensitive documented unordered-callback API; fn sees the same intersection set in any order
 	for c := range na {
 		if _, ok := nb[c]; ok {
 			fn(c)
@@ -219,6 +223,7 @@ func (g *Graph) AppendNodes(dst []NodeID) []NodeID {
 
 // ForEachNode calls fn for every node in unspecified order.
 func (g *Graph) ForEachNode(fn func(n NodeID)) {
+	//repro:order-insensitive documented unordered-callback API; callers needing order use Nodes/AppendNodes
 	for n := range g.adj {
 		fn(n)
 	}
@@ -239,7 +244,7 @@ func (g *Graph) AppendEdges(dst []Edge) []Edge {
 		copy(grown, dst)
 		dst = grown
 	}
-	for a, nbrs := range g.adj {
+	for a, nbrs := range g.adj { //repro:order-insensitive collects each canonical edge once; dst is sorted below
 		for b := range nbrs {
 			if a < b {
 				dst = append(dst, Edge{U: a, V: b})
@@ -253,7 +258,7 @@ func (g *Graph) AppendEdges(dst []Edge) []Edge {
 // ForEachEdge calls fn for every edge exactly once (canonical orientation),
 // in unspecified order. fn must not mutate the graph.
 func (g *Graph) ForEachEdge(fn func(e Edge, w float64)) {
-	for a, nbrs := range g.adj {
+	for a, nbrs := range g.adj { //repro:order-insensitive documented unordered-callback API; callers needing order use Edges/AppendEdges
 		for b, w := range nbrs {
 			if a < b {
 				fn(Edge{U: a, V: b}, w)

@@ -87,6 +87,7 @@ func isMQCMask(s *Subgraph, nodes []dygraph.NodeID, mask uint32, cnt int) bool {
 	// Connectivity of the induced subgraph (strict majority implies it
 	// for cnt ≥ 3, but verify to stay independent of that argument).
 	var start dygraph.NodeID
+	//repro:order-insensitive arbitrary start node; the connectivity verdict is the same from any node
 	for node := range idx {
 		start = node
 		break
@@ -96,7 +97,7 @@ func isMQCMask(s *Subgraph, nodes []dygraph.NodeID, mask uint32, cnt int) bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for nb := range s.adj[cur] {
+		for nb := range s.adj[cur] { //repro:order-insensitive DFS frontier; the visited set is visit-order independent
 			if _, in := idx[nb]; !in {
 				continue
 			}

@@ -37,6 +37,7 @@ func FromEdges(edges []dygraph.Edge) *Subgraph {
 // FromEdgeSet builds a subgraph from a cluster's edge set.
 func FromEdgeSet(edges map[dygraph.Edge]struct{}) *Subgraph {
 	s := NewSubgraph()
+	//repro:order-insensitive set insertion; AddEdge is idempotent and commutative
 	for e := range edges {
 		s.AddEdge(e.U, e.V)
 	}
@@ -92,7 +93,7 @@ func (s *Subgraph) Nodes() []dygraph.NodeID {
 // Edges returns the edges in canonical orientation, sorted.
 func (s *Subgraph) Edges() []dygraph.Edge {
 	var out []dygraph.Edge
-	for a, nbrs := range s.adj {
+	for a, nbrs := range s.adj { //repro:order-insensitive collects each canonical edge once; out is sorted below
 		for b := range nbrs {
 			if a < b {
 				out = append(out, dygraph.Edge{U: a, V: b})
@@ -186,7 +187,7 @@ func IsMQCEdges(edges []dygraph.Edge, degrees map[dygraph.NodeID]int) bool {
 // of length at most 4 using only subgraph edges — the short-cycle property
 // of Section 4.1. A subgraph with no edges satisfies SCP vacuously.
 func (s *Subgraph) SatisfiesSCP() bool {
-	for a, nbrs := range s.adj {
+	for a, nbrs := range s.adj { //repro:order-insensitive ∀-predicate over edges; same verdict in any order
 		for b := range nbrs {
 			if a > b {
 				continue
@@ -213,11 +214,11 @@ func (s *Subgraph) edgeOnShortCycle(a, b dygraph.NodeID) bool {
 		}
 	}
 	// Length-4 cycle: n3 ~ a, n4 ~ b, n3–n4 an edge.
-	for n3 := range s.adj[a] {
+	for n3 := range s.adj[a] { //repro:order-insensitive ∃-predicate; any order finds a witness iff one exists
 		if n3 == b {
 			continue
 		}
-		for n4 := range s.adj[b] {
+		for n4 := range s.adj[b] { //repro:order-insensitive ∃-predicate; any order finds a witness iff one exists
 			if n4 == a || n4 == n3 {
 				continue
 			}
@@ -236,6 +237,7 @@ func (s *Subgraph) IsConnected() bool {
 		return true
 	}
 	var start dygraph.NodeID
+	//repro:order-insensitive arbitrary start node; the connectivity verdict is the same from any node
 	for n := range s.adj {
 		start = n
 		break
@@ -256,10 +258,10 @@ func (s *Subgraph) IsBiconnected() bool {
 	if !s.IsConnected() {
 		return false
 	}
-	for skip := range s.adj {
+	for skip := range s.adj { //repro:order-insensitive ∀-predicate: every node is tried as the removed one
 		var start dygraph.NodeID
 		found := false
-		for cand := range s.adj {
+		for cand := range s.adj { //repro:order-insensitive arbitrary surviving start; reachability count is start-independent
 			if cand != skip {
 				start = cand
 				found = true
@@ -286,6 +288,7 @@ func (s *Subgraph) ArticulationPoints() []dygraph.NodeID {
 		return nil
 	}
 	full := s.componentCount(nil)
+	//repro:order-insensitive each candidate is judged independently; out is sorted below
 	for cand := range s.adj {
 		skipSet := map[dygraph.NodeID]struct{}{cand: {}}
 		if s.componentCount(skipSet) > full {
@@ -301,7 +304,7 @@ func (s *Subgraph) ArticulationPoints() []dygraph.NodeID {
 func (s *Subgraph) componentCount(skip map[dygraph.NodeID]struct{}) int {
 	visited := make(map[dygraph.NodeID]struct{}, len(s.adj))
 	count := 0
-	for n := range s.adj {
+	for n := range s.adj { //repro:order-insensitive flood fill; the component count is visit-order independent
 		if _, sk := skip[n]; sk {
 			continue
 		}
@@ -314,7 +317,7 @@ func (s *Subgraph) componentCount(skip map[dygraph.NodeID]struct{}) int {
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for nb := range s.adj[cur] {
+			for nb := range s.adj[cur] { //repro:order-insensitive DFS frontier; the visited set is visit-order independent
 				if _, sk := skip[nb]; sk {
 					continue
 				}
@@ -336,7 +339,7 @@ func (s *Subgraph) reachableFrom(start dygraph.NodeID, skip map[dygraph.NodeID]s
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for nb := range s.adj[cur] {
+		for nb := range s.adj[cur] { //repro:order-insensitive DFS frontier; the visited set is visit-order independent
 			if _, sk := skip[nb]; sk {
 				continue
 			}
@@ -358,13 +361,13 @@ func (s *Subgraph) Diameter() int {
 		return -1
 	}
 	diameter := 0
-	for src := range s.adj {
+	for src := range s.adj { //repro:order-insensitive max over all sources; max is commutative
 		dist := map[dygraph.NodeID]int{src: 0}
 		queue := []dygraph.NodeID{src}
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			for nb := range s.adj[cur] {
+			for nb := range s.adj[cur] { //repro:order-insensitive BFS layer; distances are set at first discovery, always the true layer
 				if _, ok := dist[nb]; !ok {
 					dist[nb] = dist[cur] + 1
 					queue = append(queue, nb)
@@ -374,7 +377,7 @@ func (s *Subgraph) Diameter() int {
 		if len(dist) != len(s.adj) {
 			return -1
 		}
-		for _, d := range dist {
+		for _, d := range dist { //repro:order-insensitive max accumulation; max is commutative
 			if d > diameter {
 				diameter = d
 			}

@@ -198,7 +198,7 @@ func Run(snap Snapshot, arch Archive, req Request) (Result, error) {
 		if !instrumented {
 			return
 		}
-		now := time.Now()
+		now := time.Now() //repro:wallclock-exempt optional instrumentation clock, gated on telemetry being attached; replay output unaffected
 		if !mark.IsZero() {
 			req.Obs.Observe(stage, now.Sub(mark))
 		}
@@ -386,7 +386,7 @@ func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur ke
 		// unchanged — it is what makes answers format-independent.
 		var colStart time.Time
 		if timed && v.Format == 2 {
-			colStart = time.Now()
+			colStart = time.Now() //repro:wallclock-exempt columnar-scan latency telemetry; never feeds query results
 		}
 		pred := archive.Pred{From: from, To: to, MinRank: req.MinRank, Keywords: req.Keywords}
 		bs, _, err := v.ScanPred(pred, func(rec *archive.Record) error {
@@ -422,7 +422,7 @@ func scanArchive(arch Archive, dedup Snapshot, req Request, from, to int, cur ke
 			st.BlocksSkippedByRank += bs.SkippedByRank
 			st.BlocksSkippedByKeyword += bs.SkippedByKeyword
 			if timed {
-				colDur += time.Since(colStart)
+				colDur += time.Since(colStart) //repro:wallclock-exempt columnar-scan latency telemetry; never feeds query results
 			}
 		}
 		if err != nil {

@@ -64,7 +64,7 @@ func (s *checkpointStore) Save(tenant string, d *detect.Detector) error {
 		return fmt.Errorf("server: checkpoint %s: %w", tenant, err)
 	}
 	// Persist the rename itself.
-	if dir, err := os.Open(s.dir); err == nil {
+	if dir, err := s.fs.Open(s.dir); err == nil {
 		dir.Sync() //nolint:errcheck // best-effort directory fsync
 		dir.Close()
 	}

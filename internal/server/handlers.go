@@ -181,6 +181,7 @@ func NewHandler(p *Pool) http.Handler {
 			})
 			return
 		}
+		//repro:retryable-exempt readiness probe; load balancers read the body, clients never retry /readyz with backoff
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status":   "degraded",
 			"tenants":  p.TenantCount(),

@@ -1186,6 +1186,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 		// safety net.)
 		p.stopSupervisor()
 		p.stopCompactor()
+		//repro:order-insensitive independent per-tenant shutdowns during abandoned startup; order is immaterial
 		for _, t := range p.tenants {
 			t.shutdown(context.Background()) //nolint:errcheck // empty queues drain instantly
 		}

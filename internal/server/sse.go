@@ -91,7 +91,7 @@ func (b *broker) publish(ev *StreamEvent) {
 	if err != nil {
 		return
 	}
-	for ch := range b.subs {
+	for ch := range b.subs { //repro:order-insensitive independent fan-out; every subscriber gets the same payload
 		select {
 		case ch <- payload:
 		default:
@@ -106,7 +106,7 @@ func (b *broker) close() {
 	b.mu.Lock()
 	if !b.closed {
 		b.closed = true
-		for ch := range b.subs {
+		for ch := range b.subs { //repro:order-insensitive independent channel closes; order is immaterial
 			delete(b.subs, ch)
 			close(ch)
 		}

@@ -174,7 +174,7 @@ func TestTornTailTruncated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Truncate(segs[0], st.Size()-7); err != nil { // cut into record 3
+	if err := os.Truncate(segs[0], st.Size()-7); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O // cut into record 3
 		t.Fatal(err)
 	}
 
@@ -223,8 +223,8 @@ func TestCorruptRotatedSegmentRefused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[frameHdr+2] ^= 0xFF // corrupt the first record's payload
-	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+	raw[frameHdr+2] ^= 0xFF                                   // corrupt the first record's payload
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil { //repro:vfs-exempt deliberate out-of-band corruption of on-disk state under test, not storage-layer I/O
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "CRC") {
